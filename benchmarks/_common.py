@@ -1,0 +1,73 @@
+"""Shared bench plumbing: iteration scaling, circuit selection, caching.
+
+The paper's experiments run 2 500–5 000 SimE iterations per configuration
+on a 2 GHz P4 — hours of wall-clock that a pure-Python reproduction cannot
+spend per bench invocation.  Every bench therefore divides the paper's
+iteration budgets by ``REPRO_SCALE`` (default 100) while preserving the
+*ratios* between serial and parallel budgets that the paper's protocol
+fixes.  Set ``REPRO_SCALE=1`` for full paper budgets, or
+``REPRO_CIRCUITS=s1196,s1238`` to restrict the circuit set.
+
+All benches print a paper-shaped table (same rows/columns, paper values
+alongside) — the shape claims in DESIGN.md §7 are asserted, the absolute
+numbers are recorded in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import os
+from functools import lru_cache
+
+from repro.parallel.runners import ExperimentSpec, ParallelOutcome, run_serial
+
+#: Paper serial iteration budgets per experiment family.
+PAPER_ITERS_T2_WP = 3500  # Table 2 (also Table 1's program version)
+PAPER_ITERS_T3_WPD = 5000  # Table 3
+PAPER_ITERS_T4 = 2500  # Table 4
+
+ALL_CIRCUITS = ["s1196", "s1488", "s1494", "s1238", "s3330"]
+
+
+def scale() -> int:
+    """The iteration divisor (>= 1)."""
+    return max(1, int(os.environ.get("REPRO_SCALE", "100")))
+
+
+def scaled(paper_iters: int, minimum: int = 20) -> int:
+    """Paper budget divided by the scale, floored to stay meaningful."""
+    return max(minimum, paper_iters // scale())
+
+
+def circuits(default: list[str] | None = None) -> list[str]:
+    """Circuit list, optionally restricted via REPRO_CIRCUITS."""
+    env = os.environ.get("REPRO_CIRCUITS")
+    if env:
+        return [c.strip() for c in env.split(",") if c.strip()]
+    return list(default or ALL_CIRCUITS)
+
+
+@lru_cache(maxsize=None)
+def serial_outcome(
+    circuit: str, objectives: tuple[str, ...], iterations: int, seed: int = 1
+) -> ParallelOutcome:
+    """Cached serial baseline (shared across benches in one session)."""
+    spec = ExperimentSpec(
+        circuit=circuit, objectives=objectives, iterations=iterations, seed=seed
+    )
+    return run_serial(spec)
+
+
+def spec_for(
+    circuit: str, objectives: tuple[str, ...], iterations: int, seed: int = 1
+) -> ExperimentSpec:
+    return ExperimentSpec(
+        circuit=circuit, objectives=objectives, iterations=iterations, seed=seed
+    )
+
+
+def banner(title: str) -> None:
+    print()
+    print("=" * 78)
+    print(title)
+    print(f"(iteration scale 1/{scale()} of paper budgets; see EXPERIMENTS.md)")
+    print("=" * 78)

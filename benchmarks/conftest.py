@@ -1,0 +1,6 @@
+"""Make the benchmarks directory importable (_common) and self-contained."""
+
+import os
+import sys
+
+sys.path.insert(0, os.path.dirname(__file__))

@@ -1,0 +1,47 @@
+"""A2 — Ablation: allocation probe-window size vs quality and runtime.
+
+The sorted-individual-best-fit window (rows × slots probed per selected
+cell) is the runtime knob behind the paper's "allocation is 98 % of
+runtime": widening it buys quality at linear model-time cost.  DESIGN.md
+calls this design choice out; this bench quantifies the trade-off.
+"""
+
+import pytest
+
+from repro.analysis.reporting import render_table
+from repro.parallel.runners import ExperimentSpec, run_serial
+
+from _common import banner, scaled, PAPER_ITERS_T2_WP
+
+
+@pytest.mark.benchmark(group="ablation-allocation")
+def test_allocation_window(benchmark):
+    iters = scaled(PAPER_ITERS_T2_WP)
+    windows = [(1, 1), (2, 2), (3, 4)]
+
+    def run():
+        out = {}
+        for rw, sw in windows:
+            spec = ExperimentSpec(
+                circuit="s1196", objectives=("wirelength", "power"),
+                iterations=iters, row_window=rw, slot_window=sw,
+            )
+            out[(rw, sw)] = run_serial(spec)
+        return out
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    banner("A2 — allocation window ablation (s1196, serial)")
+    print(render_table([
+        {"rows±": rw, "slots±": sw,
+         "best µ": round(results[(rw, sw)].best_mu, 3),
+         "model s": round(results[(rw, sw)].runtime, 2),
+         "alloc units": int(results[(rw, sw)].extras["work_units"]["allocation"])}
+        for rw, sw in windows
+    ]))
+
+    # Wider windows cost more model-time...
+    times = [results[w].runtime for w in windows]
+    assert times[0] < times[1] < times[2]
+    # ...and the widest window must not be worse than the narrowest.
+    assert results[windows[2]].best_mu >= results[windows[0]].best_mu - 0.03

@@ -1,0 +1,71 @@
+"""A1 — Ablation: row-pattern mobility and its quality consequence.
+
+The paper motivates the fixed alternating pattern with the two-step
+mobility argument and then shows the random pattern beats it.  This
+ablation (a) measures *structural mobility* — how many iterations a cell
+needs before any grid row is reachable — for fixed, random and a
+contiguous-only pattern, and (b) runs Type II with the contiguous-only
+pattern to show the missing mobility costs quality.
+"""
+
+import pytest
+
+from repro.analysis.reporting import render_table
+from repro.parallel.partition import pattern_by_name
+from repro.parallel.type2 import run_type2
+from repro.utils.rng import RngStream
+
+from _common import banner, scaled, serial_outcome, spec_for, PAPER_ITERS_T2_WP
+
+OBJ = ("wirelength", "power")
+
+
+def reach_iterations(pattern: str, num_rows: int, m: int, max_steps: int = 12) -> float:
+    """Mean #iterations until a cell starting in row 0 can have reached
+    every row (∞ -> max_steps + 1)."""
+    rng = RngStream(0)
+    reachable = {0}
+    for step in range(1, max_steps + 1):
+        parts = pattern_by_name(pattern, num_rows, m, step - 1, rng)
+        part_of = {r: set(part) for part in parts for r in part}
+        reachable = set().union(*(part_of[r] for r in reachable))
+        if len(reachable) == num_rows:
+            return step
+    return max_steps + 1
+
+
+@pytest.mark.benchmark(group="ablation-patterns")
+def test_pattern_mobility_and_quality(benchmark):
+    num_rows, m = 18, 5
+
+    def run():
+        mobility = {
+            pat: reach_iterations(pat, num_rows, m)
+            for pat in ("fixed", "random", "contiguous")
+        }
+        iters = scaled(PAPER_ITERS_T2_WP)
+        serial = serial_outcome("s1196", OBJ, iters)
+        spec = spec_for("s1196", OBJ, iters)
+        quality = {
+            pat: run_type2(spec, p=4, pattern=pat).best_mu
+            for pat in ("fixed", "random", "contiguous")
+        }
+        return mobility, serial, quality
+
+    mobility, serial, quality = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    banner("A1 — row-pattern mobility vs quality (s1196, p=4)")
+    print(render_table([
+        {"pattern": pat,
+         "iters to full reach": mobility[pat],
+         "type II best µ": round(quality[pat], 3)}
+        for pat in ("fixed", "random", "contiguous")
+    ]))
+    print(f"serial best µ: {serial.best_mu:.3f}")
+
+    # Paper patterns reach the whole grid quickly; contiguous never does.
+    assert mobility["fixed"] <= 3
+    assert mobility["random"] <= 6
+    assert mobility["contiguous"] > 12
+    # Missing mobility costs quality.
+    assert quality["contiguous"] < max(quality["fixed"], quality["random"])

@@ -1,0 +1,54 @@
+"""A4 — Baseline context: multiobjective SimE vs ESP vs SA.
+
+The paper's opening claim is that SimE "has produced results comparable to
+well established stochastic heuristics such as SA ... with shorter
+runtimes".  This bench gives SimE, the wirelength-only ESP ancestor, and a
+Metropolis SA the same circuit and cost substrate and compares quality at
+comparable model-time budgets.
+"""
+
+import pytest
+
+from repro.analysis.reporting import render_table
+from repro.baselines.esp import run_esp
+from repro.baselines.sa import SAConfig, run_sa
+from repro.parallel.runners import ExperimentSpec, run_serial
+
+from _common import banner, scaled, PAPER_ITERS_T2_WP
+
+
+@pytest.mark.benchmark(group="baselines")
+def test_baseline_comparison(benchmark):
+    iters = scaled(PAPER_ITERS_T2_WP)
+    spec = ExperimentSpec(
+        circuit="s1196", objectives=("wirelength", "power"), iterations=iters
+    )
+
+    def run():
+        sime = run_serial(spec)
+        esp = run_esp(spec)
+        # Give SA the same model-time budget SimE spent, converted into
+        # moves (each move ~ one relocation's incremental cost).
+        sa = run_sa(spec, SAConfig(max_moves=max(5000, iters * 1500),
+                                   t_floor=1e-5))
+        return sime, esp, sa
+
+    sime, esp, sa = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    banner("A4 — baselines on s1196 (model-seconds)")
+    print(render_table([
+        {"algorithm": o.strategy,
+         "objectives": "+".join(o.objectives),
+         "best µ": round(o.best_mu, 3),
+         "wirelength": int(o.best_costs["wirelength"]),
+         "model s": round(o.runtime, 2)}
+        for o in (sime, esp, sa)
+    ]))
+
+    # SimE beats its wirelength-only ancestor on the multiobjective metric
+    # ... ESP's µ is a wirelength membership; compare on wirelength cost:
+    # ESP (pure wirelength) should be at least competitive there.
+    assert sime.best_mu > 0.3
+    # SA given a comparable budget must not dominate SimE (the paper's
+    # "comparable results with shorter runtimes" claim, shape form).
+    assert sime.best_mu >= sa.best_mu - 0.05 or sime.runtime <= sa.runtime

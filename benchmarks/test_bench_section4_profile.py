@@ -1,0 +1,50 @@
+"""E1 — Section 4: serial runtime profile (gprof reproduction).
+
+Paper: "for first and second versions respectively 98.4% and 98.5% of time
+was spent in the allocation function, 0.6% and 0.5% ... in wirelength
+calculation, 0.2% and 0.4% ... in goodness evaluation, and 0.2% ... in
+delay calculation".
+"""
+
+import pytest
+
+from repro.analysis.profiling import profile_serial_run
+from repro.analysis.reporting import render_table
+from repro.parallel.runners import ExperimentSpec
+
+from _common import banner, circuits, scaled, PAPER_ITERS_T2_WP
+
+
+@pytest.mark.benchmark(group="section4")
+@pytest.mark.parametrize(
+    "objectives",
+    [("wirelength", "power"), ("wirelength", "power", "delay")],
+    ids=["wl-power", "wl-power-delay"],
+)
+def test_section4_profile(benchmark, objectives):
+    circs = circuits(["s1196", "s1238"])
+
+    def run():
+        return [
+            profile_serial_run(
+                ExperimentSpec(
+                    circuit=c,
+                    objectives=objectives,
+                    iterations=scaled(PAPER_ITERS_T2_WP),
+                )
+            )
+            for c in circs
+        ]
+
+    reports = benchmark.pedantic(run, rounds=1, iterations=1)
+    banner(f"Section 4 profile — objectives {objectives}")
+    for report in reports:
+        print(f"\ncircuit {report.circuit} ({report.iterations} iterations):")
+        print(render_table(report.rows()))
+        # Acceptance (DESIGN.md §7 E1): allocation dominates as in the paper.
+        assert report.allocation_share > 0.90, report.shares
+        eval_share = sum(
+            report.shares.get(c, 0.0)
+            for c in ("wirelength", "power", "goodness", "delay")
+        )
+        assert eval_share < 0.07, report.shares

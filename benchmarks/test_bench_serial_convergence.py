@@ -1,0 +1,57 @@
+"""E6 — Figure 1: the serial SimE algorithm's convergence behaviour.
+
+Figure 1 is the algorithm listing; its behavioural claims (Section 3) are
+that the loop runs Evaluation/Selection/Allocation "until the solution
+average goodness reaches a maximum value, or no noticeable improvement ...
+is observed", i.e. average goodness rises and selection pressure falls as
+the solution evolves.  This bench records that trajectory.
+"""
+
+import pytest
+
+from repro.analysis.reporting import render_table
+from repro.parallel.runners import ExperimentSpec, run_serial
+
+from _common import banner, circuits, scaled, PAPER_ITERS_T2_WP
+
+
+@pytest.mark.benchmark(group="figure1")
+def test_serial_convergence(benchmark):
+    circs = circuits(["s1196", "s1238"])
+    iters = scaled(PAPER_ITERS_T2_WP)
+
+    def run():
+        return [
+            run_serial(
+                ExperimentSpec(
+                    circuit=c, objectives=("wirelength", "power"),
+                    iterations=iters,
+                )
+            )
+            for c in circs
+        ]
+
+    outcomes = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    banner("Figure 1 — serial SimE convergence")
+    for out in outcomes:
+        hist = out.history
+        q = max(1, len(hist) // 6)
+        rows = [
+            {
+                "iter": it,
+                "µ(s)": round(mu, 3),
+                "model s": round(t, 2),
+            }
+            for it, mu, t in hist[::q]
+        ]
+        print(f"\ncircuit {out.circuit}:")
+        print(render_table(rows))
+
+        first_mu = hist[0][1]
+        # Quality improves substantially over the run...
+        assert out.best_mu > first_mu + 0.05, (out.circuit, first_mu, out.best_mu)
+        # ...and the second half is better than the first on average.
+        mus = [mu for _, mu, _ in hist]
+        mid = len(mus) // 2
+        assert sum(mus[mid:]) / len(mus[mid:]) > sum(mus[:mid]) / mid

@@ -1,0 +1,76 @@
+"""E2 — Table 1: Type I parallel SimE runtimes, p ∈ {2..5}.
+
+Paper Table 1 (runtimes in seconds, WL+P objective):
+
+    Ckt     Cells  Seq.   p=2   p=3   p=4   p=5
+    s1196   561    92     130   130   130   130
+    s1488   667    187    263   263   263   263
+    s1494   661    190    268   268   273   270
+    s1238   540    91     127   129   131   130
+    s3330   1561   3750   5480  5463  5467  5453
+
+Shape claims (DESIGN.md §7 E2): Type I is a *slowdown* (ratio > 1) at
+every processor count, the ratio is roughly flat in p, and solution
+quality is identical to serial (Type I does not change the search path).
+"""
+
+import pytest
+
+from repro.analysis.reporting import render_table
+from repro.parallel.type1 import run_type1
+
+from _common import banner, circuits, scaled, serial_outcome, spec_for, PAPER_ITERS_T2_WP
+
+PAPER_TABLE1 = {
+    "s1196": (92, [130, 130, 130, 130]),
+    "s1488": (187, [263, 263, 263, 263]),
+    "s1494": (190, [268, 268, 273, 270]),
+    "s1238": (91, [127, 129, 131, 130]),
+    "s3330": (3750, [5480, 5463, 5467, 5453]),
+}
+
+OBJ = ("wirelength", "power")
+
+
+@pytest.mark.benchmark(group="table1")
+def test_table1_type1(benchmark):
+    iters = scaled(PAPER_ITERS_T2_WP)
+    circs = circuits()
+
+    def run():
+        rows = []
+        for c in circs:
+            serial = serial_outcome(c, OBJ, iters)
+            spec = spec_for(c, OBJ, iters)
+            parallel = {p: run_type1(spec, p=p) for p in (2, 3, 4, 5)}
+            rows.append((c, serial, parallel))
+        return rows
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    banner("Table 1 — Type I parallel SimE (model-seconds; paper seconds in [])")
+    table = []
+    for c, serial, parallel in results:
+        paper_seq, paper_par = PAPER_TABLE1.get(c, (None, [None] * 4))
+        row = {
+            "Ckt": c,
+            "Seq": f"{serial.runtime:.2f} [{paper_seq}]",
+        }
+        for i, p in enumerate((2, 3, 4, 5)):
+            out = parallel[p]
+            row[f"p={p}"] = (
+                f"{out.runtime:.2f} (x{out.runtime / serial.runtime:.2f}) "
+                f"[{paper_par[i]}]"
+            )
+        table.append(row)
+    print(render_table(table))
+
+    for c, serial, parallel in results:
+        ratios = [parallel[p].runtime / serial.runtime for p in (2, 3, 4, 5)]
+        # Slowdown at every p.
+        assert all(r > 1.0 for r in ratios), (c, ratios)
+        # Roughly flat in p (paper: essentially constant).
+        assert max(ratios) / min(ratios) < 1.25, (c, ratios)
+        # Identical best quality: the search path is the serial one.
+        for p in (2, 3, 4, 5):
+            assert parallel[p].best_mu == pytest.approx(serial.best_mu, abs=1e-9)

@@ -1,0 +1,87 @@
+"""E3 — Table 2: Type II (wirelength + power), fixed vs random rows.
+
+Paper Table 2 (times in seconds; bracketed % = share of serial quality
+reached when the serial best was not attained):
+
+    Ckt    µ(s)   Seq.  | fixed p=2..5            | random p=2..5
+    s1196  0.684  92    | 45 36(95) 33(94) 29(89) | 50 38 32 31
+    s1488  0.673  186   | 105 60(98) 37(94) 43(92)| 102 65 45 36
+    s1494  0.650  49    | 42 60 176 196(94)       | 44 35 29 25
+    s1238  0.719  72    | 95 116(96) 167(94) 185(93) | 32 23 20 14(95)
+    s3330  0.699  2765  | 1900 930(99) 748 724(97)| 1091 574 373 378
+
+Protocol: serial 3500 iterations; parallel 4000 + 500 per extra processor
+(scaled).  Shape claims (DESIGN.md §7 E3): speed-up grows with p for both
+patterns; the random pattern's speed-up/quality is at least the fixed
+pattern's at the larger processor counts.
+"""
+
+import pytest
+
+from repro.analysis.reporting import render_table
+from repro.analysis.speedup import quality_bracket
+from repro.parallel.type2 import run_type2
+
+from _common import banner, circuits, scaled, serial_outcome, spec_for, PAPER_ITERS_T2_WP
+
+OBJ = ("wirelength", "power")
+PAPER_MU = {"s1196": 0.684, "s1488": 0.673, "s1494": 0.650, "s1238": 0.719,
+            "s3330": 0.699}
+
+
+@pytest.mark.benchmark(group="table2")
+def test_table2_type2_wirelength_power(benchmark):
+    iters = scaled(PAPER_ITERS_T2_WP)
+    circs = circuits()
+
+    def run():
+        rows = []
+        for c in circs:
+            serial = serial_outcome(c, OBJ, iters)
+            spec = spec_for(c, OBJ, iters)
+            cells = {}
+            for pattern in ("fixed", "random"):
+                for p in (2, 3, 4, 5):
+                    cells[(pattern, p)] = run_type2(spec, p=p, pattern=pattern)
+            rows.append((c, serial, cells))
+        return rows
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    banner("Table 2 — Type II WL+P (model-seconds; (q%) = quality bracket)")
+    table = []
+    for c, serial, cells in results:
+        row = {
+            "Ckt": c,
+            "µ(s)": f"{serial.best_mu:.3f} [{PAPER_MU.get(c, '-')}]",
+            "Seq": f"{serial.runtime:.2f}",
+        }
+        for pattern in ("fixed", "random"):
+            for p in (2, 3, 4, 5):
+                b = quality_bracket(cells[(pattern, p)], serial.best_mu)
+                row[f"{pattern[0]} p={p}"] = b.cell(decimals=2)
+        table.append(row)
+    print(render_table(table))
+
+    # Shape claims are aggregated over the circuit set, exactly as the
+    # paper's narrative is: its own Table 2 has per-circuit violations
+    # (e.g. s1238's fixed-pattern times *grow* with p), so per-circuit
+    # monotonicity would be wrong even against ground truth.
+    def agg(pattern: str, p: int) -> float:
+        return sum(
+            quality_bracket(cells[(pattern, p)], serial.best_mu).time
+            for _c, serial, cells in results
+        )
+
+    serial_total = sum(serial.runtime for _c, serial, _ in results)
+    for pattern in ("fixed", "random"):
+        # Larger processor counts at least hold the p=2 time (growth trend).
+        assert min(agg(pattern, p) for p in (4, 5)) <= agg(pattern, 2) * 1.10
+    # Parallel execution beats serial overall (the whole point of Type II).
+    assert agg("random", 5) < serial_total
+    # "speed-up trend and solution qualities are better in case of random
+    # row allocation": random at the large processor counts is at least
+    # competitive with fixed in aggregate.
+    rnd = agg("random", 4) + agg("random", 5)
+    fxd = agg("fixed", 4) + agg("fixed", 5)
+    assert rnd <= fxd * 1.15, (rnd, fxd)

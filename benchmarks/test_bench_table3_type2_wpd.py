@@ -1,0 +1,73 @@
+"""E4 — Table 3: Type II with all three objectives (WL + power + delay).
+
+Paper Table 3 protocol: serial 5000 iterations; parallel 6000 + 1000 per
+extra processor (scaled here).  Same shape claims as Table 2, with the
+delay objective exercising the critical-path machinery at every rank.
+"""
+
+import pytest
+
+from repro.analysis.reporting import render_table
+from repro.analysis.speedup import quality_bracket
+from repro.parallel.type2 import run_type2
+
+from _common import banner, circuits, scaled, serial_outcome, spec_for, PAPER_ITERS_T3_WPD
+
+OBJ = ("wirelength", "power", "delay")
+PAPER_MU = {"s1196": 0.634, "s1488": 0.523, "s1494": 0.626, "s1238": 0.666,
+            "s3330": 0.674}
+
+
+@pytest.mark.benchmark(group="table3")
+def test_table3_type2_wirelength_power_delay(benchmark):
+    iters = scaled(PAPER_ITERS_T3_WPD)
+    circs = circuits()
+
+    def run():
+        rows = []
+        for c in circs:
+            serial = serial_outcome(c, OBJ, iters)
+            spec = spec_for(c, OBJ, iters)
+            cells = {}
+            for pattern in ("fixed", "random"):
+                for p in (2, 3, 4, 5):
+                    cells[(pattern, p)] = run_type2(
+                        spec, p=p, pattern=pattern,
+                        base_factor=6.0 / 5.0, per_proc_frac=1.0 / 5.0,
+                    )
+            rows.append((c, serial, cells))
+        return rows
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    banner("Table 3 — Type II WL+P+Delay (model-seconds; (q%) = bracket)")
+    table = []
+    for c, serial, cells in results:
+        row = {
+            "Ckt": c,
+            "µ(s)": f"{serial.best_mu:.3f} [{PAPER_MU.get(c, '-')}]",
+            "Seq": f"{serial.runtime:.2f}",
+        }
+        for pattern in ("fixed", "random"):
+            for p in (2, 3, 4, 5):
+                b = quality_bracket(cells[(pattern, p)], serial.best_mu)
+                row[f"{pattern[0]} p={p}"] = b.cell(decimals=2)
+        table.append(row)
+    print(render_table(table))
+
+    for c, _serial, cells in results:
+        # Delay objective present in every parallel result.
+        for key, out in cells.items():
+            assert "delay" in out.best_costs, (c, key)
+
+    # Aggregate shape claims (see Table 2 bench for why not per-circuit).
+    def agg(pattern: str, p: int) -> float:
+        return sum(
+            quality_bracket(cells[(pattern, p)], serial.best_mu).time
+            for _c, serial, cells in results
+        )
+
+    serial_total = sum(serial.runtime for _c, serial, _ in results)
+    for pattern in ("fixed", "random"):
+        assert min(agg(pattern, p) for p in (4, 5)) <= agg(pattern, 2) * 1.15
+    assert min(agg("random", 5), agg("fixed", 5)) < serial_total

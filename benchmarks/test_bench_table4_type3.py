@@ -1,0 +1,69 @@
+"""E5 — Table 4: Type III parallel SimE, retry thresholds 50/100/150/200.
+
+Paper Table 4 (s1494 µ=0.673 seq 121 s; s1238 µ=0.719 seq 72 s; both run
+2500 iterations per processor, p ∈ {3, 4, 5}): "runtimes show little
+deviation from the serial runtime ... for higher threshold values
+consistently higher quality results, sometimes exceeding the serial
+quality, were obtained".
+
+Retry thresholds are scaled with the iteration budget (the paper's 50–200
+against 2500 iterations = 2–8 % of the budget).
+"""
+
+import pytest
+
+from repro.analysis.reporting import render_table
+from repro.parallel.type3 import run_type3
+
+from _common import banner, circuits, scaled, serial_outcome, spec_for, PAPER_ITERS_T4
+
+OBJ = ("wirelength", "power")
+PAPER_RETRY_FRACS = [50 / 2500, 100 / 2500, 150 / 2500, 200 / 2500]
+
+
+@pytest.mark.benchmark(group="table4")
+def test_table4_type3(benchmark):
+    iters = scaled(PAPER_ITERS_T4)
+    retries = sorted({max(1, int(round(f * iters))) for f in PAPER_RETRY_FRACS})
+    circs = circuits(["s1494", "s1238"])
+
+    def run():
+        rows = []
+        for c in circs:
+            serial = serial_outcome(c, OBJ, iters)
+            spec = spec_for(c, OBJ, iters)
+            cells = {
+                (r, p): run_type3(spec, p=p, retry_threshold=r)
+                for r in retries
+                for p in (3, 4, 5)
+            }
+            rows.append((c, serial, cells))
+        return rows
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    banner(f"Table 4 — Type III (retry thresholds {retries}, model-seconds)")
+    table = []
+    for c, serial, cells in results:
+        for r in retries:
+            row = {"Ckt": c, "Seq µ/T": f"{serial.best_mu:.3f}/{serial.runtime:.2f}",
+                   "Retry": r}
+            for p in (3, 4, 5):
+                out = cells[(r, p)]
+                row[f"p={p}"] = f"{out.runtime:.2f} µ={out.best_mu:.3f}"
+            table.append(row)
+    print(render_table(table))
+
+    for c, serial, cells in results:
+        for (r, p), out in cells.items():
+            # Runtime tracks serial (±35 %): no workload division.
+            assert 0.65 < out.runtime / serial.runtime < 1.35, (c, r, p)
+        # Higher thresholds: mean quality over p non-degrading vs lowest
+        # threshold, and the best parallel quality reaches/exceeds serial.
+        lo = min(retries)
+        hi = max(retries)
+        mean_lo = sum(cells[(lo, p)].best_mu for p in (3, 4, 5)) / 3
+        mean_hi = sum(cells[(hi, p)].best_mu for p in (3, 4, 5)) / 3
+        assert mean_hi >= mean_lo - 0.02, (c, mean_lo, mean_hi)
+        best_parallel = max(out.best_mu for out in cells.values())
+        assert best_parallel >= serial.best_mu - 0.02, (c, best_parallel)

@@ -1,0 +1,53 @@
+"""A5 — Section 7 future work: diversified Type III.
+
+The paper conjectures that per-thread allocation variants and goodness-
+aware crossover would fix Type III's lack of diversification.  This bench
+runs plain Type III, diversified-without-crossover, and diversified-with-
+crossover at equal budgets and compares best quality.
+"""
+
+import pytest
+
+from repro.analysis.reporting import render_table
+from repro.parallel.type3 import run_type3
+from repro.parallel.type3x import run_type3_diversified
+
+from _common import banner, scaled, serial_outcome, spec_for, PAPER_ITERS_T4
+
+OBJ = ("wirelength", "power")
+
+
+@pytest.mark.benchmark(group="type3-diversified")
+def test_type3_diversified(benchmark):
+    iters = scaled(PAPER_ITERS_T4)
+    retry = max(1, iters // 12)
+    spec = spec_for("s1238", OBJ, iters)
+
+    def run():
+        serial = serial_outcome("s1238", OBJ, iters)
+        plain = run_type3(spec, p=4, retry_threshold=retry)
+        diverse = run_type3_diversified(spec, p=4, retry_threshold=retry,
+                                        crossover=False)
+        crossed = run_type3_diversified(spec, p=4, retry_threshold=retry,
+                                        crossover=True)
+        return serial, plain, diverse, crossed
+
+    serial, plain, diverse, crossed = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    banner("A5 — diversified Type III (s1238, p=4)")
+    print(render_table([
+        {"variant": "serial", "best µ": round(serial.best_mu, 3),
+         "model s": round(serial.runtime, 2)},
+        {"variant": "type3 (paper)", "best µ": round(plain.best_mu, 3),
+         "model s": round(plain.runtime, 2)},
+        {"variant": "diverse allocators", "best µ": round(diverse.best_mu, 3),
+         "model s": round(diverse.runtime, 2)},
+        {"variant": "diverse + crossover", "best µ": round(crossed.best_mu, 3),
+         "model s": round(crossed.runtime, 2),
+         "crossovers": crossed.extras["crossovers"]},
+    ]))
+
+    # The diversified variants must at least match plain Type III — the
+    # paper's conjecture, tested at small budget (so with slack).
+    best_diversified = max(diverse.best_mu, crossed.best_mu)
+    assert best_diversified >= plain.best_mu - 0.03

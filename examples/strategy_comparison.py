@@ -1,0 +1,53 @@
+#!/usr/bin/env python3
+"""Compare the paper's three parallelization strategies on one circuit.
+
+Reproduces the paper's core finding in miniature on the deterministic
+simulated cluster:
+
+* Type I  (distribute evaluation)       -> slowdown, identical quality;
+* Type II (row domain decomposition)    -> real speed-up, random > fixed;
+* Type III (cooperating searches)       -> serial-like runtime, quality
+                                           from cooperation.
+
+Run:  python examples/strategy_comparison.py
+"""
+
+from repro import ExperimentSpec, run_serial, run_type1, run_type2, run_type3
+
+
+def main() -> None:
+    spec = ExperimentSpec(
+        circuit="s1238", objectives=("wirelength", "power"), iterations=35, seed=2
+    )
+    print(f"circuit {spec.circuit}, serial budget {spec.iterations} iterations\n")
+
+    serial = run_serial(spec)
+    print(f"{'strategy':<22}{'p':>3}  {'model s':>9}  {'speedup':>8}  {'best µ':>7}")
+    print("-" * 56)
+    print(f"{'serial':<22}{1:>3}  {serial.runtime:>9.2f}  {'1.00':>8}  "
+          f"{serial.best_mu:>7.3f}")
+
+    t1 = run_type1(spec, p=4)
+    print(f"{'type I (eval dist.)':<22}{4:>3}  {t1.runtime:>9.2f}  "
+          f"{serial.runtime / t1.runtime:>8.2f}  {t1.best_mu:>7.3f}   "
+          "<- slower, same µ")
+
+    for pattern in ("fixed", "random"):
+        t2 = run_type2(spec, p=4, pattern=pattern)
+        print(f"{f'type II ({pattern})':<22}{4:>3}  {t2.runtime:>9.2f}  "
+              f"{serial.runtime / t2.runtime:>8.2f}  {t2.best_mu:>7.3f}   "
+              f"<- {t2.iterations} iters")
+
+    t3 = run_type3(spec, p=4, retry_threshold=max(1, spec.iterations // 10))
+    print(f"{'type III (search)':<22}{4:>3}  {t3.runtime:>9.2f}  "
+          f"{serial.runtime / t3.runtime:>8.2f}  {t3.best_mu:>7.3f}   "
+          f"<- {t3.extras['exchanges']} exchanges")
+
+    print("\nThe paper's conclusion in one screen: only domain decomposition")
+    print("divides the allocation step (98 % of runtime), so only Type II")
+    print("yields speed-ups; Type I pays communication for nothing; Type III")
+    print("trades nothing for (sometimes) better quality.")
+
+
+if __name__ == "__main__":
+    main()

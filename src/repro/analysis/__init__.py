@@ -1,0 +1,23 @@
+"""Analysis and reporting: profiling breakdowns, speed-ups, paper tables.
+
+* :mod:`repro.analysis.profiling` — the Section 4 runtime-share breakdown;
+* :mod:`repro.analysis.speedup` — speed-up/efficiency math and the paper's
+  quality-bracket convention for Tables 2/3;
+* :mod:`repro.analysis.reporting` — plain-text table rendering used by the
+  benches to print paper-shaped output.
+"""
+
+from repro.analysis.profiling import profile_serial_run, ProfileReport
+from repro.analysis.speedup import speedup, efficiency, quality_bracket, BracketResult
+from repro.analysis.reporting import render_table, format_seconds
+
+__all__ = [
+    "profile_serial_run",
+    "ProfileReport",
+    "speedup",
+    "efficiency",
+    "quality_bracket",
+    "BracketResult",
+    "render_table",
+    "format_seconds",
+]

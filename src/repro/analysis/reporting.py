@@ -1,0 +1,55 @@
+"""Plain-text table rendering for the bench harnesses.
+
+The benches print tables with the same rows and columns as the paper's
+Tables 1–4, with paper values alongside measured values where applicable.
+No external dependency — aligned monospace columns.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping, Sequence
+
+__all__ = ["render_table", "format_seconds"]
+
+
+def format_seconds(seconds: float) -> str:
+    """Compact human-readable model-seconds."""
+    if seconds >= 100:
+        return f"{seconds:.0f}"
+    if seconds >= 1:
+        return f"{seconds:.1f}"
+    return f"{seconds:.3f}"
+
+
+def render_table(
+    rows: Sequence[Mapping[str, Any]],
+    columns: Sequence[str] | None = None,
+    title: str | None = None,
+) -> str:
+    """Render dict-rows as an aligned text table.
+
+    ``columns`` fixes the column order (default: keys of the first row).
+    Missing cells render as ``-``.
+    """
+    if not rows:
+        return f"{title}\n(empty)" if title else "(empty)"
+    cols = list(columns) if columns is not None else list(rows[0].keys())
+    cells = [[_fmt(r.get(c, "-")) for c in cols] for r in rows]
+    widths = [
+        max(len(c), *(len(row[i]) for row in cells)) for i, c in enumerate(cols)
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    header = "  ".join(c.ljust(widths[i]) for i, c in enumerate(cols))
+    lines.append(header)
+    lines.append("-" * len(header))
+    for row in cells:
+        lines.append("  ".join(v.ljust(widths[i]) for i, v in enumerate(row)))
+    return "\n".join(lines)
+
+
+def _fmt(v: Any) -> str:
+    if isinstance(v, float):
+        return f"{v:.3f}" if abs(v) < 100 else f"{v:.1f}"
+    return str(v)

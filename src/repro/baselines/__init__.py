@@ -1,0 +1,14 @@
+"""Baseline placers sharing the SimE cost substrate.
+
+* :mod:`repro.baselines.esp` — the single-objective (wirelength) simulated
+  evolution of Kling & Banerjee's ESP [5], the only prior parallel-SimE
+  reference the paper cites;
+* :mod:`repro.baselines.sa` — a simulated-annealing placer over the same
+  cost engine, giving the cross-metaheuristic context of the paper's
+  Section 7 remarks (the authors' companion parallel SA/GA/TS studies).
+"""
+
+from repro.baselines.esp import run_esp
+from repro.baselines.sa import run_sa, SAConfig
+
+__all__ = ["run_esp", "run_sa", "SAConfig"]

@@ -1,0 +1,69 @@
+"""ESP-style baseline: single-objective (wirelength) simulated evolution.
+
+Kling & Banerjee's ESP [5] is the SimE placer the paper's Type II pattern
+originates from.  Architecturally it is the same
+Evaluation/Selection/Allocation loop with two differences we expose here:
+
+* **single objective** — goodness and quality use wirelength only;
+* **biased selection** — ESP predates the biasless scheme of [9]; a fixed
+  positive bias ``B`` throttles selection.
+
+Everything else (row layout, Steiner estimation, allocation operator) is
+shared with the multiobjective placer, so A4's "SimE vs ESP" comparison
+isolates the objective/selection design rather than implementation noise.
+"""
+
+from __future__ import annotations
+
+from repro.cost.workmeter import WorkMeter, WorkModel
+from repro.parallel.mpi.calibration import calibrated_work_model
+from repro.parallel.runners import (
+    ExperimentSpec,
+    ParallelOutcome,
+    SERIAL_STREAM,
+    build_problem,
+    make_config,
+    stream_for,
+)
+from repro.sime.engine import SimulatedEvolution
+
+__all__ = ["run_esp"]
+
+
+def run_esp(
+    spec: ExperimentSpec,
+    bias: float = 0.1,
+    work_model: WorkModel | None = None,
+) -> ParallelOutcome:
+    """Run the ESP-style wirelength-only baseline on ``spec``'s circuit.
+
+    ``spec.objectives`` is overridden to wirelength-only; the reported
+    µ(s) is therefore the *wirelength membership*, which remains
+    comparable across baselines because all share the same bounds.
+    """
+    esp_spec = ExperimentSpec(
+        circuit=spec.circuit,
+        objectives=("wirelength",),
+        iterations=spec.iterations,
+        seed=spec.seed,
+        bias=bias,
+        row_window=spec.row_window,
+        slot_window=spec.slot_window,
+    )
+    meter = WorkMeter(work_model or calibrated_work_model())
+    problem = build_problem(esp_spec, meter)
+    rng = stream_for(esp_spec.seed, SERIAL_STREAM, "esp-sel")
+    sime = SimulatedEvolution(problem.engine, make_config(esp_spec), rng)
+    result = sime.run(problem.initial_placement())
+    return ParallelOutcome(
+        strategy="esp",
+        circuit=esp_spec.circuit,
+        objectives=esp_spec.objectives,
+        p=1,
+        iterations=result.iterations,
+        runtime=result.model_seconds,
+        best_mu=result.best_mu,
+        best_costs=result.best_costs,
+        history=[(r.iteration, r.mu, r.model_seconds) for r in result.history],
+        extras={"bias": bias},
+    )

@@ -1,0 +1,191 @@
+"""Simulated-annealing placer baseline.
+
+The paper repeatedly contrasts SimE against SA (Sections 1, 6.3, 7 — the
+authors maintain a companion parallel-SA study [11]).  This module gives
+that contrast a concrete local baseline: a classic Metropolis SA over the
+**same** row layout and cost engine.
+
+Moves: with equal probability, either relocate a random cell to a random
+(row, slot) or swap two random cells; relocations that would break the
+width constraint are re-proposed as swaps (which are width-neutral only
+for equal-width cells, so legality is still checked).  The scalar energy
+is the *normalized cost sum* ``Σ_j C_j / O_j`` over the enabled objectives
+— monotone in every objective and unclipped (unlike µ(s), whose fuzzy
+memberships saturate and would blind the annealer early on).
+
+Work is charged to the meter through the cost engine's mutation API, so
+SA model-runtimes are directly comparable to SimE's.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.cost.engine import CostEngine
+from repro.layout.placement import Placement
+from repro.cost.workmeter import WorkMeter, WorkModel
+from repro.parallel.mpi.calibration import calibrated_work_model
+from repro.parallel.runners import (
+    ExperimentSpec,
+    ParallelOutcome,
+    SERIAL_STREAM,
+    build_problem,
+    stream_for,
+)
+from repro.utils.rng import RngStream
+from repro.utils.validation import check_in_range, check_positive
+
+__all__ = ["SAConfig", "run_sa"]
+
+
+@dataclass(frozen=True)
+class SAConfig:
+    """Annealing schedule.
+
+    ``moves_per_temp`` is multiplied by the movable-cell count; the run
+    stops after ``max_moves`` total proposals (the budget knob benches
+    use) or when the temperature floor is reached.
+    """
+
+    t_initial: float = 0.05
+    t_floor: float = 1e-4
+    alpha: float = 0.95
+    moves_per_temp: float = 2.0
+    max_moves: int = 200_000
+
+    def __post_init__(self) -> None:
+        check_positive("t_initial", self.t_initial)
+        check_positive("t_floor", self.t_floor)
+        check_in_range("alpha", self.alpha, 0.5, 0.999)
+        check_positive("moves_per_temp", self.moves_per_temp)
+        check_positive("max_moves", self.max_moves)
+
+
+def _energy(engine: CostEngine) -> float:
+    """Normalized cost sum Σ C_j / O_j (see module docstring)."""
+    e = engine.wirelength_total / engine.bounds.total_wirelength
+    if engine.has_power:
+        e += engine.power_total / engine.bounds.total_power
+    if engine.has_delay:
+        e += engine.delay_max / engine.bounds.max_delay
+    return e
+
+
+def run_sa(
+    spec: ExperimentSpec,
+    config: SAConfig | None = None,
+    work_model: WorkModel | None = None,
+) -> ParallelOutcome:
+    """Anneal ``spec``'s circuit from the shared initial placement."""
+    config = config or SAConfig()
+    meter = WorkMeter(work_model or calibrated_work_model())
+    problem = build_problem(spec, meter)
+    engine = problem.engine
+    grid = problem.grid
+    rng = stream_for(spec.seed, SERIAL_STREAM, "sa")
+
+    placement = problem.initial_placement()
+    engine.attach(placement)
+    movable = [c.index for c in problem.netlist.movable_cells()]
+    n = len(movable)
+
+    energy = _energy(engine)
+    best_energy = energy
+    best_rows = placement.to_rows()
+    best_mu = engine.mu()
+    history: list[tuple[int, float, float]] = []
+
+    temp = config.t_initial
+    moves_at_temp = max(1, int(config.moves_per_temp * n))
+    moves = accepted = 0
+    while temp > config.t_floor and moves < config.max_moves:
+        for _ in range(moves_at_temp):
+            moves += 1
+            if rng.random() < 0.5:
+                undo = _relocate(engine, grid, movable, rng)
+            else:
+                undo = _swap(engine, movable, rng)
+            if undo is None:
+                continue
+            new_energy = _energy(engine)
+            delta = new_energy - energy
+            if delta <= 0 or rng.random() < math.exp(-delta / temp):
+                energy = new_energy
+                accepted += 1
+                if energy < best_energy:
+                    best_energy = energy
+                    best_rows = placement.to_rows()
+                    best_mu = engine.mu()
+            else:
+                _undo(engine, undo)
+            if moves >= config.max_moves:
+                break
+        history.append((moves, engine.mu(), meter.seconds()))
+        temp *= config.alpha
+
+    best = Placement.from_rows(grid, best_rows)
+    engine.attach(best)
+    return ParallelOutcome(
+        strategy="sa",
+        circuit=spec.circuit,
+        objectives=spec.objectives,
+        p=1,
+        iterations=moves,
+        runtime=meter.seconds(),
+        best_mu=best_mu,
+        best_costs=engine.costs(),
+        history=history,
+        extras={
+            "accept_rate": accepted / moves if moves else 0.0,
+            "final_temperature": temp,
+            "best_energy": best_energy,
+        },
+    )
+
+
+# -- move kitchen: each move returns its own inverse ------------------------
+
+def _relocate(
+    engine: CostEngine, grid, movable: list[int], rng: RngStream
+) -> list | None:
+    """Propose a random relocation; returns an undo record or None."""
+    cell = movable[rng.randint(0, len(movable))]
+    p = engine.placement
+    old_row, old_slot = p.row_of[cell], p.slot_of[cell]
+    row = rng.randint(0, grid.num_rows)
+    if p.row_width[row] + p._widths[cell] > grid.max_legal_width and row != old_row:
+        return None  # would violate the width constraint
+    slot = rng.randint(0, len(p.rows[row]) + 1)
+    engine.move_cell(cell, row, slot)
+    return ["move", cell, old_row, old_slot]
+
+
+def _swap(engine: CostEngine, movable: list[int], rng: RngStream) -> list | None:
+    """Propose a random swap; returns an undo record or None."""
+    a = movable[rng.randint(0, len(movable))]
+    b = movable[rng.randint(0, len(movable))]
+    if a == b:
+        return None
+    p = engine.placement
+    ra, rb = p.row_of[a], p.row_of[b]
+    wa, wb = p._widths[a], p._widths[b]
+    if ra != rb:
+        # Width legality after exchanging different-width cells.
+        g = engine.grid
+        if (
+            p.row_width[ra] - wa + wb > g.max_legal_width
+            or p.row_width[rb] - wb + wa > g.max_legal_width
+        ):
+            return None
+    engine.swap_cells(a, b)
+    return ["swap", a, b]
+
+
+def _undo(engine: CostEngine, undo: list) -> None:
+    if undo[0] == "move":
+        _, cell, row, slot = undo
+        engine.move_cell(cell, row, slot)
+    else:
+        _, a, b = undo
+        engine.swap_cells(a, b)

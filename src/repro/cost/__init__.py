@@ -1,0 +1,34 @@
+"""Cost substrate: the paper's Section 2 objectives plus supporting models.
+
+* :mod:`repro.cost.steiner` — per-net length estimation (single-trunk
+  Steiner tree, HPWL);
+* :mod:`repro.cost.wirelength` / :mod:`power` / :mod:`delay` /
+  :mod:`width` — the three objectives and the width constraint;
+* :mod:`repro.cost.fuzzy` — fuzzy memberships and the OWA aggregation that
+  produces the scalar quality µ(s);
+* :mod:`repro.cost.bounds` — per-net / per-path optimal-cost estimates the
+  goodness measure divides by;
+* :mod:`repro.cost.workmeter` — operation counting that both reproduces the
+  paper's gprof breakdown (Section 4) and drives the simulated cluster's
+  virtual clocks;
+* :mod:`repro.cost.engine` — the incremental multi-objective cost engine
+  every heuristic in this library evaluates against.
+"""
+
+from repro.cost.steiner import single_trunk_length, hpwl_length
+from repro.cost.workmeter import WorkMeter, WorkModel
+from repro.cost.fuzzy import FuzzyAggregator, membership
+from repro.cost.bounds import CostBounds
+from repro.cost.engine import CostEngine, Objectives
+
+__all__ = [
+    "single_trunk_length",
+    "hpwl_length",
+    "WorkMeter",
+    "WorkModel",
+    "FuzzyAggregator",
+    "membership",
+    "CostBounds",
+    "CostEngine",
+    "Objectives",
+]

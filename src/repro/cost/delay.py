@@ -1,0 +1,101 @@
+"""Delay objective: longest path over a fixed critical-path set.
+
+Paper Section 2: the delay of a path π over nets v1..vk is
+``Tπ = Σ (CDi + IDi)`` — switching delay of the driving cell (placement-
+independent) plus interconnect delay of the net (placement-dependent) —
+and the cost is ``max_π Tπ`` over the given critical paths.
+
+The interconnect delay uses the standard lumped RC form::
+
+    ID_j = R_driver(j) · ( c_wire · l_j + Σ sink input caps )
+
+so it is linear in the net length, which lets path delays update
+incrementally: when net ``j`` goes from length ``l`` to ``l'``, every path
+through ``j`` shifts by ``R_j · c_wire · (l' − l)``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.netlist.core import Netlist
+from repro.netlist.paths import PathSet
+
+__all__ = ["DelayModel"]
+
+
+class DelayModel:
+    """Path-delay evaluation over a :class:`PathSet`.
+
+    Parameters
+    ----------
+    netlist:
+        Frozen netlist.
+    pathset:
+        Critical paths extracted by
+        :func:`repro.netlist.paths.extract_critical_paths`.
+    wire_cap_per_unit:
+        Wire capacitance per unit length (``c_wire`` above).
+    """
+
+    def __init__(
+        self,
+        netlist: Netlist,
+        pathset: PathSet,
+        wire_cap_per_unit: float = 0.1,
+    ):
+        netlist.freeze()
+        if pathset.num_paths == 0:
+            raise ValueError("pathset has no paths")
+        self.netlist = netlist
+        self.pathset = pathset
+        self.wire_cap = wire_cap_per_unit
+        self.drive_res = np.array(
+            [netlist.cells[n.driver].spec.drive_res for n in netlist.nets]
+        )
+        self.sink_caps = np.array(
+            [
+                sum(netlist.cells[s].spec.input_cap for s in n.pins[1:])
+                for n in netlist.nets
+            ]
+        )
+        #: per-net slope of ID in the net length: d(ID_j)/d(l_j).
+        self.id_slope = self.drive_res * self.wire_cap
+        #: map net -> array of path indices through it (only critical nets).
+        self.paths_through = pathset.paths_through_net()
+        #: set view for fast membership tests in the hot loops.
+        self.critical_nets = frozenset(self.paths_through)
+
+    def interconnect_delay(self, j: int, length: float) -> float:
+        """``ID_j`` at the given net length."""
+        return float(self.drive_res[j]) * (
+            self.wire_cap * length + float(self.sink_caps[j])
+        )
+
+    def path_delays_full(self, lengths: np.ndarray) -> np.ndarray:
+        """All path delays from a full per-net length vector (vectorized)."""
+        ids = self.drive_res * (self.wire_cap * lengths + self.sink_caps)
+        sums = np.add.reduceat(ids[self.pathset.nets], self.pathset.indptr[:-1])
+        return self.pathset.cell_delay + sums
+
+    def shift_for_net(
+        self,
+        j: int,
+        old_length: float,
+        new_length: float,
+        path_delays: np.ndarray,
+    ) -> int:
+        """Incrementally shift ``path_delays`` for net ``j``'s length change.
+
+        Returns the number of paths touched (0 if the net is not critical),
+        which the caller charges to the ``delay`` work category.
+        """
+        paths = self.paths_through.get(j)
+        if paths is None:
+            return 0
+        path_delays[paths] += self.id_slope[j] * (new_length - old_length)
+        return len(paths)
+
+    def is_critical(self, j: int) -> bool:
+        """Whether net ``j`` lies on any extracted critical path."""
+        return j in self.critical_nets

@@ -1,0 +1,522 @@
+"""The incremental multi-objective cost engine.
+
+Every heuristic in this library — serial SimE, all three parallel
+strategies, and the SA/ESP baselines — evaluates placements through one
+:class:`CostEngine`.  The engine owns:
+
+* the per-net **length cache** (updated incrementally on every structural
+  change to the placement);
+* the **power** accumulation (activity-weighted lengths);
+* the **path-delay vector** over the extracted critical paths;
+* the **fuzzy memberships** and the scalar quality µ(s);
+* the **work meter** — every operation charges the category the paper's
+  gprof profile uses, which is what makes the Section 4 reproduction and
+  the simulated cluster's virtual clocks possible.
+
+Mutation API
+------------
+``remove_cell`` / ``insert_cell`` / ``move_cell`` / ``swap_cells`` wrap the
+:class:`~repro.layout.placement.Placement` operations and apply *exact*
+incremental cache updates (including the cells that shift when a packed row
+opens or closes a gap).  ``trial_insertion`` is the allocation operator's
+probe: it scores a hypothetical insertion **without** committing, using the
+standard approximation that ignores the downstream shift during the probe
+(the exact effect lands at commit time).  This probe-heavy pattern is
+precisely why Allocation dominates the runtime profile, as the paper
+reports.
+
+Performance note: following the domain guides (profile first, then pick the
+representation the hot path wants), all per-net/per-cell caches that the
+probe loops touch are plain Python lists — the loops make millions of
+scalar accesses where numpy indexing overhead dominates — while the
+once-per-iteration full sweep and the path-delay algebra stay vectorized.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.cost.bounds import CostBounds
+from repro.cost.delay import DelayModel
+from repro.cost.fuzzy import FuzzyAggregator, GoalVector, membership
+from repro.cost.power import PowerModel
+from repro.cost.wirelength import NetEvaluator
+from repro.cost.workmeter import WorkMeter
+from repro.layout.grid import RowGrid
+from repro.layout.placement import Placement
+from repro.netlist.core import Netlist
+from repro.netlist.paths import PathSet, extract_critical_paths
+from repro.netlist.switching import compute_switching
+
+__all__ = ["CostEngine", "Objectives", "TrialResult"]
+
+#: Valid objective names, in canonical order.
+Objectives = ("wirelength", "power", "delay")
+
+
+@dataclass(frozen=True)
+class TrialResult:
+    """Outcome of an allocation probe at one candidate position."""
+
+    legal: bool
+    goodness: float
+    row: int
+    slot: int
+    x: float
+    y: float
+
+
+class CostEngine:
+    """Multi-objective incremental cost evaluation (see module docstring).
+
+    Parameters
+    ----------
+    netlist:
+        Frozen netlist.
+    grid:
+        Row grid (geometry + width constraint).
+    objectives:
+        Subset of ``("wirelength", "power", "delay")``; order-insensitive,
+        ``wirelength`` is mandatory (the other objectives derive from it).
+    estimator:
+        Net-length estimator, ``"steiner"`` or ``"hpwl"``.
+    activity:
+        Optional per-net switching activities; computed from the netlist
+        when omitted and the power objective is enabled.
+    pathset:
+        Optional critical paths; extracted when omitted and the delay
+        objective is enabled.
+    aggregator / goals:
+        Fuzzy aggregation parameters for µ(s) and the goodness measure.
+    meter:
+        Work meter; a fresh one is created when omitted.
+    bound_scale:
+        Calibration of the optimistic bounds (see
+        :meth:`repro.cost.bounds.CostBounds.compute`).
+    """
+
+    def __init__(
+        self,
+        netlist: Netlist,
+        grid: RowGrid,
+        objectives: Sequence[str] = ("wirelength", "power"),
+        estimator: str = "steiner",
+        activity: np.ndarray | None = None,
+        pathset: PathSet | None = None,
+        aggregator: FuzzyAggregator | None = None,
+        goals: GoalVector | None = None,
+        meter: WorkMeter | None = None,
+        wire_cap_per_unit: float = 0.1,
+        critical_paths: int = 64,
+        bound_scale: float = 8.0,
+    ):
+        netlist.freeze()
+        objs = tuple(o for o in Objectives if o in objectives)
+        unknown = set(objectives) - set(Objectives)
+        if unknown:
+            raise ValueError(f"unknown objectives: {sorted(unknown)}")
+        if "wirelength" not in objs:
+            raise ValueError("the wirelength objective is mandatory")
+        self.netlist = netlist
+        self.grid = grid
+        self.objectives = objs
+        self.meter = meter if meter is not None else WorkMeter()
+        self.aggregator = aggregator or FuzzyAggregator()
+        self.goals = goals or GoalVector()
+
+        self.evaluator = NetEvaluator(netlist, estimator)
+
+        self.has_power = "power" in objs
+        self.has_delay = "delay" in objs
+        if activity is None:
+            activity = (
+                compute_switching(netlist)
+                if self.has_power
+                else np.zeros(netlist.num_nets)
+            )
+        self.power_model = PowerModel(netlist, activity) if self.has_power else None
+        if self.has_delay:
+            if pathset is None:
+                pathset = extract_critical_paths(netlist, k=critical_paths)
+            self.delay_model = DelayModel(netlist, pathset, wire_cap_per_unit)
+        else:
+            self.delay_model = None
+
+        self.bounds = CostBounds.compute(
+            netlist,
+            activity,
+            pathset if self.has_delay else None,
+            wire_cap_per_unit,
+            bound_scale=bound_scale,
+        )
+
+        # ---- hot-path caches (plain Python containers) -----------------
+        n_cells = netlist.num_cells
+        self._degrees: list[int] = [int(d) for d in self.evaluator.net_degree]
+        self._cell_nets: list[list[int]] = [
+            [int(j) for j in netlist.nets_of_cell(i)] for i in range(n_cells)
+        ]
+        self._bound_wl: list[float] = [float(v) for v in self.bounds.net_wirelength]
+        self._act: list[float] = [float(v) for v in activity]
+        self._cell_o_wl: list[float] = [
+            sum(self._bound_wl[j] for j in nets) for nets in self._cell_nets
+        ]
+        self._cell_o_pw: list[float] = [
+            sum(self._act[j] * self._bound_wl[j] for j in nets)
+            for nets in self._cell_nets
+        ]
+        if self.has_delay:
+            dm = self.delay_model
+            self._drive_res: list[float] = [float(v) for v in dm.drive_res]
+            self._sink_caps: list[float] = [float(v) for v in dm.sink_caps]
+            self._wire_cap: float = dm.wire_cap
+            self._cell_crit_nets: list[list[int]] = [
+                [j for j in nets if dm.is_critical(j)] for nets in self._cell_nets
+            ]
+            self._cell_o_d: list[float] = [
+                sum(
+                    self._drive_res[j]
+                    * (self._wire_cap * self._bound_wl[j] + self._sink_caps[j])
+                    for j in crit
+                )
+                for crit in self._cell_crit_nets
+            ]
+        else:
+            self._cell_crit_nets = [[] for _ in range(n_cells)]
+            self._cell_o_d = [0.0] * n_cells
+        self._beta = self.aggregator.beta
+
+        # Mutable evaluation state (populated by attach()).
+        self.placement: Placement | None = None
+        self.net_lengths: list[float] = []
+        self.wirelength_total: float = 0.0
+        self.power_total: float = 0.0
+        self.path_delays: np.ndarray | None = None
+
+    # ------------------------------------------------------------------
+    # attachment / full evaluation
+    # ------------------------------------------------------------------
+    def attach(self, placement: Placement) -> "CostEngine":
+        """Bind a placement and run one full evaluation sweep."""
+        if placement.grid is not self.grid:
+            raise ValueError("placement belongs to a different grid")
+        self.placement = placement
+        self.full_refresh()
+        return self
+
+    def full_refresh(self) -> None:
+        """Recompute every cache from the current (complete) placement."""
+        p = self._require_placement()
+        x = np.asarray(p.x)
+        y = np.asarray(p.y)
+        lengths = self.evaluator.full_sweep(x, y)
+        self.meter.charge("wirelength", float(sum(self._degrees)))
+        self.net_lengths = lengths.tolist()
+        self.wirelength_total = float(lengths.sum())
+        if self.has_power:
+            self.power_total = self.power_model.total(lengths)
+            self.meter.charge("power", float(self.netlist.num_nets))
+        if self.has_delay:
+            self.path_delays = self.delay_model.path_delays_full(lengths)
+            self.meter.charge("delay", float(len(self.delay_model.pathset.nets)))
+
+    def _require_placement(self) -> Placement:
+        if self.placement is None:
+            raise RuntimeError("no placement attached; call attach() first")
+        return self.placement
+
+    # ------------------------------------------------------------------
+    # solution-level queries
+    # ------------------------------------------------------------------
+    @property
+    def delay_max(self) -> float:
+        if not self.has_delay:
+            return 0.0
+        return float(self.path_delays.max())
+
+    def costs(self) -> dict[str, float]:
+        """Current objective costs (width reported alongside)."""
+        p = self._require_placement()
+        out = {"wirelength": self.wirelength_total, "width": p.max_row_width()}
+        if self.has_power:
+            out["power"] = self.power_total
+        if self.has_delay:
+            out["delay"] = self.delay_max
+        return out
+
+    def memberships(self) -> dict[str, float]:
+        """Fuzzy membership per enabled objective."""
+        out = {
+            "wirelength": membership(
+                self.wirelength_total,
+                self.bounds.total_wirelength,
+                self.goals.wirelength,
+            )
+        }
+        if self.has_power:
+            out["power"] = membership(
+                self.power_total, self.bounds.total_power, self.goals.power
+            )
+        if self.has_delay:
+            out["delay"] = membership(
+                self.delay_max, self.bounds.max_delay, self.goals.delay
+            )
+        return out
+
+    def mu(self) -> float:
+        """Scalar solution quality µ(s) ∈ [0, 1] (paper Section 2)."""
+        return self.aggregator.combine(self.memberships())
+
+    # ------------------------------------------------------------------
+    # per-cell queries (goodness support)
+    # ------------------------------------------------------------------
+    def cell_objective_ratios(self, cell: int) -> list[float]:
+        """Per-objective goodness ratios ``min(1, O_i / C_i)`` for a cell.
+
+        The cell cost ``C_i`` for wirelength/power is the sum over the
+        cell's incident nets of the cached lengths/powers — which is why
+        computing a cell's goodness "requires that the wirelength of all
+        fan-in cells be known" (paper Section 6.1).  The delay ratio uses
+        the cell's incident *critical* nets; cells not on any critical path
+        get a delay ratio of 1 (nothing to improve).
+        """
+        self.meter.charge("goodness", 1.0)
+        nets = self._cell_nets[cell]
+        lengths = self.net_lengths
+        c_wl = 0.0
+        for j in nets:
+            c_wl += lengths[j]
+        o_wl = self._cell_o_wl[cell]
+        ratios = [o_wl / c_wl if c_wl > o_wl else 1.0]
+        if self.has_power:
+            act = self._act
+            c_pw = 0.0
+            for j in nets:
+                c_pw += act[j] * lengths[j]
+            o_pw = self._cell_o_pw[cell]
+            ratios.append(o_pw / c_pw if c_pw > o_pw else 1.0)
+        if self.has_delay:
+            crit = self._cell_crit_nets[cell]
+            if crit:
+                dr = self._drive_res
+                sc = self._sink_caps
+                wc = self._wire_cap
+                c_d = 0.0
+                for j in crit:
+                    c_d += dr[j] * (wc * lengths[j] + sc[j])
+                o_d = self._cell_o_d[cell]
+                ratios.append(o_d / c_d if c_d > o_d else 1.0)
+            else:
+                ratios.append(1.0)
+        return ratios
+
+    def cell_goodness(self, cell: int) -> float:
+        """Multiobjective fuzzy goodness g_i ∈ [0, 1] of one cell."""
+        ratios = self.cell_objective_ratios(cell)
+        worst = min(ratios)
+        mean = sum(ratios) / len(ratios)
+        return self._beta * worst + (1.0 - self._beta) * mean
+
+    # ------------------------------------------------------------------
+    # structural mutations with incremental updates
+    # ------------------------------------------------------------------
+    def remove_cell(self, cell: int, charge_to: str = "allocation") -> tuple[int, int]:
+        """Remove a cell from the placement, updating caches exactly."""
+        p = self._require_placement()
+        r = p.row_of[cell]
+        s = p.slot_of[cell]
+        p.remove_cell(cell)
+        # Cells at and after slot s shifted left; plus the removed cell's
+        # nets lose a pin.
+        changed = [cell] + p.rows[r][s:]
+        self._update_nets_of(changed, charge_to)
+        return r, s
+
+    def remove_cells(self, cells: Sequence[int], charge_to: str = "allocation") -> None:
+        """Bulk removal: one placement pass + one incremental cache pass.
+
+        Equivalent to repeated :meth:`remove_cell` but avoids re-evaluating
+        the same nets once per removed neighbour — the allocation operator
+        removes its whole selection set through this.
+        """
+        p = self._require_placement()
+        changed = p.remove_cells(cells)
+        self._update_nets_of(changed, charge_to)
+
+    def insert_cell(
+        self, cell: int, row: int, slot: int, charge_to: str = "allocation"
+    ) -> None:
+        """Insert an unplaced cell, updating caches exactly."""
+        p = self._require_placement()
+        p.insert_cell(cell, row, slot)
+        slot = p.slot_of[cell]
+        changed = p.rows[row][slot:]
+        self._update_nets_of(changed, charge_to)
+
+    def move_cell(
+        self, cell: int, row: int, slot: int, charge_to: str = "allocation"
+    ) -> None:
+        """Remove + insert with incremental updates."""
+        self.remove_cell(cell, charge_to)
+        self.insert_cell(cell, row, slot, charge_to)
+
+    def swap_cells(self, a: int, b: int, charge_to: str = "allocation") -> None:
+        """Exchange two placed cells, updating caches exactly."""
+        p = self._require_placement()
+        ra, rb = p.row_of[a], p.row_of[b]
+        sa, sb = p.slot_of[a], p.slot_of[b]
+        p.swap_cells(a, b)
+        if ra == rb:
+            changed: set[int] = set(p.rows[ra][min(sa, sb) :])
+        else:
+            changed = set(p.rows[ra][sa:])
+            changed.update(p.rows[rb][sb:])
+        changed.update((a, b))
+        self._update_nets_of(list(changed), charge_to)
+
+    def _update_nets_of(self, cells: Sequence[int], charge_to: str) -> None:
+        """Recompute the nets touching ``cells``; update all totals."""
+        p = self.placement
+        cell_nets = self._cell_nets
+        nets: set[int] = set()
+        for c in cells:
+            nets.update(cell_nets[c])
+        lengths = self.net_lengths
+        act = self._act
+        eval_net = self.evaluator.eval_net
+        x, y = p.x, p.y
+        units = 0.0
+        wl_delta = 0.0
+        pw_delta = 0.0
+        for j in nets:
+            old = lengths[j]
+            new = eval_net(j, x, y)
+            units += self._degrees[j]
+            if new == old:
+                continue
+            lengths[j] = new
+            wl_delta += new - old
+            if self.has_power:
+                pw_delta += act[j] * (new - old)
+            if self.has_delay:
+                # Path-delay shifts triggered by a mutation bill to the
+                # mutating phase (gprof attributes callee time to the
+                # caller's tree — allocation-internal recalcs are what make
+                # allocation 98 % in the paper's profile).
+                units += self.delay_model.shift_for_net(
+                    j, old, new, self.path_delays
+                )
+        self.wirelength_total += wl_delta
+        self.power_total += pw_delta
+        self.meter.charge(charge_to, units)
+
+    # ------------------------------------------------------------------
+    # allocation probes
+    # ------------------------------------------------------------------
+    def insertion_coords(self, cell: int, row: int, slot: int) -> tuple[float, float]:
+        """Center coordinates ``cell`` would get if inserted at (row, slot)."""
+        p = self._require_placement()
+        cells = p.rows[row]
+        widths = p._widths
+        slot = min(max(slot, 0), len(cells))
+        if slot == len(cells):
+            boundary = p.row_width[row]
+        else:
+            nxt = cells[slot]
+            boundary = p.x[nxt] - widths[nxt] / 2.0
+        return boundary + widths[cell] / 2.0, self.grid.row_y(row)
+
+    def trial_insertion(self, cell: int, row: int, slot: int) -> TrialResult:
+        """Score inserting the (currently unplaced) ``cell`` at (row, slot).
+
+        Returns the cell's fuzzy goodness at the candidate position.  The
+        probe rejects width-illegal rows and ignores the downstream shift
+        of packed neighbours (applied exactly at commit time).  Work is
+        charged to ``allocation``: one unit per candidate plus one per
+        net-pin probed — the paper's "wirelength re-calculation calls made
+        in allocation routine".
+        """
+        p = self._require_placement()
+        w = p._widths[cell]
+        cx, cy = self.insertion_coords(cell, row, slot)
+        legal = p.row_width[row] + w <= self.grid.max_legal_width + 1e-9
+        nets = self._cell_nets[cell]
+        eval_override = self.evaluator.eval_net_override
+        x, y = p.x, p.y
+        units = 1.0
+        c_wl = 0.0
+        c_pw = 0.0
+        c_d = 0.0
+        act = self._act
+        crit = self._cell_crit_nets[cell]
+        new_lens: dict[int, float] = {}
+        for j in nets:
+            new_len = eval_override(j, x, y, cell, cx, cy)
+            new_lens[j] = new_len
+            units += self._degrees[j]
+            c_wl += new_len
+            if self.has_power:
+                c_pw += act[j] * new_len
+        if self.has_delay and crit:
+            dr = self._drive_res
+            sc = self._sink_caps
+            wc = self._wire_cap
+            for j in crit:
+                c_d += dr[j] * (wc * new_lens[j] + sc[j])
+        self.meter.charge("allocation", units)
+
+        o_wl = self._cell_o_wl[cell]
+        ratios = [o_wl / c_wl if c_wl > o_wl else 1.0]
+        if self.has_power:
+            o_pw = self._cell_o_pw[cell]
+            ratios.append(o_pw / c_pw if c_pw > o_pw else 1.0)
+        if self.has_delay:
+            if crit:
+                o_d = self._cell_o_d[cell]
+                ratios.append(o_d / c_d if c_d > o_d else 1.0)
+            else:
+                ratios.append(1.0)
+        worst = min(ratios)
+        mean = sum(ratios) / len(ratios)
+        return TrialResult(
+            legal=legal,
+            goodness=self._beta * worst + (1.0 - self._beta) * mean,
+            row=row,
+            slot=slot,
+            x=cx,
+            y=cy,
+        )
+
+    # ------------------------------------------------------------------
+    # consistency checking (tests / debugging)
+    # ------------------------------------------------------------------
+    def assert_consistent(self, tol: float = 1e-6) -> None:
+        """Verify incremental caches against a from-scratch evaluation.
+
+        Requires a complete placement (every movable cell placed).
+        """
+        p = self._require_placement()
+        x = np.asarray(p.x)
+        y = np.asarray(p.y)
+        fresh = self.evaluator.full_sweep(x, y)
+        cached = np.asarray(self.net_lengths)
+        if not np.allclose(fresh, cached, atol=tol):
+            bad = int(np.argmax(np.abs(fresh - cached)))
+            raise AssertionError(
+                f"net {bad} cached length {cached[bad]} != fresh {fresh[bad]}"
+            )
+        if abs(float(fresh.sum()) - self.wirelength_total) > tol * max(
+            1.0, abs(self.wirelength_total)
+        ):
+            raise AssertionError("wirelength total drifted")
+        if self.has_power:
+            expect = self.power_model.total(fresh)
+            if abs(expect - self.power_total) > tol * max(1.0, abs(expect)):
+                raise AssertionError("power total drifted")
+        if self.has_delay:
+            expect = self.delay_model.path_delays_full(fresh)
+            if not np.allclose(expect, self.path_delays, atol=tol):
+                raise AssertionError("path delays drifted")

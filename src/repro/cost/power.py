@@ -1,0 +1,48 @@
+"""Power objective.
+
+Paper Section 2: with fixed supply voltage and clock frequency, a net's
+power reduces to ``p_i ∝ l_i · S_i`` — wirelength times switching
+probability — and the total is the sum over nets.  The activity vector
+``S`` comes from :func:`repro.netlist.switching.compute_switching` (or any
+user-provided per-net array).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.netlist.core import Netlist
+
+__all__ = ["PowerModel"]
+
+
+class PowerModel:
+    """Per-net power weights and totals.
+
+    Parameters
+    ----------
+    netlist:
+        Frozen netlist (for the net count).
+    activity:
+        (num_nets,) switching activities ``S_i`` in [0, 1].
+    """
+
+    def __init__(self, netlist: Netlist, activity: np.ndarray):
+        netlist.freeze()
+        if activity.shape != (netlist.num_nets,):
+            raise ValueError(
+                f"activity must have shape ({netlist.num_nets},), "
+                f"got {activity.shape}"
+            )
+        if (activity < 0).any() or (activity > 1).any():
+            raise ValueError("activities must lie in [0, 1]")
+        self.activity = activity.astype(np.float64, copy=True)
+        self.activity.setflags(write=False)
+
+    def net_power(self, j: int, length: float) -> float:
+        """Power of net ``j`` at the given length."""
+        return float(self.activity[j]) * length
+
+    def total(self, lengths: np.ndarray) -> float:
+        """Total power for a full per-net length vector."""
+        return float(self.activity @ lengths)

@@ -1,0 +1,37 @@
+"""Layout-width constraint helpers.
+
+Paper Section 2 constrains the layout width (the maximum row width) to at
+most ``(1 + α) · w_avg``.  The constraint itself is enforced structurally
+by the allocation operator (candidate positions that would overflow a row
+are rejected); these helpers expose the same quantities for reporting,
+tests and the SA baseline's penalty formulation.
+"""
+
+from __future__ import annotations
+
+from repro.layout.placement import Placement
+
+__all__ = ["width_cost", "width_violation", "width_penalty"]
+
+
+def width_cost(placement: Placement) -> float:
+    """The paper's width cost: the maximum row width."""
+    return placement.max_row_width()
+
+
+def width_violation(placement: Placement) -> float:
+    """Amount by which the width constraint is violated (0 when legal)."""
+    return max(0.0, -placement.width_slack())
+
+
+def width_penalty(placement: Placement, weight: float = 1.0) -> float:
+    """Smooth penalty for optimizers that cannot enforce hard legality.
+
+    Quadratic in the relative violation so small overflows are cheap to fix
+    and large ones dominate — used by the SA baseline's cost, not by SimE.
+    """
+    v = width_violation(placement)
+    if v <= 0.0:
+        return 0.0
+    rel = v / placement.grid.w_avg
+    return weight * rel * rel

@@ -1,0 +1,21 @@
+"""Row-based standard-cell layout substrate.
+
+* :mod:`repro.layout.grid` — the row grid: row count/pitch derivation from
+  the netlist, pad ring coordinates, width bookkeeping;
+* :mod:`repro.layout.placement` — a placement solution: ordered rows of
+  cells with packed offsets, incremental move/insert/remove operations and
+  fast coordinate arrays for the cost engine;
+* :mod:`repro.layout.initial` — initial placement constructors.
+"""
+
+from repro.layout.grid import RowGrid
+from repro.layout.placement import Placement, PlacementError
+from repro.layout.initial import random_placement, sequential_placement
+
+__all__ = [
+    "RowGrid",
+    "Placement",
+    "PlacementError",
+    "random_placement",
+    "sequential_placement",
+]

@@ -1,0 +1,132 @@
+"""Row grid: geometry shared by every placement of a given netlist.
+
+A standard-cell layout is a stack of ``num_rows`` horizontal rows.  Cells
+are placed left-packed in a row; a cell's x extent is measured in *sites*
+(one site = one unit) and rows are ``row_height`` units apart vertically.
+Pads (primary I/O) sit on the periphery: input pads on the left edge,
+output pads on the right edge, evenly spread — the usual pad-frame
+abstraction for row-based placement.
+
+The grid also owns the width bookkeeping the paper's width *constraint*
+uses: ``w_avg`` (total movable width / rows) and the tolerance ``α`` such
+that a legal placement keeps every row width within ``(1+α)·w_avg``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.netlist.core import GateKind, Netlist
+from repro.utils.validation import check_positive
+
+__all__ = ["RowGrid"]
+
+
+@dataclass(frozen=True)
+class RowGrid:
+    """Immutable geometry of a row-based layout.
+
+    Attributes
+    ----------
+    netlist:
+        The frozen netlist this grid is derived from.
+    num_rows:
+        Number of cell rows (≥ 2).
+    row_height:
+        Vertical pitch between row centerlines, in site units.
+    w_avg:
+        Average row width = total movable cell width / ``num_rows`` — the
+        paper's ``w_avg`` lower bound on layout width.
+    alpha:
+        Width-constraint tolerance: the layout is width-legal when
+        ``max_row_width − w_avg ≤ alpha · w_avg``.
+    pad_x / pad_y:
+        Fixed coordinates of every cell index that is a pad (NaN for
+        movable cells); baked in once so placements only track movables.
+    """
+
+    netlist: Netlist
+    num_rows: int
+    row_height: float
+    w_avg: float
+    alpha: float
+    pad_x: np.ndarray
+    pad_y: np.ndarray
+
+    @classmethod
+    def for_netlist(
+        cls,
+        netlist: Netlist,
+        num_rows: int | None = None,
+        row_height: float = 4.0,
+        alpha: float = 0.1,
+    ) -> "RowGrid":
+        """Derive a grid for ``netlist``.
+
+        When ``num_rows`` is omitted it is chosen to make the core roughly
+        square (``w_avg ≈ num_rows · row_height``), the usual aspect-ratio
+        heuristic.
+        """
+        netlist.freeze()
+        check_positive("row_height", row_height)
+        check_positive("alpha", alpha)
+        total = netlist.total_movable_width()
+        if total <= 0:
+            raise ValueError("netlist has no movable width")
+        if num_rows is None:
+            num_rows = max(2, int(round(math.sqrt(total / row_height))))
+        if num_rows < 2:
+            raise ValueError(f"num_rows must be >= 2, got {num_rows}")
+        w_avg = total / num_rows
+
+        # Pad ring: inputs on the left edge, outputs on the right, spread
+        # evenly over the core's vertical extent.
+        n = netlist.num_cells
+        pad_x = np.full(n, np.nan)
+        pad_y = np.full(n, np.nan)
+        height = (num_rows - 1) * row_height
+        pis = netlist.primary_inputs()
+        pos = netlist.primary_outputs()
+        margin = max(2.0, 0.02 * w_avg)
+        for k, cell in enumerate(pis):
+            pad_x[cell.index] = -margin
+            pad_y[cell.index] = height * ((k + 0.5) / len(pis)) if len(pis) else 0.0
+        for k, cell in enumerate(pos):
+            pad_x[cell.index] = w_avg + margin
+            pad_y[cell.index] = height * ((k + 0.5) / len(pos)) if len(pos) else 0.0
+        pad_x.setflags(write=False)
+        pad_y.setflags(write=False)
+        return cls(
+            netlist=netlist,
+            num_rows=num_rows,
+            row_height=row_height,
+            w_avg=w_avg,
+            alpha=alpha,
+            pad_x=pad_x,
+            pad_y=pad_y,
+        )
+
+    @property
+    def max_legal_width(self) -> float:
+        """Largest row width satisfying the paper's width constraint."""
+        return (1.0 + self.alpha) * self.w_avg
+
+    def row_y(self, row: int) -> float:
+        """Centerline y coordinate of ``row``."""
+        if not 0 <= row < self.num_rows:
+            raise IndexError(f"row {row} out of range [0, {self.num_rows})")
+        return row * self.row_height
+
+    def nearest_row(self, y: float) -> int:
+        """Row whose centerline is closest to ``y`` (clamped to range)."""
+        r = int(round(y / self.row_height))
+        return min(max(r, 0), self.num_rows - 1)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"RowGrid({self.netlist.name!r}, rows={self.num_rows}, "
+            f"w_avg={self.w_avg:.1f}, alpha={self.alpha})"
+        )

@@ -1,0 +1,52 @@
+"""Initial placement constructors.
+
+SimE "starts from an initial assignment Φ_initial" (paper Figure 1); the
+experiments used a common starting solution across serial and parallel runs
+(Section 6.3), which these constructors make reproducible: given the same
+grid and RNG stream they return identical placements.
+"""
+
+from __future__ import annotations
+
+from repro.layout.grid import RowGrid
+from repro.layout.placement import Placement
+from repro.utils.rng import RngStream
+
+__all__ = ["random_placement", "sequential_placement"]
+
+
+def _distribute(grid: RowGrid, order: list[int]) -> Placement:
+    """Greedy width-balanced distribution of ``order`` into rows.
+
+    Cells are dealt to the currently-lightest row, which keeps every row
+    within one max-cell-width of ``w_avg`` — i.e. the initial solution
+    satisfies the paper's width constraint for any reasonable ``alpha``.
+    """
+    netlist = grid.netlist
+    rows: list[list[int]] = [[] for _ in range(grid.num_rows)]
+    widths = [0.0] * grid.num_rows
+    for c in order:
+        r = min(range(grid.num_rows), key=lambda i: widths[i])
+        rows[r].append(c)
+        widths[r] += netlist.cells[c].width_sites
+    return Placement.from_rows(grid, rows)
+
+
+def random_placement(grid: RowGrid, rng: RngStream) -> Placement:
+    """Uniform random initial placement (width-balanced rows).
+
+    The movable cells are shuffled and dealt round-robin-by-load into rows;
+    within-row order is the shuffled order.
+    """
+    order = [c.index for c in grid.netlist.movable_cells()]
+    rng.shuffle(order)
+    return _distribute(grid, order)
+
+
+def sequential_placement(grid: RowGrid) -> Placement:
+    """Deterministic placement in netlist index order (no RNG).
+
+    Useful as a fixed, worst-ish-case starting point in tests and ablations.
+    """
+    order = [c.index for c in grid.netlist.movable_cells()]
+    return _distribute(grid, order)

@@ -1,0 +1,291 @@
+"""Placement solution: ordered rows of cells with packed coordinates.
+
+A :class:`Placement` assigns every movable cell to one row and one ordinal
+slot within that row.  Cells are *packed*: the leftmost cell of a row starts
+at x = 0 and each cell abuts its predecessor, so x coordinates are fully
+determined by the row orderings (gap-free placement, the representation the
+SimE placement literature uses).  Pads keep the fixed ring coordinates baked
+into the :class:`~repro.layout.grid.RowGrid`.
+
+Performance note (per the domain optimization guides: profile, then choose
+the data structure the hot path wants): coordinates and bookkeeping are
+plain Python lists, not numpy arrays.  The hot path here is *scalar* access
+from the allocation operator's probe loops — millions of single-element
+reads per run — where list indexing is several times faster than numpy
+scalar indexing.  The once-per-iteration full evaluation converts to numpy
+in one bulk ``np.asarray`` call (see
+:meth:`repro.cost.engine.CostEngine.full_refresh`).
+
+Unplaced cells (mid-allocation) carry NaN coordinates; net evaluation skips
+them, giving the SimE partial solution Φp well-defined costs.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Sequence
+
+from repro.layout.grid import RowGrid
+
+__all__ = ["Placement", "PlacementError"]
+
+_NAN = float("nan")
+
+
+class PlacementError(ValueError):
+    """Raised for structurally invalid placements or illegal operations."""
+
+
+class Placement:
+    """Mutable placement over a :class:`RowGrid`.
+
+    Build with :meth:`from_rows` (or the constructors in
+    :mod:`repro.layout.initial`).  The movable-cell invariant — every
+    movable cell appears in exactly one row exactly once, pads appear
+    nowhere — is checked at construction and can be re-asserted with
+    :meth:`validate`.
+    """
+
+    __slots__ = ("grid", "rows", "x", "y", "row_of", "slot_of", "row_width", "_widths")
+
+    def __init__(self, grid: RowGrid, rows: list[list[int]], _skip_check: bool = False):
+        self.grid = grid
+        self.rows = rows
+        n = grid.netlist.num_cells
+        # Pads get their fixed ring coordinates; movables are filled by the
+        # per-row repack below.  (pad_x/pad_y are NaN for movable cells.)
+        self.x: list[float] = [float(v) for v in grid.pad_x]
+        self.y: list[float] = [float(v) for v in grid.pad_y]
+        self.row_of: list[int] = [-1] * n
+        self.slot_of: list[int] = [-1] * n
+        self.row_width: list[float] = [0.0] * grid.num_rows
+        self._widths: list[int] = [c.width_sites for c in grid.netlist.cells]
+        if not _skip_check:
+            self._check_rows()
+        for r in range(grid.num_rows):
+            self._repack_row(r)
+
+    # ------------------------------------------------------------------
+    # constructors / copies
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_rows(cls, grid: RowGrid, rows: Sequence[Sequence[int]]) -> "Placement":
+        """Build a placement from per-row cell-index sequences."""
+        if len(rows) != grid.num_rows:
+            raise PlacementError(f"expected {grid.num_rows} rows, got {len(rows)}")
+        return cls(grid, [list(r) for r in rows])
+
+    def copy(self) -> "Placement":
+        """Deep copy (independent row lists and coordinate stores)."""
+        clone = Placement.__new__(Placement)
+        clone.grid = self.grid
+        clone.rows = [list(r) for r in self.rows]
+        clone.x = list(self.x)
+        clone.y = list(self.y)
+        clone.row_of = list(self.row_of)
+        clone.slot_of = list(self.slot_of)
+        clone.row_width = list(self.row_width)
+        clone._widths = self._widths
+        return clone
+
+    def to_rows(self) -> list[list[int]]:
+        """Serializable snapshot: per-row lists of cell indices."""
+        return [list(r) for r in self.rows]
+
+    # ------------------------------------------------------------------
+    # invariants
+    # ------------------------------------------------------------------
+    def _check_rows(self) -> None:
+        netlist = self.grid.netlist
+        seen: set[int] = set()
+        for r, row in enumerate(self.rows):
+            for c in row:
+                if not 0 <= c < netlist.num_cells:
+                    raise PlacementError(f"row {r}: cell index {c} out of range")
+                if not netlist.cells[c].is_movable:
+                    raise PlacementError(
+                        f"row {r}: cell {netlist.cells[c].name!r} is a pad"
+                    )
+                if c in seen:
+                    raise PlacementError(
+                        f"cell {netlist.cells[c].name!r} appears more than once"
+                    )
+                seen.add(c)
+        expect = {c.index for c in netlist.movable_cells()}
+        missing = expect - seen
+        if missing:
+            name = netlist.cells[next(iter(missing))].name
+            raise PlacementError(
+                f"{len(missing)} movable cells unplaced (e.g. {name!r})"
+            )
+
+    def validate(self) -> None:
+        """Re-assert all structural invariants (rows, coords, widths)."""
+        self._check_rows()
+        for r, row in enumerate(self.rows):
+            offset = 0.0
+            for s, c in enumerate(row):
+                w = self._widths[c]
+                if self.row_of[c] != r or self.slot_of[c] != s:
+                    raise PlacementError(f"stale row/slot bookkeeping for cell {c}")
+                if abs(self.x[c] - (offset + w / 2.0)) > 1e-9:
+                    raise PlacementError(f"stale x coordinate for cell {c}")
+                offset += w
+            if abs(self.row_width[r] - offset) > 1e-9:
+                raise PlacementError(f"stale width for row {r}")
+
+    # ------------------------------------------------------------------
+    # geometry updates
+    # ------------------------------------------------------------------
+    def _repack_row(self, r: int, start_slot: int = 0) -> None:
+        """Recompute offsets/coords of row ``r`` from ``start_slot`` on.
+
+        Packing means cells before ``start_slot`` are unaffected by an
+        insert/remove at that slot, so callers pass the mutation point to
+        keep repacking O(cells to the right).
+        """
+        row = self.rows[r]
+        widths = self._widths
+        x = self.x
+        yr = self.grid.row_y(r)
+        y = self.y
+        row_of = self.row_of
+        slot_of = self.slot_of
+        if start_slot == 0:
+            offset = 0.0
+        else:
+            prev = row[start_slot - 1]
+            offset = x[prev] + widths[prev] / 2.0
+        for s in range(start_slot, len(row)):
+            c = row[s]
+            w = widths[c]
+            x[c] = offset + w / 2.0
+            y[c] = yr
+            row_of[c] = r
+            slot_of[c] = s
+            offset += w
+        self.row_width[r] = offset
+
+    # ------------------------------------------------------------------
+    # move primitives
+    # ------------------------------------------------------------------
+    def remove_cell(self, cell: int) -> tuple[int, int]:
+        """Remove ``cell`` from its row (packing the remainder).
+
+        Returns the ``(row, slot)`` it occupied.
+        """
+        r = self.row_of[cell]
+        if r < 0:
+            raise PlacementError(f"cell {cell} is not placed")
+        s = self.slot_of[cell]
+        row = self.rows[r]
+        if row[s] != cell:
+            raise PlacementError(f"bookkeeping mismatch for cell {cell}")
+        row.pop(s)
+        self.row_of[cell] = -1
+        self.slot_of[cell] = -1
+        # NaN coordinates mark the cell unplaced; net evaluation skips it
+        # (partial-solution semantics during SimE allocation).
+        self.x[cell] = _NAN
+        self.y[cell] = _NAN
+        self._repack_row(r, s)
+        return r, s
+
+    def remove_cells(self, cells: Sequence[int]) -> list[int]:
+        """Bulk-remove many cells, repacking each affected row once.
+
+        Returns the list of cells whose coordinates changed (the removed
+        cells plus every cell that shifted left), which the cost engine
+        uses for one combined incremental update — much cheaper than
+        per-cell removal when the SimE selection set is large.
+        """
+        by_row: dict[int, list[int]] = {}
+        for c in cells:
+            r = self.row_of[c]
+            if r < 0:
+                raise PlacementError(f"cell {c} is not placed")
+            by_row.setdefault(r, []).append(c)
+        changed: list[int] = list(cells)
+        for r, removed in by_row.items():
+            removed_set = set(removed)
+            row = self.rows[r]
+            first = min(self.slot_of[c] for c in removed)
+            self.rows[r] = [c for c in row if c not in removed_set]
+            changed.extend(self.rows[r][first:])
+            for c in removed:
+                self.row_of[c] = -1
+                self.slot_of[c] = -1
+                self.x[c] = _NAN
+                self.y[c] = _NAN
+            self._repack_row(r, first)
+        return changed
+
+    def insert_cell(self, cell: int, row: int, slot: int) -> None:
+        """Insert an unplaced ``cell`` into ``row`` before ordinal ``slot``."""
+        if self.row_of[cell] >= 0:
+            raise PlacementError(f"cell {cell} is already placed")
+        if not 0 <= row < self.grid.num_rows:
+            raise PlacementError(f"row {row} out of range")
+        slot = min(max(slot, 0), len(self.rows[row]))
+        self.rows[row].insert(slot, cell)
+        self._repack_row(row, slot)
+
+    def move_cell(self, cell: int, row: int, slot: int) -> None:
+        """Remove + insert in one call (slot interpreted after removal)."""
+        self.remove_cell(cell)
+        self.insert_cell(cell, row, slot)
+
+    def swap_cells(self, a: int, b: int) -> None:
+        """Exchange the positions of two placed cells."""
+        ra, sa = self.row_of[a], self.slot_of[a]
+        rb, sb = self.row_of[b], self.slot_of[b]
+        if ra < 0 or rb < 0:
+            raise PlacementError("both cells must be placed")
+        self.rows[ra][sa], self.rows[rb][sb] = b, a
+        if ra == rb:
+            self._repack_row(ra, min(sa, sb))
+        else:
+            self._repack_row(ra, sa)
+            self._repack_row(rb, sb)
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def position(self, cell: int) -> tuple[float, float]:
+        """Center coordinates of a cell (pads included)."""
+        return self.x[cell], self.y[cell]
+
+    def max_row_width(self) -> float:
+        return max(self.row_width)
+
+    def width_slack(self) -> float:
+        """``max_legal_width − max_row_width`` (negative = violation)."""
+        return self.grid.max_legal_width - self.max_row_width()
+
+    def is_width_legal(self) -> bool:
+        return self.width_slack() >= 0.0
+
+    # ------------------------------------------------------------------
+    # row-subset operations (Type II domain decomposition)
+    # ------------------------------------------------------------------
+    def extract_rows(self, row_ids: Iterable[int]) -> dict[int, list[int]]:
+        """Snapshot of selected rows as ``{row: [cells...]}``."""
+        return {int(r): list(self.rows[r]) for r in row_ids}
+
+    def replace_rows(self, new_rows: dict[int, list[int]]) -> None:
+        """Replace whole rows (used when merging Type II partial results).
+
+        The caller is responsible for the global movable-cell invariant;
+        :meth:`validate` can be used to assert it after a full merge.
+        """
+        for r, cells in new_rows.items():
+            if not 0 <= r < self.grid.num_rows:
+                raise PlacementError(f"row {r} out of range")
+            self.rows[r] = list(cells)
+            self._repack_row(r)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Placement({self.grid.netlist.name!r}, rows={self.grid.num_rows}, "
+            f"max_width={self.max_row_width():.1f})"
+        )

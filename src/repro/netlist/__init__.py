@@ -1,0 +1,54 @@
+"""Netlist substrate: gate library, circuits, parsing, generation, analysis.
+
+The paper evaluates on ISCAS-89 sequential benchmark circuits.  This
+subpackage provides everything the placer needs from a circuit:
+
+* :mod:`repro.netlist.core` — typed netlist model (cells, nets, gate library)
+  with a frozen, array-backed connectivity view for fast cost evaluation;
+* :mod:`repro.netlist.bench` — ISCAS-89 ``.bench`` parser/writer so real
+  benchmark files can be dropped in;
+* :mod:`repro.netlist.generator` — synthetic sequential-circuit generator
+  (Rent's-rule-guided) used to build stand-ins for the paper's circuits;
+* :mod:`repro.netlist.suite` — registry of those stand-ins by paper name;
+* :mod:`repro.netlist.switching` — static switching-probability propagation
+  (feeds the power objective);
+* :mod:`repro.netlist.paths` — critical-path extraction (feeds the delay
+  objective).
+"""
+
+from repro.netlist.core import (
+    GateKind,
+    GateSpec,
+    GATE_LIBRARY,
+    Cell,
+    Net,
+    Netlist,
+    NetlistError,
+)
+from repro.netlist.bench import parse_bench, parse_bench_text, write_bench_text
+from repro.netlist.generator import CircuitSpec, generate_circuit
+from repro.netlist.suite import paper_circuit, PAPER_CIRCUITS, list_paper_circuits
+from repro.netlist.switching import compute_switching
+from repro.netlist.paths import extract_critical_paths, levelize, PathSet
+
+__all__ = [
+    "GateKind",
+    "GateSpec",
+    "GATE_LIBRARY",
+    "Cell",
+    "Net",
+    "Netlist",
+    "NetlistError",
+    "parse_bench",
+    "parse_bench_text",
+    "write_bench_text",
+    "CircuitSpec",
+    "generate_circuit",
+    "paper_circuit",
+    "PAPER_CIRCUITS",
+    "list_paper_circuits",
+    "compute_switching",
+    "extract_critical_paths",
+    "levelize",
+    "PathSet",
+]

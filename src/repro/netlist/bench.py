@@ -1,0 +1,173 @@
+"""ISCAS-89 ``.bench`` format parser and writer.
+
+The ISCAS-89 sequential benchmarks (s1196, s1488, ...) are distributed in a
+simple line-oriented netlist format::
+
+    # comment
+    INPUT(G0)
+    OUTPUT(G17)
+    G10 = NAND(G0, G1)
+    G11 = DFF(G10)
+    G17 = NOT(G11)
+
+Each identifier names a *signal*; the gate producing a signal shares its
+name.  This module maps the format onto :class:`~repro.netlist.core.Netlist`:
+
+* ``INPUT(x)`` → an ``INPUT`` pad cell named ``x``;
+* ``x = KIND(a, b, ...)`` → a gate cell named ``x`` plus — once all gates are
+  known — one net per *driving signal* with that signal's consumers as sinks;
+* ``OUTPUT(x)`` → an ``OUTPUT`` pad cell named ``x__po`` sinking signal ``x``.
+
+The real benchmark files are not shipped (offline environment); the parser
+exists so they can be dropped in, and the synthetic suite uses the writer to
+emit valid ``.bench`` text (round-trip tested).
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+
+from repro.netlist.core import GateKind, Netlist, NetlistError
+
+__all__ = ["parse_bench", "parse_bench_text", "write_bench_text"]
+
+_GATE_ALIASES = {
+    "BUF": GateKind.BUF,
+    "BUFF": GateKind.BUF,
+    "NOT": GateKind.NOT,
+    "INV": GateKind.NOT,
+    "AND": GateKind.AND,
+    "NAND": GateKind.NAND,
+    "OR": GateKind.OR,
+    "NOR": GateKind.NOR,
+    "XOR": GateKind.XOR,
+    "XNOR": GateKind.XNOR,
+    "DFF": GateKind.DFF,
+}
+
+_ASSIGN_RE = re.compile(
+    r"^\s*([\w.\[\]]+)\s*=\s*(\w+)\s*\(\s*([^)]*)\)\s*$", re.IGNORECASE
+)
+_IO_RE = re.compile(r"^\s*(INPUT|OUTPUT)\s*\(\s*([\w.\[\]]+)\s*\)\s*$", re.IGNORECASE)
+
+
+def parse_bench_text(text: str, name: str = "bench") -> Netlist:
+    """Parse ``.bench`` source text into a frozen :class:`Netlist`.
+
+    Raises
+    ------
+    NetlistError
+        On syntax errors, unknown gate kinds, undefined signals, duplicate
+        definitions, or structural problems caught by ``freeze()``.
+    """
+    netlist = Netlist(name)
+    outputs: list[str] = []
+    gates: list[tuple[str, GateKind, list[str]]] = []
+    defined: set[str] = set()
+
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        line = raw.split("#", 1)[0].strip()
+        if not line:
+            continue
+        m = _IO_RE.match(line)
+        if m:
+            kw, sig = m.group(1).upper(), m.group(2)
+            if kw == "INPUT":
+                if sig in defined:
+                    raise NetlistError(f"line {lineno}: duplicate signal {sig!r}")
+                netlist.add_cell(sig, GateKind.INPUT)
+                defined.add(sig)
+            else:
+                outputs.append(sig)
+            continue
+        m = _ASSIGN_RE.match(line)
+        if m:
+            sig, kind_s, args_s = m.group(1), m.group(2).upper(), m.group(3)
+            if kind_s not in _GATE_ALIASES:
+                raise NetlistError(f"line {lineno}: unknown gate kind {kind_s!r}")
+            if sig in defined:
+                raise NetlistError(f"line {lineno}: duplicate signal {sig!r}")
+            args = [a.strip() for a in args_s.split(",") if a.strip()]
+            if not args:
+                raise NetlistError(f"line {lineno}: gate {sig!r} has no inputs")
+            kind = _GATE_ALIASES[kind_s]
+            if kind in (GateKind.NOT, GateKind.BUF, GateKind.DFF) and len(args) != 1:
+                raise NetlistError(
+                    f"line {lineno}: {kind.value} takes exactly 1 input, got {len(args)}"
+                )
+            gates.append((sig, kind, args))
+            netlist.add_cell(sig, kind)
+            defined.add(sig)
+            continue
+        raise NetlistError(f"line {lineno}: cannot parse {raw!r}")
+
+    # Output pads: one cell per OUTPUT declaration.
+    po_names: dict[str, str] = {}
+    for sig in outputs:
+        pad_name = f"{sig}__po"
+        if pad_name in defined:
+            raise NetlistError(f"duplicate output pad for signal {sig!r}")
+        netlist.add_cell(pad_name, GateKind.OUTPUT)
+        defined.add(pad_name)
+        po_names[pad_name] = sig
+
+    # Build signal -> sink cells map.
+    sinks: dict[str, list[str]] = {}
+    for sig, _kind, args in gates:
+        for a in args:
+            sinks.setdefault(a, []).append(sig)
+    for pad_name, sig in po_names.items():
+        sinks.setdefault(sig, []).append(pad_name)
+
+    # One net per signal with at least one consumer.
+    for sig, consumers in sinks.items():
+        if sig not in defined:
+            raise NetlistError(f"signal {sig!r} is used but never defined")
+        netlist.add_net(sig, sig, consumers)
+
+    return netlist.freeze()
+
+
+def parse_bench(path: str | Path, name: str | None = None) -> Netlist:
+    """Parse a ``.bench`` file from disk."""
+    p = Path(path)
+    return parse_bench_text(p.read_text(), name or p.stem)
+
+
+def write_bench_text(netlist: Netlist) -> str:
+    """Serialize a netlist back to ``.bench`` text.
+
+    Only netlists whose structure fits the format are serializable: every
+    cell drives at most one net, gate fan-in matches the gate kind, and pad
+    cells follow the ``INPUT``/``OUTPUT`` conventions — all guaranteed for
+    netlists produced by :func:`parse_bench_text` and by the synthetic
+    generator.
+    """
+    lines: list[str] = [f"# {netlist.name}"]
+    driven_by: dict[int, str] = {}
+    for net in netlist.nets:
+        driven_by[net.driver] = net.name
+
+    for cell in netlist.cells:
+        if cell.kind is GateKind.INPUT:
+            # The signal name is the driven net's name (signal == producer
+            # in .bench); an input that drives nothing keeps its cell name.
+            lines.append(f"INPUT({driven_by.get(cell.index, cell.name)})")
+    for cell in netlist.cells:
+        if cell.kind is GateKind.OUTPUT:
+            fanin = netlist.fanin_nets(cell.index)
+            if len(fanin) != 1:
+                raise NetlistError(
+                    f"output pad {cell.name!r} must sink exactly one net"
+                )
+            lines.append(f"OUTPUT({netlist.nets[fanin[0]].name})")
+    for cell in netlist.cells:
+        if cell.is_pad:
+            continue
+        fanin = netlist.fanin_nets(cell.index)
+        args = ", ".join(netlist.nets[j].name for j in fanin)
+        signame = driven_by.get(cell.index, cell.name)
+        kind = "BUFF" if cell.kind is GateKind.BUF else cell.kind.value
+        lines.append(f"{signame} = {kind}({args})")
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,464 @@
+"""Core netlist model: gate library, cells, nets, and the frozen netlist.
+
+Design notes
+------------
+The model follows the standard-cell abstraction the paper's cost functions
+assume (Section 2):
+
+* a **cell** is an instance of a library gate (or a pad / flip-flop); it has
+  a physical width in placement *sites*, an intrinsic switching delay ``CD``
+  (used by the delay objective), an input capacitance and a driver
+  resistance (used by the interconnect-delay model);
+* a **net** connects one driver pin to one or more sink pins; its wirelength
+  is estimated from the placed positions of the cells it touches;
+* the **netlist** owns cells and nets and, once :meth:`Netlist.freeze` is
+  called, exposes array-backed (CSR-style) connectivity used by the
+  vectorized cost engine — the optimization guides for this domain are
+  explicit that per-element Python loops are the enemy, so every hot query
+  ("which nets touch cell *i*", "which cells sit on net *j*") is answered
+  from preallocated :mod:`numpy` arrays.
+
+Pads (primary inputs/outputs) are modelled as zero-width fixed cells; the
+layout layer pins them to the row grid's periphery, which mirrors how pad
+frames constrain placement in row-based layouts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Iterable, Iterator, Sequence
+
+import numpy as np
+
+__all__ = [
+    "GateKind",
+    "GateSpec",
+    "GATE_LIBRARY",
+    "Cell",
+    "Net",
+    "Netlist",
+    "NetlistError",
+]
+
+
+class NetlistError(ValueError):
+    """Raised for structurally invalid netlists (dangling nets, cycles, ...)."""
+
+
+class GateKind(str, Enum):
+    """Gate families in the cell library.
+
+    ``INPUT``/``OUTPUT`` are pad pseudo-cells; ``DFF`` is the sequential
+    element that breaks combinational paths (ISCAS-89 semantics).
+    """
+
+    INPUT = "INPUT"
+    OUTPUT = "OUTPUT"
+    BUF = "BUF"
+    NOT = "NOT"
+    AND = "AND"
+    NAND = "NAND"
+    OR = "OR"
+    NOR = "NOR"
+    XOR = "XOR"
+    XNOR = "XNOR"
+    DFF = "DFF"
+
+    @property
+    def is_pad(self) -> bool:
+        return self in (GateKind.INPUT, GateKind.OUTPUT)
+
+    @property
+    def is_sequential(self) -> bool:
+        return self is GateKind.DFF
+
+    @property
+    def is_combinational(self) -> bool:
+        return not self.is_pad and not self.is_sequential
+
+
+@dataclass(frozen=True)
+class GateSpec:
+    """Physical/electrical characterization of a library gate.
+
+    Attributes
+    ----------
+    kind:
+        The gate family.
+    width_sites:
+        Cell width in placement sites (layout consumes this).
+    delay:
+        Intrinsic switching delay ``CD`` in normalized time units
+        (the paper's ``CDi`` — "technology dependent ... independent of
+        placement").
+    input_cap:
+        Capacitance of one input pin, normalized units.
+    drive_res:
+        Output driver resistance, normalized units; interconnect delay of a
+        driven net is ``drive_res * (wire_cap + sink_caps)``.
+    """
+
+    kind: GateKind
+    width_sites: int
+    delay: float
+    input_cap: float
+    drive_res: float
+
+    def __post_init__(self) -> None:
+        if self.width_sites < 0:
+            raise ValueError("width_sites must be >= 0")
+        if self.delay < 0 or self.input_cap < 0 or self.drive_res < 0:
+            raise ValueError("gate electrical parameters must be >= 0")
+
+
+#: Default gate library.  Values are normalized to a unit 2-input NAND:
+#: widths follow typical standard-cell relative sizes, delays follow typical
+#: logical-effort orderings (inverter fastest, XOR slowest, DFF has a large
+#: clk->Q delay).  Absolute values are arbitrary; all paper claims are
+#: relative.
+GATE_LIBRARY: dict[GateKind, GateSpec] = {
+    GateKind.INPUT: GateSpec(GateKind.INPUT, 0, 0.0, 0.0, 1.0),
+    GateKind.OUTPUT: GateSpec(GateKind.OUTPUT, 0, 0.0, 0.05, 0.0),
+    GateKind.BUF: GateSpec(GateKind.BUF, 2, 0.7, 0.05, 0.9),
+    GateKind.NOT: GateSpec(GateKind.NOT, 1, 0.5, 0.05, 1.0),
+    GateKind.AND: GateSpec(GateKind.AND, 3, 1.2, 0.06, 1.1),
+    GateKind.NAND: GateSpec(GateKind.NAND, 2, 1.0, 0.06, 1.0),
+    GateKind.OR: GateSpec(GateKind.OR, 3, 1.3, 0.06, 1.2),
+    GateKind.NOR: GateSpec(GateKind.NOR, 2, 1.1, 0.06, 1.1),
+    GateKind.XOR: GateSpec(GateKind.XOR, 4, 1.8, 0.08, 1.3),
+    GateKind.XNOR: GateSpec(GateKind.XNOR, 4, 1.8, 0.08, 1.3),
+    GateKind.DFF: GateSpec(GateKind.DFF, 6, 2.0, 0.07, 1.0),
+}
+
+
+@dataclass
+class Cell:
+    """One instance in the netlist.
+
+    ``index`` is assigned by the owning :class:`Netlist` and doubles as the
+    row index into every per-cell array the cost engine keeps.
+    """
+
+    index: int
+    name: str
+    kind: GateKind
+
+    @property
+    def spec(self) -> GateSpec:
+        return GATE_LIBRARY[self.kind]
+
+    @property
+    def is_pad(self) -> bool:
+        return self.kind.is_pad
+
+    @property
+    def is_movable(self) -> bool:
+        """Pads are fixed at the periphery; everything else is movable."""
+        return not self.kind.is_pad
+
+    @property
+    def width_sites(self) -> int:
+        return self.spec.width_sites
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Cell({self.index}, {self.name!r}, {self.kind.value})"
+
+
+@dataclass
+class Net:
+    """A signal net: one driver cell, one or more sink cells.
+
+    ``driver`` and ``sinks`` hold **cell indices**.  A cell may appear once
+    as driver and multiple times in ``sinks`` of other nets; multiple sink
+    pins of the *same* cell on the same net are collapsed (their positions
+    coincide for wirelength purposes).
+    """
+
+    index: int
+    name: str
+    driver: int
+    sinks: tuple[int, ...]
+
+    @property
+    def pins(self) -> tuple[int, ...]:
+        """All distinct cell indices touched by the net, driver first."""
+        seen = {self.driver}
+        out = [self.driver]
+        for s in self.sinks:
+            if s not in seen:
+                seen.add(s)
+                out.append(s)
+        return tuple(out)
+
+    @property
+    def degree(self) -> int:
+        return len(self.pins)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Net({self.index}, {self.name!r}, d={self.driver}, sinks={len(self.sinks)})"
+
+
+class Netlist:
+    """A complete circuit: cells + nets + frozen connectivity arrays.
+
+    Build with :meth:`add_cell` / :meth:`add_net`, then call :meth:`freeze`
+    (idempotent) before handing the netlist to layout/cost code.  ``freeze``
+    validates structure and builds:
+
+    * ``net_pin_indptr`` / ``net_pin_cells`` — CSR over nets: the distinct
+      cells of net *j* are ``net_pin_cells[net_pin_indptr[j]:net_pin_indptr[j+1]]``;
+    * ``cell_net_indptr`` / ``cell_net_ids`` — CSR over cells: the nets
+      touching cell *i*;
+    * ``cell_widths`` — per-cell width in sites (float64 for vector math);
+    * ``net_driver`` — per-net driver cell index;
+    * ``fanin_nets`` — per-cell tuple of input net indices (ordered as
+      added), used by switching propagation and delay traversal.
+    """
+
+    def __init__(self, name: str = "netlist"):
+        self.name = name
+        self.cells: list[Cell] = []
+        self.nets: list[Net] = []
+        self._cell_by_name: dict[str, int] = {}
+        self._net_by_name: dict[str, int] = {}
+        self._fanin_nets: list[list[int]] = []
+        self._frozen = False
+        # Frozen arrays (populated by freeze()).
+        self.net_pin_indptr: np.ndarray | None = None
+        self.net_pin_cells: np.ndarray | None = None
+        self.cell_net_indptr: np.ndarray | None = None
+        self.cell_net_ids: np.ndarray | None = None
+        self.cell_widths: np.ndarray | None = None
+        self.net_driver: np.ndarray | None = None
+        self.movable_mask: np.ndarray | None = None
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    def add_cell(self, name: str, kind: GateKind) -> Cell:
+        """Add a cell; names must be unique within the netlist."""
+        if self._frozen:
+            raise NetlistError("netlist is frozen; cannot add cells")
+        if name in self._cell_by_name:
+            raise NetlistError(f"duplicate cell name {name!r}")
+        cell = Cell(len(self.cells), name, kind)
+        self.cells.append(cell)
+        self._cell_by_name[name] = cell.index
+        self._fanin_nets.append([])
+        return cell
+
+    def add_net(self, name: str, driver: int | str, sinks: Sequence[int | str]) -> Net:
+        """Add a net from driver cell to sink cells (by index or name)."""
+        if self._frozen:
+            raise NetlistError("netlist is frozen; cannot add nets")
+        if name in self._net_by_name:
+            raise NetlistError(f"duplicate net name {name!r}")
+        d = self._resolve(driver)
+        ss = tuple(self._resolve(s) for s in sinks)
+        if not ss:
+            raise NetlistError(f"net {name!r} has no sinks")
+        if self.cells[d].kind is GateKind.OUTPUT:
+            raise NetlistError(f"net {name!r}: OUTPUT pad cannot drive a net")
+        for s in ss:
+            if self.cells[s].kind is GateKind.INPUT:
+                raise NetlistError(f"net {name!r}: INPUT pad cannot be a sink")
+        net = Net(len(self.nets), name, d, ss)
+        self.nets.append(net)
+        self._net_by_name[name] = net.index
+        for s in ss:
+            self._fanin_nets[s].append(net.index)
+        return net
+
+    def _resolve(self, ref: int | str) -> int:
+        if isinstance(ref, str):
+            try:
+                return self._cell_by_name[ref]
+            except KeyError:
+                raise NetlistError(f"unknown cell name {ref!r}") from None
+        if not 0 <= ref < len(self.cells):
+            raise NetlistError(f"cell index {ref} out of range")
+        return ref
+
+    # ------------------------------------------------------------------
+    # lookup
+    # ------------------------------------------------------------------
+    def cell(self, ref: int | str) -> Cell:
+        """Cell by index or name."""
+        return self.cells[self._resolve(ref)]
+
+    def net(self, ref: int | str) -> Net:
+        """Net by index or name."""
+        if isinstance(ref, str):
+            try:
+                ref = self._net_by_name[ref]
+            except KeyError:
+                raise NetlistError(f"unknown net name {ref!r}") from None
+        return self.nets[ref]
+
+    def fanin_nets(self, cell: int) -> list[int]:
+        """Indices of nets whose sinks include ``cell`` (its input nets)."""
+        return self._fanin_nets[cell]
+
+    @property
+    def num_cells(self) -> int:
+        return len(self.cells)
+
+    @property
+    def num_nets(self) -> int:
+        return len(self.nets)
+
+    @property
+    def num_movable(self) -> int:
+        return sum(1 for c in self.cells if c.is_movable)
+
+    def movable_cells(self) -> Iterator[Cell]:
+        return (c for c in self.cells if c.is_movable)
+
+    def pads(self) -> Iterator[Cell]:
+        return (c for c in self.cells if c.is_pad)
+
+    def primary_inputs(self) -> list[Cell]:
+        return [c for c in self.cells if c.kind is GateKind.INPUT]
+
+    def primary_outputs(self) -> list[Cell]:
+        return [c for c in self.cells if c.kind is GateKind.OUTPUT]
+
+    def flip_flops(self) -> list[Cell]:
+        return [c for c in self.cells if c.kind is GateKind.DFF]
+
+    # ------------------------------------------------------------------
+    # freezing / validation
+    # ------------------------------------------------------------------
+    @property
+    def frozen(self) -> bool:
+        return self._frozen
+
+    def freeze(self) -> "Netlist":
+        """Validate and build array-backed connectivity.  Idempotent."""
+        if self._frozen:
+            return self
+        self._validate()
+        n_cells, n_nets = len(self.cells), len(self.nets)
+
+        # CSR over nets -> distinct pin cells.
+        indptr = np.zeros(n_nets + 1, dtype=np.int64)
+        pin_lists = [net.pins for net in self.nets]
+        for j, pins in enumerate(pin_lists):
+            indptr[j + 1] = indptr[j] + len(pins)
+        pin_cells = np.empty(indptr[-1], dtype=np.int64)
+        for j, pins in enumerate(pin_lists):
+            pin_cells[indptr[j] : indptr[j + 1]] = pins
+        self.net_pin_indptr = indptr
+        self.net_pin_cells = pin_cells
+
+        # CSR over cells -> nets touching the cell (driver or sink).
+        touch: list[list[int]] = [[] for _ in range(n_cells)]
+        for j, pins in enumerate(pin_lists):
+            for c in pins:
+                touch[c].append(j)
+        cindptr = np.zeros(n_cells + 1, dtype=np.int64)
+        for i, lst in enumerate(touch):
+            cindptr[i + 1] = cindptr[i] + len(lst)
+        cnets = np.empty(cindptr[-1], dtype=np.int64)
+        for i, lst in enumerate(touch):
+            cnets[cindptr[i] : cindptr[i + 1]] = lst
+        self.cell_net_indptr = cindptr
+        self.cell_net_ids = cnets
+
+        self.cell_widths = np.array(
+            [c.width_sites for c in self.cells], dtype=np.float64
+        )
+        self.net_driver = np.array([n.driver for n in self.nets], dtype=np.int64)
+        self.movable_mask = np.array([c.is_movable for c in self.cells], dtype=bool)
+        self._frozen = True
+        return self
+
+    def nets_of_cell(self, cell: int) -> np.ndarray:
+        """Indices of all nets touching ``cell`` (frozen netlists only)."""
+        if not self._frozen:
+            raise NetlistError("call freeze() first")
+        return self.cell_net_ids[
+            self.cell_net_indptr[cell] : self.cell_net_indptr[cell + 1]
+        ]
+
+    def pins_of_net(self, net: int) -> np.ndarray:
+        """Distinct cell indices on ``net`` (frozen netlists only)."""
+        if not self._frozen:
+            raise NetlistError("call freeze() first")
+        return self.net_pin_cells[
+            self.net_pin_indptr[net] : self.net_pin_indptr[net + 1]
+        ]
+
+    def _validate(self) -> None:
+        if not self.cells:
+            raise NetlistError("netlist has no cells")
+        if not self.nets:
+            raise NetlistError("netlist has no nets")
+        driven: set[int] = set()
+        for net in self.nets:
+            if net.driver in driven:
+                raise NetlistError(
+                    f"cell {self.cells[net.driver].name!r} drives multiple nets"
+                )
+            driven.add(net.driver)
+        # Every combinational gate must have at least one input net and
+        # drive something (no dangling logic).
+        has_input = {i for i, lst in enumerate(self._fanin_nets) if lst}
+        for cell in self.cells:
+            if cell.kind.is_combinational or cell.kind.is_sequential:
+                if cell.index not in has_input:
+                    raise NetlistError(f"gate {cell.name!r} has no input net")
+            if cell.kind is GateKind.OUTPUT and cell.index not in has_input:
+                raise NetlistError(f"output pad {cell.name!r} is undriven")
+        self._check_combinational_acyclic()
+
+    def _check_combinational_acyclic(self) -> None:
+        """Reject combinational cycles (paths not broken by a DFF)."""
+        # Kahn's algorithm over the combinational graph: edge u->v when u
+        # drives a net sinking at v, skipping edges *out of* DFFs/INPUTs is
+        # wrong — DFF outputs start new paths; edges *into* DFF/OUTPUT end
+        # them.  So the combinational graph contains only gate->gate edges
+        # where the sink is combinational.
+        n = len(self.cells)
+        indeg = [0] * n
+        adj: list[list[int]] = [[] for _ in range(n)]
+        for net in self.nets:
+            u = net.driver
+            if self.cells[u].kind.is_sequential or self.cells[u].is_pad:
+                continue  # sequential/pad outputs are path sources
+            for v in net.pins[1:]:
+                if self.cells[v].kind.is_combinational:
+                    adj[u].append(v)
+                    indeg[v] += 1
+        stack = [
+            i
+            for i in range(n)
+            if self.cells[i].kind.is_combinational and indeg[i] == 0
+        ]
+        seen = 0
+        total = sum(1 for c in self.cells if c.kind.is_combinational)
+        while stack:
+            u = stack.pop()
+            seen += 1
+            for v in adj[u]:
+                indeg[v] -= 1
+                if indeg[v] == 0:
+                    stack.append(v)
+        # Sources that are driven only by pads/DFFs still count; gates never
+        # reached have a cycle upstream.
+        if seen < total:
+            raise NetlistError("combinational cycle detected")
+
+    # ------------------------------------------------------------------
+    # misc
+    # ------------------------------------------------------------------
+    def total_movable_width(self) -> float:
+        """Sum of widths of movable cells, in sites."""
+        return float(sum(c.width_sites for c in self.cells if c.is_movable))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Netlist({self.name!r}, cells={self.num_cells}, "
+            f"nets={self.num_nets}, movable={self.num_movable})"
+        )

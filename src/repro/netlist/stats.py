@@ -1,0 +1,57 @@
+"""Summary statistics of a netlist — used in docs, tests and reports."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.netlist.core import Netlist
+
+__all__ = ["NetlistStats", "netlist_stats"]
+
+
+@dataclass(frozen=True)
+class NetlistStats:
+    """Structural statistics of a circuit."""
+
+    name: str
+    num_cells: int
+    num_movable: int
+    num_pads: int
+    num_nets: int
+    num_dffs: int
+    avg_net_degree: float
+    max_net_degree: int
+    avg_cell_nets: float
+    total_movable_width: float
+
+    def as_row(self) -> dict[str, object]:
+        """Flat dict for table rendering."""
+        return {
+            "circuit": self.name,
+            "cells": self.num_movable,
+            "nets": self.num_nets,
+            "dffs": self.num_dffs,
+            "avg net deg": round(self.avg_net_degree, 2),
+            "max net deg": self.max_net_degree,
+        }
+
+
+def netlist_stats(netlist: Netlist) -> NetlistStats:
+    """Compute :class:`NetlistStats` for a frozen netlist."""
+    netlist.freeze()
+    degrees = np.diff(netlist.net_pin_indptr)
+    cell_counts = np.diff(netlist.cell_net_indptr)
+    return NetlistStats(
+        name=netlist.name,
+        num_cells=netlist.num_cells,
+        num_movable=netlist.num_movable,
+        num_pads=netlist.num_cells - netlist.num_movable,
+        num_nets=netlist.num_nets,
+        num_dffs=len(netlist.flip_flops()),
+        avg_net_degree=float(degrees.mean()),
+        max_net_degree=int(degrees.max()),
+        avg_cell_nets=float(cell_counts.mean()),
+        total_movable_width=netlist.total_movable_width(),
+    )

@@ -1,0 +1,149 @@
+"""Static switching-probability propagation.
+
+The power objective (paper Section 2) weighs each net's wirelength by its
+switching probability ``S_i``.  We compute ``S_i`` the standard way for
+zero-delay static power estimation:
+
+1. every primary input carries a *signal probability* (probability of
+   logic 1) of 0.5;
+2. signal probabilities propagate through gates under the spatial
+   independence assumption (e.g. ``p_AND = Πp_i``, ``p_XOR`` folded
+   pairwise);
+3. flip-flop outputs equal their input probability at steady state — since
+   DFFs close sequential loops, propagation iterates to a fixed point;
+4. the per-net switching *activity* is ``S_i = 2·p_i·(1 − p_i)`` — the
+   probability the signal differs across two independent clock cycles.
+
+The result is one activity value per net, consumed by
+:class:`repro.cost.power.PowerCost`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.netlist.core import GateKind, Netlist, NetlistError
+
+__all__ = ["compute_switching", "signal_probabilities"]
+
+
+def _gate_output_prob(kind: GateKind, inputs: list[float]) -> float:
+    """Signal probability of a gate's output given input probabilities."""
+    if kind is GateKind.BUF or kind is GateKind.DFF:
+        return inputs[0]
+    if kind is GateKind.NOT:
+        return 1.0 - inputs[0]
+    if kind is GateKind.AND or kind is GateKind.NAND:
+        p = 1.0
+        for x in inputs:
+            p *= x
+        return 1.0 - p if kind is GateKind.NAND else p
+    if kind is GateKind.OR or kind is GateKind.NOR:
+        q = 1.0
+        for x in inputs:
+            q *= 1.0 - x
+        return q if kind is GateKind.NOR else 1.0 - q
+    if kind is GateKind.XOR or kind is GateKind.XNOR:
+        p = inputs[0]
+        for x in inputs[1:]:
+            p = p * (1.0 - x) + x * (1.0 - p)
+        return 1.0 - p if kind is GateKind.XNOR else p
+    raise NetlistError(f"gate kind {kind} has no signal probability rule")
+
+
+def signal_probabilities(
+    netlist: Netlist,
+    pi_prob: float = 0.5,
+    max_iters: int = 50,
+    tol: float = 1e-9,
+) -> np.ndarray:
+    """Per-net signal probabilities (probability of logic 1).
+
+    Parameters
+    ----------
+    netlist:
+        A frozen netlist.
+    pi_prob:
+        Signal probability assumed at every primary input.
+    max_iters:
+        Fixed-point iteration bound for sequential feedback loops.
+    tol:
+        Convergence threshold on the max change of any DFF output
+        probability between sweeps.
+    """
+    if not netlist.frozen:
+        raise NetlistError("netlist must be frozen")
+    n_nets = netlist.num_nets
+
+    # cell -> index of the net it drives (or -1).
+    drives = np.full(netlist.num_cells, -1, dtype=np.int64)
+    for net in netlist.nets:
+        drives[net.driver] = net.index
+
+    # Topological order of combinational gates (levelized evaluation order);
+    # PI and DFF outputs are fixed per sweep.
+    order = _combinational_order(netlist)
+
+    prob = np.full(n_nets, 0.5, dtype=np.float64)
+    # Initialize PI-driven nets.
+    for net in netlist.nets:
+        if netlist.cells[net.driver].kind is GateKind.INPUT:
+            prob[net.index] = pi_prob
+
+    dffs = netlist.flip_flops()
+    for _sweep in range(max_iters):
+        for ci in order:
+            cell = netlist.cells[ci]
+            out_net = drives[ci]
+            if out_net < 0:
+                continue
+            in_probs = [prob[j] for j in netlist.fanin_nets(ci)]
+            prob[out_net] = _gate_output_prob(cell.kind, in_probs)
+        # DFF outputs := DFF input probability (steady state).
+        delta = 0.0
+        for dff in dffs:
+            out_net = drives[dff.index]
+            if out_net < 0:
+                continue
+            fin = netlist.fanin_nets(dff.index)
+            new = prob[fin[0]]
+            delta = max(delta, abs(new - prob[out_net]))
+            prob[out_net] = new
+        if delta <= tol:
+            break
+    return prob
+
+
+def compute_switching(
+    netlist: Netlist, pi_prob: float = 0.5, max_iters: int = 50
+) -> np.ndarray:
+    """Per-net switching activity ``S_i = 2·p_i·(1 − p_i)`` in ``[0, 0.5]``."""
+    p = signal_probabilities(netlist, pi_prob=pi_prob, max_iters=max_iters)
+    return 2.0 * p * (1.0 - p)
+
+
+def _combinational_order(netlist: Netlist) -> list[int]:
+    """Topological order over combinational gates (Kahn's algorithm)."""
+    n = netlist.num_cells
+    indeg = [0] * n
+    adj: list[list[int]] = [[] for _ in range(n)]
+    for net in netlist.nets:
+        u = net.driver
+        if not netlist.cells[u].kind.is_combinational:
+            continue
+        for v in net.pins[1:]:
+            if netlist.cells[v].kind.is_combinational:
+                adj[u].append(v)
+                indeg[v] += 1
+    stack = [
+        i for i in range(n) if netlist.cells[i].kind.is_combinational and indeg[i] == 0
+    ]
+    order: list[int] = []
+    while stack:
+        u = stack.pop()
+        order.append(u)
+        for v in adj[u]:
+            indeg[v] -= 1
+            if indeg[v] == 0:
+                stack.append(v)
+    return order

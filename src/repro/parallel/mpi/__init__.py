@@ -1,0 +1,39 @@
+"""MPI-like message-passing substrate.
+
+The paper ran on MPICH 1.2.5 over an 8-node fast-ethernet cluster; this
+environment has neither MPI nor a network, so the substrate provides the
+same programming model (mpi4py-style lower-case pickle semantics) over
+interchangeable backends:
+
+* :class:`~repro.parallel.mpi.simcluster.SimCluster` — deterministic
+  discrete-event simulation with per-rank virtual clocks driven by the
+  calibrated work model and a fast-ethernet-class network model (the
+  backend all reproduction benches use);
+* :class:`~repro.parallel.mpi.mp_backend.MpCluster` — real OS processes
+  over pipes for genuine wall-clock parallelism;
+* :class:`~repro.parallel.mpi.loopback.LoopbackComm` — a size-1
+  communicator so serial runs share the parallel code path.
+"""
+
+from repro.parallel.mpi.comm import Communicator, ANY_SOURCE, CommError, DeadlockError
+from repro.parallel.mpi.message import Message
+from repro.parallel.mpi.netmodel import NetworkModel
+from repro.parallel.mpi.simcluster import SimCluster
+from repro.parallel.mpi.loopback import LoopbackComm
+from repro.parallel.mpi.calibration import (
+    calibrated_work_model,
+    calibrated_network_model,
+)
+
+__all__ = [
+    "Communicator",
+    "ANY_SOURCE",
+    "CommError",
+    "DeadlockError",
+    "Message",
+    "NetworkModel",
+    "SimCluster",
+    "LoopbackComm",
+    "calibrated_work_model",
+    "calibrated_network_model",
+]

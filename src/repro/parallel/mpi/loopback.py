@@ -1,0 +1,68 @@
+"""Size-1 communicator: serial execution through the parallel code path.
+
+Self-sends are legal (delivered to the own queue in FIFO order); receives
+from any other rank deadlock immediately, which is surfaced as an error.
+``elapsed`` reports the attached work meter's model-seconds, so a serial
+run measured through :class:`LoopbackComm` is directly comparable with
+simulated-cluster runtimes.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Sequence
+
+from repro.cost.workmeter import WorkMeter
+from repro.parallel.mpi.comm import ANY_SOURCE, CommError, Communicator
+
+__all__ = ["LoopbackComm"]
+
+
+class LoopbackComm(Communicator):
+    """Single-rank communicator backed by a local FIFO."""
+
+    def __init__(self, meter: WorkMeter | None = None):
+        self.meter = meter or WorkMeter()
+        self._queue: deque[tuple[int, Any]] = deque()
+
+    @property
+    def rank(self) -> int:
+        return 0
+
+    @property
+    def size(self) -> int:
+        return 1
+
+    # -- point-to-point -------------------------------------------------
+    def send(self, obj: Any, dest: int, tag: int = 0) -> None:
+        self._check_rank(dest)
+        self._queue.append((tag, obj))
+
+    def recv(self, source: int = ANY_SOURCE, tag: int = 0) -> tuple[int, Any]:
+        self._check_rank(source, allow_any=True)
+        for i, (t, obj) in enumerate(self._queue):
+            if t == tag:
+                del self._queue[i]
+                return 0, obj
+        raise CommError("recv with no matching self-send would deadlock")
+
+    # -- collectives ------------------------------------------------------
+    def bcast(self, obj: Any, root: int = 0) -> Any:
+        self._check_rank(root)
+        return obj
+
+    def scatter(self, objs: Sequence[Any] | None, root: int = 0) -> Any:
+        self._check_rank(root)
+        if objs is None or len(objs) != 1:
+            raise CommError("scatter on size-1 comm needs a length-1 sequence")
+        return objs[0]
+
+    def gather(self, obj: Any, root: int = 0) -> list[Any] | None:
+        self._check_rank(root)
+        return [obj]
+
+    def barrier(self) -> None:
+        return None
+
+    def elapsed(self) -> float:
+        return self.meter.seconds()

@@ -1,0 +1,26 @@
+"""Message representation for the simulated cluster."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["Message"]
+
+
+@dataclass(order=True)
+class Message:
+    """One in-flight point-to-point message.
+
+    Ordering is ``(arrival, source, seq)`` — the deterministic delivery
+    order the simulated cluster uses for ANY_SOURCE receives.  ``payload``
+    is the *pickled* object bytes: payloads cross rank boundaries only in
+    serialized form, which both sizes the transfer cost and guarantees
+    ranks never share mutable state (real MPI semantics).
+    """
+
+    arrival: float
+    source: int
+    seq: int
+    dest: int = field(compare=False)
+    tag: int = field(compare=False)
+    payload: bytes = field(compare=False, repr=False)

@@ -1,0 +1,239 @@
+"""Real multiprocessing backend: OS processes over pipes.
+
+The simulated cluster answers the paper's *model* questions; this backend
+demonstrates genuine parallel execution on the host — useful for the Type
+II wall-clock speed-up example and as evidence that the SPMD strategy code
+is backend-agnostic.  Differences from :class:`SimCluster`:
+
+* ``elapsed()`` is wall-clock (``time.perf_counter`` since rank start);
+* there are no virtual clocks: the work meter still counts units (for
+  profiling) but does not drive time;
+* ANY_SOURCE receives use :func:`multiprocessing.connection.wait`, so
+  their order reflects real arrival order — *not* deterministic.  Results
+  that depend on message arrival order (Type III) will vary run to run,
+  exactly as they did on the paper's real cluster.
+
+Topology: a full mesh of duplex pipes (p ≤ ~16 is the intended range).
+Collectives are root-sequenced over the mesh: simple, correct, and fine
+for the message sizes involved (a few KB per iteration).
+
+The SPMD function and its arguments must be picklable (module-level
+functions; specs are plain dataclasses).
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import time
+from dataclasses import dataclass
+from multiprocessing.connection import Connection, wait
+from typing import Any, Callable, Sequence
+
+from repro.cost.workmeter import WorkMeter
+from repro.parallel.mpi.comm import ANY_SOURCE, CommError, Communicator
+
+__all__ = ["MpCluster", "MpRunResult"]
+
+
+@dataclass
+class MpRunResult:
+    """Outcome of one multiprocessing SPMD run."""
+
+    results: list[Any]
+    wall_seconds: float
+
+
+class _MpComm(Communicator):
+    """Per-process endpoint over the pipe mesh."""
+
+    def __init__(self, rank: int, size: int, pipes: dict[int, Connection]):
+        self._rank = rank
+        self._size = size
+        self._pipes = pipes  # peer rank -> connection
+        self._t0 = time.perf_counter()
+        self.meter = WorkMeter()
+        # Messages read from a pipe while waiting for another source.
+        self._stash: list[tuple[int, int, Any]] = []  # (src, tag, obj)
+
+    @property
+    def rank(self) -> int:
+        return self._rank
+
+    @property
+    def size(self) -> int:
+        return self._size
+
+    # -- point-to-point -------------------------------------------------
+    def send(self, obj: Any, dest: int, tag: int = 0) -> None:
+        self._check_rank(dest)
+        if dest == self._rank:
+            self._stash.append((self._rank, tag, obj))
+            return
+        self._pipes[dest].send((self._rank, tag, obj))
+
+    def recv(self, source: int = ANY_SOURCE, tag: int = 0) -> tuple[int, Any]:
+        self._check_rank(source, allow_any=True)
+        while True:
+            for i, (src, t, obj) in enumerate(self._stash):
+                if t == tag and (source == ANY_SOURCE or src == source):
+                    del self._stash[i]
+                    return src, obj
+            if source == ANY_SOURCE:
+                conns = list(self._pipes.values())
+                for conn in wait(conns):
+                    src, t, obj = conn.recv()
+                    self._stash.append((src, t, obj))
+            else:
+                src, t, obj = self._pipes[source].recv()
+                self._stash.append((src, t, obj))
+
+    # -- collectives ------------------------------------------------------
+    _COLL_TAG = -7  # reserved tag for collective plumbing
+
+    def _coll_send(self, obj: Any, dest: int) -> None:
+        self._pipes[dest].send((self._rank, self._COLL_TAG, obj))
+
+    def _coll_recv(self, source: int) -> Any:
+        # Collective traffic may interleave with stashed p2p messages.
+        for i, (src, t, obj) in enumerate(self._stash):
+            if t == self._COLL_TAG and src == source:
+                del self._stash[i]
+                return obj
+        while True:
+            src, t, obj = self._pipes[source].recv()
+            if t == self._COLL_TAG and src == source:
+                return obj
+            self._stash.append((src, t, obj))
+
+    def bcast(self, obj: Any, root: int = 0) -> Any:
+        self._check_rank(root)
+        if self._size == 1:
+            return obj
+        if self._rank == root:
+            for r in range(self._size):
+                if r != root:
+                    self._coll_send(obj, r)
+            return obj
+        return self._coll_recv(root)
+
+    def scatter(self, objs: Sequence[Any] | None, root: int = 0) -> Any:
+        self._check_rank(root)
+        if self._rank == root:
+            if objs is None or len(objs) != self._size:
+                raise CommError(f"scatter needs a length-{self._size} sequence")
+            for r in range(self._size):
+                if r != root:
+                    self._coll_send(objs[r], r)
+            return objs[root]
+        return self._coll_recv(root)
+
+    def gather(self, obj: Any, root: int = 0) -> list[Any] | None:
+        self._check_rank(root)
+        if self._rank == root:
+            out: list[Any] = [None] * self._size
+            out[root] = obj
+            for r in range(self._size):
+                if r != root:
+                    out[r] = self._coll_recv(r)
+            return out
+        self._coll_send(obj, root)
+        return None
+
+    def barrier(self) -> None:
+        # Gather-to-0 then broadcast a token.
+        self.gather(None, root=0)
+        self.bcast(None, root=0)
+
+    def elapsed(self) -> float:
+        return time.perf_counter() - self._t0
+
+
+def _worker(
+    rank: int,
+    size: int,
+    conns: dict[int, Connection],
+    fn: Callable[..., Any],
+    args: tuple,
+    kwargs: dict,
+    result_conn: Connection,
+) -> None:
+    comm = _MpComm(rank, size, conns)
+    try:
+        result = fn(comm, *args, **kwargs)
+        result_conn.send(("ok", result))
+    except BaseException as exc:  # noqa: BLE001 - shipped to the parent
+        result_conn.send(("error", repr(exc)))
+    finally:
+        result_conn.close()
+
+
+class MpCluster:
+    """Real-process SPMD execution (see module docstring)."""
+
+    def __init__(self, size: int):
+        if size < 1:
+            raise ValueError(f"size must be >= 1, got {size}")
+        self.size = size
+
+    def run(
+        self,
+        fn: Callable[..., Any],
+        args: Sequence[Any] = (),
+        kwargs: dict[str, Any] | None = None,
+    ) -> MpRunResult:
+        """Execute ``fn(comm, *args, **kwargs)`` on every rank.
+
+        Raises :class:`CommError` if any rank fails (with its repr'd
+        exception), after all processes have been reaped.
+        """
+        ctx = mp.get_context("fork")
+        # Full mesh of duplex pipes.
+        mesh: dict[tuple[int, int], Connection] = {}
+        for a in range(self.size):
+            for b in range(a + 1, self.size):
+                ca, cb = ctx.Pipe(duplex=True)
+                mesh[(a, b)] = ca
+                mesh[(b, a)] = cb
+        result_pipes = [ctx.Pipe(duplex=False) for _ in range(self.size)]
+
+        t0 = time.perf_counter()
+        procs = []
+        for rank in range(self.size):
+            conns = {
+                peer: mesh[(rank, peer)] for peer in range(self.size) if peer != rank
+            }
+            proc = ctx.Process(
+                target=_worker,
+                args=(
+                    rank,
+                    self.size,
+                    conns,
+                    fn,
+                    tuple(args),
+                    dict(kwargs or {}),
+                    result_pipes[rank][1],
+                ),
+                name=f"mprank-{rank}",
+            )
+            proc.start()
+            procs.append(proc)
+
+        statuses: list[tuple[str, Any]] = []
+        try:
+            for rank in range(self.size):
+                statuses.append(result_pipes[rank][0].recv())
+        finally:
+            for proc in procs:
+                proc.join(timeout=30)
+                if proc.is_alive():  # pragma: no cover - hang safety net
+                    proc.terminate()
+                    proc.join()
+        wall = time.perf_counter() - t0
+
+        failures = [(r, msg) for r, (st, msg) in enumerate(statuses) if st == "error"]
+        if failures:
+            raise CommError(f"rank failures: {failures}")
+        return MpRunResult(
+            results=[payload for _st, payload in statuses],
+            wall_seconds=wall,
+        )

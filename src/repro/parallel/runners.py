@@ -1,0 +1,196 @@
+"""Shared experiment plumbing: specs, problem building, serial baseline.
+
+Every experiment in the paper is "one circuit, one objective set, one
+iteration budget, one seed" — captured here as :class:`ExperimentSpec`.
+The parallel strategy modules and the serial baseline all build their
+problem instances through :func:`build_problem`, which guarantees that
+serial and parallel runs of the same spec share the netlist stand-in, the
+grid, the cost-model parameters **and the initial placement** (the paper
+runs "the same starting solution but with different randomization seeds").
+
+RNG discipline
+--------------
+All randomness derives from ``spec.seed`` through named child streams:
+
+* child 0 — initial placement;
+* child 1 — serial selection (also the Type I master, which is why Type I
+  reproduces the serial trajectory exactly);
+* child 2 — the Type II row-pattern stream;
+* child 3+k — rank ``k``'s selection stream in Type II / Type III.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+from repro.cost.engine import CostEngine
+from repro.cost.workmeter import WorkMeter, WorkModel
+from repro.layout.grid import RowGrid
+from repro.layout.initial import random_placement
+from repro.layout.placement import Placement
+from repro.netlist.core import Netlist
+from repro.netlist.suite import paper_circuit
+from repro.parallel.mpi.calibration import calibrated_work_model
+from repro.sime.config import SimEConfig
+from repro.sime.engine import SimulatedEvolution
+from repro.utils.rng import RngStream
+
+__all__ = [
+    "ExperimentSpec",
+    "Problem",
+    "ParallelOutcome",
+    "build_problem",
+    "make_config",
+    "stream_for",
+    "run_serial",
+    "INIT_STREAM",
+    "SERIAL_STREAM",
+    "PATTERN_STREAM",
+    "rank_stream_id",
+]
+
+#: Named child-stream indices (see module docstring).
+INIT_STREAM = 0
+SERIAL_STREAM = 1
+PATTERN_STREAM = 2
+
+
+def rank_stream_id(rank: int) -> int:
+    """Child-stream index for rank ``rank``'s selection RNG."""
+    return 3 + rank
+
+
+def stream_for(seed: int, child: int, name: str = "stream") -> RngStream:
+    """Deterministic named child stream of the experiment seed."""
+    seq = np.random.SeedSequence(seed)
+    children = seq.spawn(child + 1)
+    return RngStream(children[child], name=f"{name}[{child}]")
+
+
+@dataclass(frozen=True)
+class ExperimentSpec:
+    """One experiment instance (circuit × objectives × budget × seed).
+
+    ``iterations`` is the *serial* budget; parallel strategies derive their
+    own budgets from it per the paper's protocol (see the strategy
+    modules).  SimE operator knobs are embedded so serial and parallel runs
+    cannot drift apart.
+    """
+
+    circuit: str
+    objectives: tuple[str, ...] = ("wirelength", "power")
+    iterations: int = 100
+    seed: int = 1
+    bias: float = 0.0
+    adaptive_bias: bool = False
+    row_window: int = 2
+    slot_window: int = 2
+    sort_descending: bool = False
+    num_rows: int | None = None
+    critical_paths: int = 64
+
+
+@dataclass
+class Problem:
+    """A built problem instance bound to one work meter."""
+
+    netlist: Netlist
+    grid: RowGrid
+    engine: CostEngine
+    initial_rows: list[list[int]]
+
+    def initial_placement(self) -> Placement:
+        return Placement.from_rows(self.grid, self.initial_rows)
+
+
+@dataclass
+class ParallelOutcome:
+    """Uniform result record for serial and parallel runs.
+
+    ``history`` holds ``(iteration, mu, model_seconds)`` triples sampled at
+    the master each iteration — the quality-vs-time curve the paper's
+    bracket notation ("time for the percentage of serial quality") is
+    derived from.
+    """
+
+    strategy: str
+    circuit: str
+    objectives: tuple[str, ...]
+    p: int
+    iterations: int
+    runtime: float
+    best_mu: float
+    best_costs: dict[str, float] = field(default_factory=dict)
+    history: list[tuple[int, float, float]] = field(default_factory=list)
+    extras: dict[str, Any] = field(default_factory=dict)
+
+    def time_to_quality(self, target_mu: float) -> float | None:
+        """Model-time when quality first reached ``target_mu`` (None if never)."""
+        for _it, mu, t in self.history:
+            if mu >= target_mu:
+                return t
+        return None
+
+
+def make_config(spec: ExperimentSpec, max_iterations: int | None = None) -> SimEConfig:
+    """SimE configuration derived from the spec."""
+    return SimEConfig(
+        max_iterations=max_iterations or spec.iterations,
+        bias=spec.bias,
+        adaptive_bias=spec.adaptive_bias,
+        row_window=spec.row_window,
+        slot_window=spec.slot_window,
+        sort_descending=spec.sort_descending,
+    )
+
+
+def build_problem(spec: ExperimentSpec, meter: WorkMeter | None = None) -> Problem:
+    """Build netlist, grid, engine and the shared initial placement.
+
+    ``meter`` binds the engine's work charging to the caller's clock (a
+    simulated rank passes its own meter).
+    """
+    netlist = paper_circuit(spec.circuit)
+    grid = RowGrid.for_netlist(netlist, num_rows=spec.num_rows)
+    engine = CostEngine(
+        netlist,
+        grid,
+        objectives=spec.objectives,
+        meter=meter,
+        critical_paths=spec.critical_paths,
+    )
+    init_rng = stream_for(spec.seed, INIT_STREAM, "init")
+    placement = random_placement(grid, init_rng)
+    return Problem(
+        netlist=netlist,
+        grid=grid,
+        engine=engine,
+        initial_rows=placement.to_rows(),
+    )
+
+
+def run_serial(
+    spec: ExperimentSpec, work_model: WorkModel | None = None
+) -> ParallelOutcome:
+    """The serial SimE baseline every parallel strategy is compared to."""
+    meter = WorkMeter(work_model or calibrated_work_model())
+    problem = build_problem(spec, meter)
+    rng = stream_for(spec.seed, SERIAL_STREAM, "serial-sel")
+    sime = SimulatedEvolution(problem.engine, make_config(spec), rng)
+    result = sime.run(problem.initial_placement())
+    history = [(r.iteration, r.mu, r.model_seconds) for r in result.history]
+    return ParallelOutcome(
+        strategy="serial",
+        circuit=spec.circuit,
+        objectives=spec.objectives,
+        p=1,
+        iterations=result.iterations,
+        runtime=result.model_seconds,
+        best_mu=result.best_mu,
+        best_costs=result.best_costs,
+        history=history,
+        extras={"work_units": result.work_units},
+    )

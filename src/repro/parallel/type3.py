@@ -1,0 +1,206 @@
+"""Type III parallel SimE: cooperating parallel searches.
+
+Paper Section 6.3 (Figure 6), modelled on asynchronous multiple-Markov-
+chain parallel SA (Chandy et al. [1]):
+
+* rank 0 is a **central store** ("one processor is required as a central
+  store", which is why the paper's Table 4 starts at p = 3);
+* every other rank runs the full serial SimE loop from the *same starting
+  solution* with a *different randomization seed*;
+* whenever a slave improves its best solution it reports it to the store
+  ("each processor always communicates the best solution found recently to
+  the master");
+* a slave counts consecutive non-improving iterations; past the **retry
+  threshold** it asks the store for a better solution — the store "either
+  provides a better solution or accepts the solution of the requesting
+  processor if it is better".
+
+There is no workload division, so runtimes track the serial algorithm;
+the paper's observation — and this implementation reproduces its mechanism
+— is that identically-seeded-solution SimE threads explore overlapping
+regions, so cooperation buys quality (especially at high retry thresholds)
+but no speed.
+"""
+
+from __future__ import annotations
+
+from repro.cost.workmeter import WorkModel
+from repro.layout.placement import Placement
+from repro.parallel.mpi.calibration import (
+    calibrated_network_model,
+    calibrated_work_model,
+)
+from repro.parallel.mpi.comm import ANY_SOURCE, Communicator
+from repro.parallel.mpi.netmodel import NetworkModel
+from repro.parallel.mpi.simcluster import SimCluster
+from repro.parallel.runners import (
+    ExperimentSpec,
+    ParallelOutcome,
+    build_problem,
+    make_config,
+    rank_stream_id,
+    stream_for,
+)
+from repro.sime.engine import SimulatedEvolution
+
+__all__ = ["run_type3"]
+
+_REPORT = "report"
+_REQUEST = "request"
+_DONE = "done"
+
+
+def _master(comm: Communicator) -> dict:
+    """Central best-solution store (rank 0)."""
+    best_mu = -1.0
+    best_rows: list[list[int]] | None = None
+    done = 0
+    exchanges = 0
+    adoptions = 0
+    while done < comm.size - 1:
+        src, msg = comm.recv(source=ANY_SOURCE)
+        kind = msg[0]
+        if kind == _REPORT:
+            _, mu, rows = msg
+            if mu > best_mu:
+                best_mu = mu
+                best_rows = rows
+        elif kind == _REQUEST:
+            _, mu, rows = msg
+            exchanges += 1
+            if mu > best_mu:
+                # Accept the requester's solution; nothing better to offer.
+                best_mu = mu
+                best_rows = rows
+                comm.send(None, src)
+            elif best_mu > mu:
+                adoptions += 1
+                comm.send((best_mu, best_rows), src)
+            else:
+                comm.send(None, src)
+        elif kind == _DONE:
+            done += 1
+        else:  # pragma: no cover - protocol is closed
+            raise RuntimeError(f"unknown message kind {kind!r}")
+    return {
+        "best_mu": best_mu,
+        "best_rows": best_rows,
+        "exchanges": exchanges,
+        "adoptions": adoptions,
+    }
+
+
+def _slave(
+    comm: Communicator,
+    spec: ExperimentSpec,
+    iterations: int,
+    retry_threshold: int,
+) -> dict:
+    problem = build_problem(spec, meter=comm.meter)
+    engine = problem.engine
+    rng = stream_for(spec.seed, rank_stream_id(comm.rank), "t3-sel")
+    sime = SimulatedEvolution(engine, make_config(spec, iterations), rng)
+
+    placement = problem.initial_placement()
+    engine.attach(placement)
+    sime.best_mu = engine.mu()
+    sime.best_rows = placement.to_rows()
+    sime.best_costs = engine.costs()
+
+    count = 0
+    last_best = sime.best_mu
+    history: list[tuple[int, float, float]] = []
+    for it in range(iterations):
+        rec = sime.step()
+        comm.progress()
+        history.append((it, rec.mu, comm.elapsed()))
+        if sime.best_mu > last_best:
+            comm.send((_REPORT, sime.best_mu, sime.best_rows), 0)
+            last_best = sime.best_mu
+            count = 0
+        else:
+            count += 1
+        if count > retry_threshold:
+            comm.send((_REQUEST, sime.best_mu, sime.best_rows), 0)
+            _src, reply = comm.recv(source=0)
+            if reply is not None:
+                mu, rows = reply
+                if mu > sime.best_mu:
+                    placement = Placement.from_rows(problem.grid, rows)
+                    engine.attach(placement)
+                    sime.best_mu = engine.mu()
+                    sime.best_rows = placement.to_rows()
+                    sime.best_costs = engine.costs()
+                    last_best = sime.best_mu
+            count = 0
+    comm.send((_DONE,), 0)
+    result = sime.result()
+    return {
+        "best_mu": result.best_mu,
+        "best_costs": result.best_costs,
+        "history": history,
+        "elapsed": comm.elapsed(),
+    }
+
+
+def _spmd(
+    comm: Communicator, spec: ExperimentSpec, iterations: int, retry_threshold: int
+) -> dict:
+    if comm.rank == 0:
+        return _master(comm)
+    return _slave(comm, spec, iterations, retry_threshold)
+
+
+def run_type3(
+    spec: ExperimentSpec,
+    p: int,
+    retry_threshold: int,
+    network: NetworkModel | None = None,
+    work_model: WorkModel | None = None,
+    iterations: int | None = None,
+) -> ParallelOutcome:
+    """Run Type III parallel SimE on a simulated ``p``-rank cluster.
+
+    ``p`` counts the central store: Table 4's "p = 3" is one store plus
+    two searching slaves.  Serial and parallel runs use the same iteration
+    budget per processor (paper: "Both the serial and parallel algorithms
+    were run for 2500 iterations at each processor").
+    """
+    if p < 3:
+        raise ValueError("Type III needs at least 3 ranks (store + 2 searchers)")
+    if retry_threshold < 1:
+        raise ValueError("retry_threshold must be >= 1")
+    iters = iterations if iterations is not None else spec.iterations
+    cluster = SimCluster(
+        p,
+        network=network or calibrated_network_model(),
+        work_model=work_model or calibrated_work_model(),
+    )
+    res = cluster.run(
+        _spmd,
+        kwargs={"spec": spec, "iterations": iters, "retry_threshold": retry_threshold},
+    )
+    master = res.results[0]
+    slaves = res.results[1:]
+    best_slave = max(slaves, key=lambda s: s["best_mu"])
+    best_mu = max(master["best_mu"], best_slave["best_mu"])
+    # Runtime: the searchers' makespan (the store idles by design).
+    runtime = max(s["elapsed"] for s in slaves)
+    return ParallelOutcome(
+        strategy="type3",
+        circuit=spec.circuit,
+        objectives=spec.objectives,
+        p=p,
+        iterations=iters,
+        runtime=runtime,
+        best_mu=best_mu,
+        best_costs=best_slave["best_costs"],
+        history=best_slave["history"],
+        extras={
+            "retry_threshold": retry_threshold,
+            "exchanges": master["exchanges"],
+            "adoptions": master["adoptions"],
+            "slave_mus": [s["best_mu"] for s in slaves],
+            "rank_clocks": res.clocks,
+        },
+    )

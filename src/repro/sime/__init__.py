@@ -1,0 +1,29 @@
+"""Simulated Evolution (SimE) core — the paper's Figure 1 algorithm.
+
+One iteration = **Evaluation** (per-cell fuzzy goodness), **Selection**
+(probabilistic, goodness-biased) and **Allocation** (sorted individual
+best-fit relocation of the selected cells).  The serial engine here is the
+exact code the parallel strategies in :mod:`repro.parallel` decompose:
+
+* :mod:`repro.sime.goodness` — multiobjective goodness evaluation;
+* :mod:`repro.sime.selection` — the biased/biasless selection operator;
+* :mod:`repro.sime.allocation` — sorted individual best-fit allocation;
+* :mod:`repro.sime.engine` — the Evaluation/Selection/Allocation loop with
+  stopping criteria, best-solution tracking and per-iteration statistics.
+"""
+
+from repro.sime.config import SimEConfig
+from repro.sime.goodness import evaluate_goodness
+from repro.sime.selection import select_cells
+from repro.sime.allocation import Allocator
+from repro.sime.engine import SimulatedEvolution, SimEResult, IterationRecord
+
+__all__ = [
+    "SimEConfig",
+    "evaluate_goodness",
+    "select_cells",
+    "Allocator",
+    "SimulatedEvolution",
+    "SimEResult",
+    "IterationRecord",
+]

@@ -1,0 +1,150 @@
+"""Allocation step: sorted individual best-fit.
+
+The operator the paper's profile bills ~98 % of the runtime to.  Following
+the 'sorted individual best fit method' of Sait & Khan [9]:
+
+1. all selected cells are **removed** from the solution, leaving the
+   partial solution Φp (rows stay packed);
+2. the selected cells are **sorted** (worst goodness first by default — the
+   cells most in need of relocation get the emptiest solution to choose
+   from; the order is an ablation knob);
+3. each cell is placed at its **best fit**: the probe window is centred on
+   the cell's *optimal position* — the median x/y of the cells and pads it
+   connects to — and every candidate (row, slot) in the window is scored by
+   the cell's fuzzy goodness at that position via
+   :meth:`~repro.cost.engine.CostEngine.trial_insertion`; the best legal
+   candidate wins and is committed before the next cell is processed.
+
+Width legality is enforced here (candidates overflowing a row are
+rejected), implementing the paper's width *constraint*.  If every probed
+candidate is illegal the allocator falls back to the currently-widest
+slack row, which always admits the cell for any sane ``alpha``.
+
+Restricting ``allowed_rows`` confines both probing and fallback to a row
+subset — exactly the hook Type II domain decomposition uses ("each
+processor only has a limited freedom of cell movement", Section 6.2).
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from typing import Mapping, Sequence
+
+from repro.cost.engine import CostEngine, TrialResult
+from repro.sime.config import SimEConfig
+from repro.utils.rng import RngStream
+
+__all__ = ["Allocator"]
+
+
+class Allocator:
+    """Sorted individual best-fit allocation against one cost engine."""
+
+    def __init__(self, engine: CostEngine, config: SimEConfig, rng: RngStream):
+        self.engine = engine
+        self.config = config
+        self.rng = rng
+
+    # ------------------------------------------------------------------
+    def allocate(
+        self,
+        selected: Sequence[int],
+        goodness: Mapping[int, float],
+        allowed_rows: Sequence[int] | None = None,
+    ) -> None:
+        """Remove and re-place every selected cell (see module docstring).
+
+        ``allowed_rows`` restricts candidate rows (Type II); None allows
+        the full grid.
+        """
+        if not selected:
+            return
+        engine = self.engine
+        rows = (
+            sorted(set(allowed_rows))
+            if allowed_rows is not None
+            else list(range(engine.grid.num_rows))
+        )
+        if not rows:
+            raise ValueError("allowed_rows must not be empty")
+
+        order = sorted(
+            selected,
+            key=lambda c: goodness.get(c, 0.0),
+            reverse=self.config.sort_descending,
+        )
+        engine.remove_cells(order)
+        for cell in order:
+            row, slot = self._best_fit(cell, rows)
+            engine.insert_cell(cell, row, slot)
+
+    # ------------------------------------------------------------------
+    def _target_point(self, cell: int) -> tuple[float, float]:
+        """Optimal position estimate: median of connected placed pins."""
+        engine = self.engine
+        p = engine.placement
+        xs: list[float] = []
+        ys: list[float] = []
+        for j in engine.netlist.nets_of_cell(cell):
+            for c in engine.evaluator.net_pins[int(j)]:
+                if c == cell:
+                    continue
+                vx = p.x[c]
+                if vx == vx:  # placed or pad
+                    xs.append(float(vx))
+                    ys.append(float(p.y[c]))
+        if not xs:
+            # Isolated during this allocation round: aim at the core center.
+            return engine.grid.w_avg / 2.0, engine.grid.row_y(
+                engine.grid.num_rows // 2
+            )
+        xs.sort()
+        ys.sort()
+        mid = len(xs) // 2
+        mx = xs[mid] if len(xs) % 2 == 1 else 0.5 * (xs[mid - 1] + xs[mid])
+        my = ys[mid] if len(ys) % 2 == 1 else 0.5 * (ys[mid - 1] + ys[mid])
+        return mx, my
+
+    def _ideal_slot(self, row: int, x: float) -> int:
+        """Slot in ``row`` whose insertion boundary is closest to ``x``.
+
+        Binary search over the (monotone) left boundaries of the packed
+        row, reading only O(log n) coordinates instead of materializing
+        the whole boundary list.
+        """
+        p = self.engine.placement
+        cells = p.rows[row]
+        if not cells:
+            return 0
+        px = p.x
+        widths = p._widths
+        return bisect_left(cells, x, key=lambda c: px[c] - widths[c] / 2.0)
+
+    def _best_fit(self, cell: int, rows: Sequence[int]) -> tuple[int, int]:
+        """Best legal candidate (row, slot) for ``cell`` within ``rows``."""
+        engine = self.engine
+        cfg = self.config
+        tx, ty = self._target_point(cell)
+        target_row = engine.grid.nearest_row(ty)
+        # Candidate rows: allowed rows ordered by distance to the target.
+        cand_rows = sorted(rows, key=lambda r: abs(r - target_row))[
+            : 2 * cfg.row_window + 1
+        ]
+        best: TrialResult | None = None
+        for r in cand_rows:
+            ideal = self._ideal_slot(r, tx)
+            lo = max(0, ideal - cfg.slot_window)
+            hi = min(len(engine.placement.rows[r]), ideal + cfg.slot_window)
+            for slot in range(lo, hi + 1):
+                t = engine.trial_insertion(cell, r, slot)
+                if not t.legal:
+                    continue
+                if best is None or t.goodness > best.goodness:
+                    best = t
+        if best is not None:
+            return best.row, best.slot
+        # Fallback: widest slack among allowed rows (always legal for sane
+        # alpha because selected cells were removed first).
+        p = engine.placement
+        r = min(rows, key=lambda r_: float(p.row_width[r_]))
+        return r, len(p.rows[r])

@@ -1,0 +1,64 @@
+"""SimE configuration.
+
+One frozen dataclass shared by the serial engine and every parallel
+strategy, so a parallel run is guaranteed to use the same operator
+parameters as the serial run it is compared against (the paper compares
+"for the best solution qualities obtained with the serial algorithm").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.utils.validation import check_in_range, check_positive
+
+__all__ = ["SimEConfig"]
+
+
+@dataclass(frozen=True)
+class SimEConfig:
+    """Parameters of the SimE operators and loop.
+
+    Attributes
+    ----------
+    max_iterations:
+        Iteration budget (the paper runs fixed budgets per experiment).
+    bias:
+        Selection bias ``B`` in ``Random > min(g_i + B, 1)``.  The default
+        0.0 is the *biasless* selection of Sait & Khan [9] used by the
+        paper; positive values select less, negative values select more.
+    adaptive_bias:
+        When True, overrides ``bias`` each iteration with ``1 − mean(g)``,
+        an adaptive scheme that selects roughly the below-average cells.
+    row_window:
+        Allocation searches rows within ± this many rows of the cell's
+        optimal row.
+    slot_window:
+        Within each candidate row, slots within ± this many positions of
+        the optimal slot are probed.
+    sort_descending:
+        Allocation order over the selected set: False (default) relocates
+        the *worst-goodness* cells first — they need the most freedom —
+        which is the "sorted individual best fit" reading we adopt; True
+        gives the best cells first pick instead (ablation knob).
+    stall_limit:
+        Optional early stop: end the run after this many consecutive
+        iterations without improving the best µ(s) ("no noticeable
+        improvement ... after a number of iterations", paper Section 3).
+    """
+
+    max_iterations: int = 100
+    bias: float = 0.0
+    adaptive_bias: bool = False
+    row_window: int = 2
+    slot_window: int = 2
+    sort_descending: bool = False
+    stall_limit: int | None = None
+
+    def __post_init__(self) -> None:
+        check_positive("max_iterations", self.max_iterations)
+        check_in_range("bias", self.bias, -1.0, 1.0)
+        check_positive("row_window", self.row_window)
+        check_positive("slot_window", self.slot_window)
+        if self.stall_limit is not None:
+            check_positive("stall_limit", self.stall_limit)

@@ -1,0 +1,162 @@
+"""The serial SimE loop (paper Figure 1) with statistics and best tracking.
+
+The loop is deliberately exposed at *step* granularity: the parallel
+strategies re-use the same Evaluation/Selection/Allocation code —
+
+* Type I keeps this loop at the master and only distributes Evaluation;
+* Type II runs this exact step on row partitions inside each slave;
+* Type III runs the full serial loop per thread and adds an exchange
+  protocol around it —
+
+so "parallel vs serial" comparisons compare parallelization, not two
+different placers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.cost.engine import CostEngine
+from repro.layout.placement import Placement
+from repro.sime.allocation import Allocator
+from repro.sime.config import SimEConfig
+from repro.sime.goodness import evaluate_goodness
+from repro.sime.selection import select_cells
+from repro.utils.rng import RngStream
+
+__all__ = ["SimulatedEvolution", "SimEResult", "IterationRecord"]
+
+
+@dataclass(frozen=True)
+class IterationRecord:
+    """Per-iteration statistics."""
+
+    iteration: int
+    mu: float
+    costs: dict[str, float]
+    mean_goodness: float
+    num_selected: int
+    model_seconds: float
+
+
+@dataclass
+class SimEResult:
+    """Outcome of a SimE run."""
+
+    best_rows: list[list[int]]
+    best_mu: float
+    best_costs: dict[str, float]
+    iterations: int
+    history: list[IterationRecord] = field(default_factory=list)
+    model_seconds: float = 0.0
+    work_units: dict[str, float] = field(default_factory=dict)
+
+    def best_placement(self, grid) -> Placement:
+        """Materialize the best solution as a Placement on ``grid``."""
+        return Placement.from_rows(grid, self.best_rows)
+
+
+class SimulatedEvolution:
+    """Serial SimE driver bound to one cost engine.
+
+    Parameters
+    ----------
+    engine:
+        Cost engine (objectives/aggregation already configured).
+    config:
+        Operator and loop parameters.
+    rng:
+        The run's random stream (selection is the only consumer, matching
+        the paper's "same starting solution but different randomization
+        seeds" protocol).
+    """
+
+    def __init__(self, engine: CostEngine, config: SimEConfig, rng: RngStream):
+        self.engine = engine
+        self.config = config
+        self.rng = rng
+        self.allocator = Allocator(engine, config, rng)
+        self.best_rows: list[list[int]] | None = None
+        self.best_mu: float = -1.0
+        self.best_costs: dict[str, float] = {}
+        self.history: list[IterationRecord] = []
+        self._iteration = 0
+        self._stall = 0
+
+    # ------------------------------------------------------------------
+    def step(
+        self,
+        cells: list[int] | None = None,
+        allowed_rows: list[int] | None = None,
+    ) -> IterationRecord:
+        """One Evaluation → Selection → Allocation iteration.
+
+        ``cells``/``allowed_rows`` restrict the operators to a subset
+        (Type II slaves); the default covers the whole solution.
+        """
+        engine = self.engine
+        engine.full_refresh()
+        goodness = evaluate_goodness(engine, cells)
+        selected = select_cells(
+            goodness,
+            self.rng,
+            bias=self.config.bias,
+            adaptive=self.config.adaptive_bias,
+            meter=engine.meter,
+        )
+        self.allocator.allocate(selected, goodness, allowed_rows)
+
+        mu = engine.mu()
+        record = IterationRecord(
+            iteration=self._iteration,
+            mu=mu,
+            costs=engine.costs(),
+            mean_goodness=(
+                sum(goodness.values()) / len(goodness) if goodness else 0.0
+            ),
+            num_selected=len(selected),
+            model_seconds=engine.meter.seconds(),
+        )
+        self.history.append(record)
+        self._iteration += 1
+        if mu > self.best_mu:
+            self.best_mu = mu
+            self.best_rows = engine.placement.to_rows()
+            self.best_costs = engine.costs()
+            self._stall = 0
+        else:
+            self._stall += 1
+        return record
+
+    @property
+    def stalled(self) -> bool:
+        """Whether the stall-limit stopping condition has triggered."""
+        limit = self.config.stall_limit
+        return limit is not None and self._stall >= limit
+
+    # ------------------------------------------------------------------
+    def run(self, placement: Placement, iterations: int | None = None) -> SimEResult:
+        """Attach ``placement`` and iterate to the budget (or stall limit)."""
+        engine = self.engine
+        engine.attach(placement)
+        self.best_mu = engine.mu()
+        self.best_rows = placement.to_rows()
+        self.best_costs = engine.costs()
+        budget = iterations if iterations is not None else self.config.max_iterations
+        for _ in range(budget):
+            self.step()
+            if self.stalled:
+                break
+        return self.result()
+
+    def result(self) -> SimEResult:
+        """Package the current best solution and statistics."""
+        return SimEResult(
+            best_rows=[list(r) for r in (self.best_rows or [])],
+            best_mu=self.best_mu,
+            best_costs=dict(self.best_costs),
+            iterations=self._iteration,
+            history=list(self.history),
+            model_seconds=self.engine.meter.seconds(),
+            work_units=self.engine.meter.snapshot(),
+        )

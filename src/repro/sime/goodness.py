@@ -1,0 +1,32 @@
+"""Evaluation step: per-cell multiobjective goodness.
+
+``g_i = O_i / C_i`` per objective (clamped to [0, 1]), combined with the
+same fuzzy OWA operator that aggregates the solution cost — the
+multiobjective goodness measure of Sait & Khan [9] that the paper uses.
+The heavy lifting (cached net lengths, bounds, aggregation) lives in
+:meth:`repro.cost.engine.CostEngine.cell_goodness`; this module is the
+Evaluation *step*: sweep a set of cells and return their goodness map.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping
+
+from repro.cost.engine import CostEngine
+
+__all__ = ["evaluate_goodness"]
+
+
+def evaluate_goodness(
+    engine: CostEngine, cells: Iterable[int] | None = None
+) -> dict[int, float]:
+    """Goodness of each cell in ``cells`` (default: every movable cell).
+
+    The engine must hold a fully-placed attached placement whose caches are
+    current (the SimE loop calls ``full_refresh`` once per iteration before
+    evaluating — that refresh, not this sweep, is what the paper's profile
+    bills to "wirelength calculation").
+    """
+    if cells is None:
+        cells = (c.index for c in engine.netlist.movable_cells())
+    return {c: engine.cell_goodness(c) for c in cells}

@@ -1,0 +1,66 @@
+"""Selection step.
+
+Paper Figure 1: a cell ``m_i`` joins the selection set ``S`` when
+
+    Random > min(g_i + B, 1)
+
+so low-goodness cells are selected with high probability, but even a
+perfect cell (g = 1) can be selected when ``B < 0`` — and with the
+*biasless* scheme (B = 0) a cell with g_i < 1 always has a non-zero chance
+of staying put and a chance of moving, the non-determinism that lets SimE
+escape local minima (Section 3).
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+from repro.cost.workmeter import WorkMeter
+from repro.utils.rng import RngStream
+
+__all__ = ["select_cells", "effective_bias"]
+
+
+def effective_bias(
+    goodness: Mapping[int, float], bias: float, adaptive: bool
+) -> float:
+    """The bias value to use this iteration.
+
+    With ``adaptive`` the fixed bias is replaced by ``1 − mean(g)``: when
+    the population is mostly bad (low mean goodness) the bias rises,
+    throttling selection so allocation is not swamped; as the solution
+    improves the bias falls toward zero.
+    """
+    if not adaptive:
+        return bias
+    if not goodness:
+        return bias
+    mean = sum(goodness.values()) / len(goodness)
+    return 1.0 - mean
+
+
+def select_cells(
+    goodness: Mapping[int, float],
+    rng: RngStream,
+    bias: float = 0.0,
+    adaptive: bool = False,
+    meter: WorkMeter | None = None,
+) -> list[int]:
+    """Run the selection operator over a goodness map.
+
+    Returns the selected cell indices **in the iteration order of the
+    map** (Python dict order = evaluation order), so the caller's sort is
+    the only reordering — keeping selection reproducible for a given RNG
+    stream.
+    """
+    b = effective_bias(goodness, bias, adaptive)
+    selected: list[int] = []
+    for cell, g in goodness.items():
+        threshold = g + b
+        if threshold > 1.0:
+            threshold = 1.0
+        if rng.random() > threshold:
+            selected.append(cell)
+    if meter is not None:
+        meter.charge("selection", float(len(goodness)))
+    return selected

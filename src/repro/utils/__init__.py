@@ -1,0 +1,14 @@
+"""Shared utilities: seeded RNG streams, timing, logging, validation."""
+
+from repro.utils.rng import RngStream, spawn_streams
+from repro.utils.timing import Stopwatch
+from repro.utils.validation import check_positive, check_probability, check_in_range
+
+__all__ = [
+    "RngStream",
+    "spawn_streams",
+    "Stopwatch",
+    "check_positive",
+    "check_probability",
+    "check_in_range",
+]

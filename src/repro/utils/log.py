@@ -1,0 +1,35 @@
+"""Library-wide logging.
+
+A single ``repro`` logger hierarchy, quiet by default (library code must not
+spam stdout), with a helper to switch on human-readable progress output in
+examples and benches.
+"""
+
+from __future__ import annotations
+
+import logging
+
+__all__ = ["get_logger", "enable_console_logging"]
+
+_ROOT_NAME = "repro"
+
+
+def get_logger(name: str = "") -> logging.Logger:
+    """Return a logger under the ``repro`` hierarchy.
+
+    ``get_logger("sime.engine")`` → logger named ``repro.sime.engine``.
+    """
+    full = _ROOT_NAME if not name else f"{_ROOT_NAME}.{name}"
+    return logging.getLogger(full)
+
+
+def enable_console_logging(level: int = logging.INFO) -> None:
+    """Attach a stderr handler to the ``repro`` root logger (idempotent)."""
+    root = logging.getLogger(_ROOT_NAME)
+    root.setLevel(level)
+    if not any(isinstance(h, logging.StreamHandler) for h in root.handlers):
+        handler = logging.StreamHandler()
+        handler.setFormatter(
+            logging.Formatter("%(asctime)s %(name)s %(levelname)s %(message)s")
+        )
+        root.addHandler(handler)

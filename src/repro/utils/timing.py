@@ -1,0 +1,69 @@
+"""Wall-clock timing helpers.
+
+Real time matters only for the :class:`~repro.parallel.mpi.mp_backend`
+multiprocessing experiments; the deterministic benches use virtual
+model-seconds from :mod:`repro.cost.workmeter`.  This module provides the
+small pieces of wall-clock plumbing shared by both.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+__all__ = ["Stopwatch"]
+
+
+@dataclass
+class Stopwatch:
+    """Accumulating stopwatch with named laps.
+
+    Example
+    -------
+    >>> sw = Stopwatch()
+    >>> with sw.lap("evaluation"):
+    ...     pass
+    >>> sw.total("evaluation") >= 0.0
+    True
+    """
+
+    laps: dict[str, float] = field(default_factory=dict)
+
+    def lap(self, name: str) -> "_Lap":
+        """Context manager accumulating elapsed time under ``name``."""
+        return _Lap(self, name)
+
+    def add(self, name: str, seconds: float) -> None:
+        """Directly add ``seconds`` to the lap ``name``."""
+        self.laps[name] = self.laps.get(name, 0.0) + seconds
+
+    def total(self, name: str) -> float:
+        """Total seconds accumulated under ``name`` (0.0 if never used)."""
+        return self.laps.get(name, 0.0)
+
+    def grand_total(self) -> float:
+        """Sum across all laps."""
+        return sum(self.laps.values())
+
+    def shares(self) -> dict[str, float]:
+        """Fraction of the grand total per lap (empty dict if no time)."""
+        g = self.grand_total()
+        if g <= 0.0:
+            return {}
+        return {k: v / g for k, v in self.laps.items()}
+
+
+class _Lap:
+    __slots__ = ("_sw", "_name", "_t0")
+
+    def __init__(self, sw: Stopwatch, name: str):
+        self._sw = sw
+        self._name = name
+        self._t0 = 0.0
+
+    def __enter__(self) -> "_Lap":
+        self._t0 = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self._sw.add(self._name, time.perf_counter() - self._t0)

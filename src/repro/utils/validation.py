@@ -1,0 +1,33 @@
+"""Small argument-validation helpers used across the public API.
+
+The library raises :class:`ValueError` with a consistent message format so
+callers can rely on error text in tests and so misuse fails fast at the API
+boundary instead of deep inside a placement loop.
+"""
+
+from __future__ import annotations
+
+__all__ = ["check_positive", "check_probability", "check_in_range"]
+
+
+def check_positive(name: str, value: float, *, strict: bool = True) -> float:
+    """Validate that ``value`` is positive (strictly by default)."""
+    if strict and not value > 0:
+        raise ValueError(f"{name} must be > 0, got {value!r}")
+    if not strict and not value >= 0:
+        raise ValueError(f"{name} must be >= 0, got {value!r}")
+    return value
+
+
+def check_probability(name: str, value: float) -> float:
+    """Validate that ``value`` lies in the closed interval [0, 1]."""
+    if not 0.0 <= value <= 1.0:
+        raise ValueError(f"{name} must be in [0, 1], got {value!r}")
+    return value
+
+
+def check_in_range(name: str, value: float, low: float, high: float) -> float:
+    """Validate that ``value`` lies in the closed interval [low, high]."""
+    if not low <= value <= high:
+        raise ValueError(f"{name} must be in [{low}, {high}], got {value!r}")
+    return value

@@ -1,0 +1,117 @@
+"""Profiling report, speed-up math, quality brackets, table rendering."""
+
+import pytest
+
+from repro.analysis.profiling import PAPER_SHARES, profile_serial_run
+from repro.analysis.reporting import format_seconds, render_table
+from repro.analysis.speedup import (
+    BracketResult,
+    efficiency,
+    quality_bracket,
+    speedup,
+)
+from repro.netlist.generator import CircuitSpec
+from repro.netlist.suite import PAPER_CIRCUITS, paper_circuit
+from repro.parallel.runners import ExperimentSpec, ParallelOutcome
+
+
+@pytest.fixture(scope="module", autouse=True)
+def tiny_suite_entry():
+    PAPER_CIRCUITS["_an100"] = (
+        CircuitSpec("_an100", n_gates=100, n_inputs=5, n_outputs=5,
+                    frac_dff=0.05, depth=7),
+        66,
+    )
+    yield
+    PAPER_CIRCUITS.pop("_an100")
+    paper_circuit.cache_clear()
+
+
+def test_profile_allocation_dominates():
+    """The E1 acceptance criterion: allocation > 90 % of model-time."""
+    spec = ExperimentSpec(circuit="_an100", iterations=8)
+    report = profile_serial_run(spec)
+    assert report.allocation_share > 0.90
+    assert sum(report.shares.values()) == pytest.approx(1.0)
+
+
+def test_profile_rows_include_paper_values():
+    spec = ExperimentSpec(circuit="_an100", iterations=5)
+    report = profile_serial_run(spec)
+    rows = report.rows()
+    alloc_row = next(r for r in rows if r["category"] == "allocation")
+    assert alloc_row["paper %"] == pytest.approx(98.4)
+    assert report.version_key() == "wirelength-power"
+
+
+def test_paper_shares_reference():
+    assert PAPER_SHARES["wirelength-power"]["allocation"] == 0.984
+    assert PAPER_SHARES["wirelength-power-delay"]["delay"] == 0.002
+
+
+def test_speedup_and_efficiency():
+    assert speedup(10.0, 5.0) == 2.0
+    assert efficiency(10.0, 5.0, 4) == 0.5
+    with pytest.raises(ValueError):
+        speedup(1.0, 0.0)
+    with pytest.raises(ValueError):
+        efficiency(1.0, 1.0, 0)
+
+
+def _outcome(history, best_mu, runtime=100.0):
+    return ParallelOutcome(
+        strategy="x", circuit="c", objectives=("wirelength",), p=2,
+        iterations=len(history), runtime=runtime, best_mu=best_mu,
+        history=history,
+    )
+
+
+def test_quality_bracket_reached():
+    out = _outcome([(0, 0.3, 10.0), (1, 0.6, 20.0), (2, 0.7, 30.0)], 0.7)
+    b = quality_bracket(out, serial_best_mu=0.6)
+    assert b.reached and b.time == 20.0
+    assert b.cell() == "20.0"
+
+
+def test_quality_bracket_missed():
+    out = _outcome([(0, 0.3, 10.0), (1, 0.5, 20.0)], 0.5, runtime=99.0)
+    b = quality_bracket(out, serial_best_mu=0.8)
+    assert not b.reached
+    assert b.time == 99.0
+    assert b.percent == int(round(100 * 0.5 / 0.8))
+    assert "(" in b.cell()
+
+
+def test_quality_bracket_degenerate_serial():
+    out = _outcome([(0, 0.0, 1.0)], 0.0, runtime=5.0)
+    b = quality_bracket(out, serial_best_mu=0.0)
+    assert b.reached and b.time == 5.0
+
+
+def test_bracket_cell_format():
+    assert BracketResult(12.345, False, 93).cell() == "12.3 (93)"
+    assert BracketResult(12.345, True, 100).cell(decimals=2) == "12.35"
+
+
+def test_render_table_alignment():
+    rows = [{"a": 1, "b": "xx"}, {"a": 22, "b": "y"}]
+    text = render_table(rows, title="T")
+    lines = text.splitlines()
+    assert lines[0] == "T"
+    assert "a" in lines[1] and "b" in lines[1]
+    assert len(lines) == 5
+
+
+def test_render_table_missing_cells():
+    text = render_table([{"a": 1}, {"b": 2}], columns=["a", "b"])
+    assert "-" in text
+
+
+def test_render_table_empty():
+    assert "(empty)" in render_table([])
+
+
+def test_format_seconds():
+    assert format_seconds(123.4) == "123"
+    assert format_seconds(12.34) == "12.3"
+    assert format_seconds(0.1234) == "0.123"

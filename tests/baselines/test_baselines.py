@@ -1,0 +1,79 @@
+"""ESP and SA baselines."""
+
+import pytest
+
+from repro.baselines.esp import run_esp
+from repro.baselines.sa import SAConfig, run_sa
+from repro.netlist.generator import CircuitSpec
+from repro.netlist.suite import PAPER_CIRCUITS, paper_circuit
+from repro.parallel.runners import ExperimentSpec
+
+
+@pytest.fixture(scope="module", autouse=True)
+def tiny_suite_entry():
+    PAPER_CIRCUITS["_base100"] = (
+        CircuitSpec("_base100", n_gates=100, n_inputs=5, n_outputs=5,
+                    frac_dff=0.05, depth=7),
+        55,
+    )
+    yield
+    PAPER_CIRCUITS.pop("_base100")
+    paper_circuit.cache_clear()
+
+
+SPEC = ExperimentSpec(circuit="_base100", iterations=10, seed=4)
+
+
+def test_esp_single_objective():
+    out = run_esp(SPEC)
+    assert out.objectives == ("wirelength",)
+    assert out.strategy == "esp"
+    assert "power" not in out.best_costs
+    assert out.best_mu > 0
+
+
+def test_esp_improves_wirelength():
+    out = run_esp(SPEC)
+    start_wl = out.history[0][1]
+    assert out.best_mu >= start_wl
+
+
+def test_esp_bias_recorded():
+    out = run_esp(SPEC, bias=0.25)
+    assert out.extras["bias"] == 0.25
+
+
+def test_sa_runs_and_reports():
+    out = run_sa(SPEC, SAConfig(max_moves=3000))
+    assert out.strategy == "sa"
+    assert out.iterations == 3000
+    assert 0 <= out.extras["accept_rate"] <= 1
+    assert out.runtime > 0
+
+
+def test_sa_respects_width_constraint():
+    out = run_sa(SPEC, SAConfig(max_moves=2000))
+    # best_costs["width"] comes from re-attaching the best placement.
+    from repro.layout.grid import RowGrid
+
+    grid = RowGrid.for_netlist(paper_circuit("_base100"))
+    assert out.best_costs["width"] <= grid.max_legal_width + 1e-6
+
+
+def test_sa_energy_decreases():
+    hot = run_sa(SPEC, SAConfig(max_moves=6000))
+    assert hot.extras["best_energy"] < 3.0  # started near Σ C/O of random
+
+
+def test_sa_deterministic():
+    a = run_sa(SPEC, SAConfig(max_moves=1500))
+    b = run_sa(SPEC, SAConfig(max_moves=1500))
+    assert a.best_mu == b.best_mu
+    assert a.extras["accept_rate"] == b.extras["accept_rate"]
+
+
+def test_sa_config_validation():
+    with pytest.raises(ValueError):
+        SAConfig(t_initial=0)
+    with pytest.raises(ValueError):
+        SAConfig(alpha=0.3)

@@ -1,0 +1,55 @@
+"""Shared fixtures: small, fast circuits and built problem instances."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cost.engine import CostEngine
+from repro.layout.grid import RowGrid
+from repro.layout.initial import random_placement
+from repro.netlist.core import GateKind, Netlist
+from repro.netlist.generator import CircuitSpec, generate_circuit
+from repro.utils.rng import RngStream
+
+
+@pytest.fixture(scope="session")
+def tiny_netlist() -> Netlist:
+    """A hand-built 8-cell netlist with known structure."""
+    nl = Netlist("tiny")
+    a = nl.add_cell("a", GateKind.INPUT)
+    b = nl.add_cell("b", GateKind.INPUT)
+    g1 = nl.add_cell("g1", GateKind.NAND)
+    g2 = nl.add_cell("g2", GateKind.NOR)
+    g3 = nl.add_cell("g3", GateKind.NOT)
+    ff = nl.add_cell("ff", GateKind.DFF)
+    o1 = nl.add_cell("o1", GateKind.OUTPUT)
+    o2 = nl.add_cell("o2", GateKind.OUTPUT)
+    nl.add_net("na", a.index, [g1.index])
+    nl.add_net("nb", b.index, [g1.index, g2.index])
+    nl.add_net("n1", g1.index, [g2.index, g3.index])
+    nl.add_net("n2", g2.index, [ff.index])
+    nl.add_net("n3", g3.index, [o1.index])
+    nl.add_net("nf", ff.index, [o2.index])
+    return nl.freeze()
+
+
+@pytest.fixture(scope="session")
+def small_netlist() -> Netlist:
+    """A generated ~90-cell circuit — the workhorse for fast tests."""
+    spec = CircuitSpec(
+        name="small", n_gates=90, n_inputs=6, n_outputs=6, frac_dff=0.06, depth=8
+    )
+    return generate_circuit(spec, RngStream(7, "small"))
+
+
+@pytest.fixture()
+def small_problem(small_netlist):
+    """Grid + engine + a random placement over the small circuit."""
+    grid = RowGrid.for_netlist(small_netlist)
+    engine = CostEngine(
+        small_netlist, grid, objectives=("wirelength", "power", "delay"),
+        critical_paths=16,
+    )
+    placement = random_placement(grid, RngStream(11, "place"))
+    engine.attach(placement)
+    return grid, engine, placement

@@ -1,0 +1,208 @@
+"""Power, delay, width, fuzzy, bounds, workmeter unit tests."""
+
+import numpy as np
+import pytest
+
+from repro.cost.bounds import CostBounds
+from repro.cost.delay import DelayModel
+from repro.cost.fuzzy import FuzzyAggregator, GoalVector, membership
+from repro.cost.power import PowerModel
+from repro.cost.width import width_cost, width_penalty, width_violation
+from repro.cost.workmeter import WorkMeter, WorkModel
+from repro.netlist.paths import extract_critical_paths
+from repro.netlist.switching import compute_switching
+
+
+# ---------------------------------------------------------------- fuzzy
+def test_membership_saturation():
+    assert membership(5.0, 10.0, 3.0) == 1.0  # below bound
+    assert membership(30.0, 10.0, 3.0) == 0.0  # at goal
+    assert membership(50.0, 10.0, 3.0) == 0.0  # beyond goal
+
+
+def test_membership_linear_between():
+    # bound 10, goal 3 -> zero at 30; cost 20 is halfway.
+    assert membership(20.0, 10.0, 3.0) == pytest.approx(0.5)
+
+
+def test_membership_validation():
+    with pytest.raises(ValueError, match="bound"):
+        membership(1.0, 0.0, 2.0)
+    with pytest.raises(ValueError, match="goal"):
+        membership(1.0, 1.0, 1.0)
+
+
+def test_aggregator_beta_extremes():
+    ms = {"a": 0.2, "b": 0.8}
+    assert FuzzyAggregator(beta=1.0).combine(ms) == pytest.approx(0.2)
+    assert FuzzyAggregator(beta=0.0).combine(ms) == pytest.approx(0.5)
+    mid = FuzzyAggregator(beta=0.5).combine(ms)
+    assert mid == pytest.approx(0.5 * 0.2 + 0.5 * 0.5)
+
+
+def test_aggregator_validation():
+    with pytest.raises(ValueError):
+        FuzzyAggregator(beta=1.5)
+    with pytest.raises(ValueError, match="zero memberships"):
+        FuzzyAggregator().combine([])
+    with pytest.raises(ValueError, match="out of"):
+        FuzzyAggregator().combine([1.2])
+
+
+def test_goal_vector_lookup():
+    g = GoalVector(wirelength=2.5)
+    assert g.get("wirelength") == 2.5
+    with pytest.raises(KeyError):
+        g.get("area")
+
+
+# ---------------------------------------------------------------- power
+def test_power_model(small_netlist):
+    act = compute_switching(small_netlist)
+    pm = PowerModel(small_netlist, act)
+    lengths = np.ones(small_netlist.num_nets) * 3.0
+    assert pm.total(lengths) == pytest.approx(3.0 * act.sum())
+    assert pm.net_power(0, 10.0) == pytest.approx(10.0 * act[0])
+
+
+def test_power_model_validation(small_netlist):
+    with pytest.raises(ValueError, match="shape"):
+        PowerModel(small_netlist, np.ones(3))
+    bad = np.ones(small_netlist.num_nets) * 2.0
+    with pytest.raises(ValueError, match=r"\[0, 1\]"):
+        PowerModel(small_netlist, bad)
+
+
+# ---------------------------------------------------------------- delay
+@pytest.fixture()
+def delay_model(small_netlist):
+    ps = extract_critical_paths(small_netlist, k=12)
+    return DelayModel(small_netlist, ps)
+
+
+def test_interconnect_delay_linear(delay_model):
+    d1 = delay_model.interconnect_delay(0, 10.0)
+    d2 = delay_model.interconnect_delay(0, 20.0)
+    slope = delay_model.id_slope[0]
+    assert d2 - d1 == pytest.approx(slope * 10.0)
+
+
+def test_path_delays_full_vs_manual(small_netlist, delay_model):
+    lengths = np.linspace(1, 5, small_netlist.num_nets)
+    pd = delay_model.path_delays_full(lengths)
+    ps = delay_model.pathset
+    for p in range(ps.num_paths):
+        manual = ps.cell_delay[p] + sum(
+            delay_model.interconnect_delay(int(j), lengths[j])
+            for j in ps.path_nets(p)
+        )
+        assert pd[p] == pytest.approx(manual)
+
+
+def test_shift_for_net_incremental(small_netlist, delay_model):
+    lengths = np.ones(small_netlist.num_nets) * 2.0
+    pd = delay_model.path_delays_full(lengths)
+    j = int(delay_model.pathset.nets[0])
+    lengths2 = lengths.copy()
+    lengths2[j] = 7.0
+    expect = delay_model.path_delays_full(lengths2)
+    touched = delay_model.shift_for_net(j, 2.0, 7.0, pd)
+    assert touched > 0
+    assert np.allclose(pd, expect)
+
+
+def test_shift_for_noncritical_net_is_noop(small_netlist, delay_model):
+    non_crit = next(
+        j for j in range(small_netlist.num_nets) if not delay_model.is_critical(j)
+    )
+    pd = np.ones(delay_model.pathset.num_paths)
+    assert delay_model.shift_for_net(non_crit, 1.0, 9.0, pd) == 0
+    assert (pd == 1.0).all()
+
+
+# ---------------------------------------------------------------- width
+def test_width_helpers(small_problem):
+    grid, engine, placement = small_problem
+    assert width_cost(placement) == placement.max_row_width()
+    assert width_violation(placement) == max(0.0, -placement.width_slack())
+    if placement.is_width_legal():
+        assert width_penalty(placement) == 0.0
+    else:
+        assert width_penalty(placement) > 0.0
+
+
+def test_width_penalty_quadratic(small_netlist):
+    from repro.layout.grid import RowGrid
+    from repro.layout.initial import sequential_placement
+
+    # A deliberately unbalanced placement: everything in row 0.
+    grid = RowGrid.for_netlist(small_netlist, num_rows=4)
+    p = sequential_placement(grid)
+    movable = [c for row in p.to_rows() for c in row]
+    rows = [movable, [], [], []]
+    from repro.layout.placement import Placement
+
+    bad = Placement.from_rows(grid, rows)
+    assert width_violation(bad) > 0
+    assert width_penalty(bad, weight=2.0) == pytest.approx(
+        2.0 * (width_violation(bad) / grid.w_avg) ** 2
+    )
+
+
+# ---------------------------------------------------------------- bounds
+def test_bounds_below_actuals(small_problem):
+    grid, engine, placement = small_problem
+    lengths = np.asarray(engine.net_lengths)
+    # Solution-level: bound must not exceed a random placement's cost by
+    # construction it should be far below it.
+    assert engine.bounds.total_wirelength < lengths.sum()
+    assert engine.bounds.total_power < engine.power_total + 1e-9
+    assert engine.bounds.max_delay <= engine.delay_max + 1e-9
+
+
+def test_bounds_scale_monotone(small_netlist):
+    act = compute_switching(small_netlist)
+    b1 = CostBounds.compute(small_netlist, act, bound_scale=1.0)
+    b2 = CostBounds.compute(small_netlist, act, bound_scale=2.0)
+    assert np.allclose(b2.net_wirelength, 2.0 * b1.net_wirelength)
+    assert b2.total_power == pytest.approx(2.0 * b1.total_power)
+
+
+def test_bounds_validation(small_netlist):
+    act = compute_switching(small_netlist)
+    with pytest.raises(ValueError, match="bound_scale"):
+        CostBounds.compute(small_netlist, act, bound_scale=0.0)
+    with pytest.raises(ValueError, match="shape"):
+        CostBounds.compute(small_netlist, np.ones(2))
+
+
+# ---------------------------------------------------------------- meter
+def test_workmeter_charging():
+    m = WorkMeter(WorkModel({"a": 2e-6, "b": 1e-6}))
+    m.charge("a", 10)
+    m.charge("b", 5)
+    m.charge("a", 1)
+    assert m.seconds() == pytest.approx(11 * 2e-6 + 5e-6)
+    assert m.shares()["a"] == pytest.approx(22 / 27)
+
+
+def test_workmeter_unknown_category_costs_zero():
+    m = WorkMeter(WorkModel({"a": 1e-6}))
+    m.charge("mystery", 100)
+    assert m.seconds() == 0.0
+
+
+def test_workmeter_merge_and_reset():
+    a, b = WorkMeter(), WorkMeter()
+    a.charge("x", 1)
+    b.charge("x", 2)
+    a.merge(b)
+    assert a.units["x"] == 3
+    a.reset()
+    assert a.seconds() == 0.0
+
+
+def test_workmodel_with_cost():
+    m = WorkModel().with_cost("allocation", 5e-6)
+    assert m.cost("allocation") == 5e-6
+    assert WorkModel().cost("allocation") != 5e-6  # original untouched

@@ -1,0 +1,98 @@
+"""Net-length estimators: scalar vs batch, geometric properties."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cost.steiner import (
+    batch_hpwl,
+    batch_single_trunk,
+    hpwl_length,
+    single_trunk_length,
+)
+
+coords = st.lists(
+    st.tuples(
+        st.floats(min_value=-100, max_value=100),
+        st.floats(min_value=-100, max_value=100),
+    ),
+    min_size=2,
+    max_size=9,
+)
+
+
+def test_two_pin_equals_manhattan():
+    assert single_trunk_length([0, 3], [0, 4]) == pytest.approx(7.0)
+    assert hpwl_length([0, 3], [0, 4]) == pytest.approx(7.0)
+
+
+def test_single_pin_zero():
+    assert single_trunk_length([5], [5]) == 0.0
+    assert hpwl_length([5], [5]) == 0.0
+
+
+def test_collinear_pins():
+    # All in one row: trunk covers the x-span, no branches.
+    assert single_trunk_length([0, 2, 7], [4, 4, 4]) == pytest.approx(7.0)
+
+
+def test_three_pin_star():
+    # Pins at y = 0, 4, 8; median 4; branches 4+4, span 0.
+    assert single_trunk_length([1, 1, 1], [0, 4, 8]) == pytest.approx(8.0)
+
+
+@settings(max_examples=60, deadline=None)
+@given(pts=coords)
+def test_single_trunk_at_least_hpwl(pts):
+    """Single-trunk length dominates HPWL (it adds per-pin branches)."""
+    xs = [p[0] for p in pts]
+    ys = [p[1] for p in pts]
+    assert single_trunk_length(xs, ys) >= hpwl_length(xs, ys) - 1e-9
+
+
+@settings(max_examples=60, deadline=None)
+@given(pts=coords, dx=st.floats(-50, 50), dy=st.floats(-50, 50))
+def test_translation_invariance(pts, dx, dy):
+    xs = [p[0] for p in pts]
+    ys = [p[1] for p in pts]
+    a = single_trunk_length(xs, ys)
+    b = single_trunk_length([x + dx for x in xs], [y + dy for y in ys])
+    assert a == pytest.approx(b, abs=1e-6)
+
+
+@settings(max_examples=40, deadline=None)
+@given(data=st.data())
+def test_batch_matches_scalar(data):
+    """Property: the vectorized sweep equals the scalar estimator per net."""
+    n_nets = data.draw(st.integers(1, 40))
+    counts = [data.draw(st.integers(2, 8)) for _ in range(n_nets)]
+    indptr = np.concatenate(([0], np.cumsum(counts)))
+    rng = np.random.default_rng(data.draw(st.integers(0, 2**31)))
+    px = rng.random(indptr[-1]) * 100
+    py = rng.random(indptr[-1]) * 40
+    b = batch_single_trunk(indptr, px, py)
+    for j in range(n_nets):
+        xs = px[indptr[j] : indptr[j + 1]].tolist()
+        ys = py[indptr[j] : indptr[j + 1]].tolist()
+        assert b[j] == pytest.approx(single_trunk_length(xs, ys), abs=1e-9)
+    h = batch_hpwl(indptr, px, py)
+    for j in range(n_nets):
+        xs = px[indptr[j] : indptr[j + 1]].tolist()
+        ys = py[indptr[j] : indptr[j + 1]].tolist()
+        assert h[j] == pytest.approx(hpwl_length(xs, ys), abs=1e-9)
+
+
+def test_batch_empty():
+    assert batch_single_trunk(np.array([0]), np.array([]), np.array([])).size == 0
+
+
+def test_batch_discrete_rows():
+    """Row-placement shape: y from a small discrete set (ties in median)."""
+    indptr = np.array([0, 4])
+    px = np.array([0.0, 1.0, 2.0, 3.0])
+    py = np.array([4.0, 4.0, 8.0, 8.0])
+    # Even count with median interval [4, 8]: branches 2+2 to midpoint 6
+    # give the same minimal sum as any trunk in the interval: 8.
+    expect = single_trunk_length(px.tolist(), py.tolist())
+    assert batch_single_trunk(indptr, px, py)[0] == pytest.approx(expect)

@@ -1,0 +1,59 @@
+"""Row grid geometry and width constraint."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.layout.grid import RowGrid
+
+
+def test_default_rows_roughly_square(small_netlist):
+    grid = RowGrid.for_netlist(small_netlist)
+    total = small_netlist.total_movable_width()
+    assert grid.num_rows == max(2, round(math.sqrt(total / grid.row_height)))
+    assert grid.w_avg == pytest.approx(total / grid.num_rows)
+
+
+def test_explicit_rows(small_netlist):
+    grid = RowGrid.for_netlist(small_netlist, num_rows=7)
+    assert grid.num_rows == 7
+
+
+def test_rows_below_two_rejected(small_netlist):
+    with pytest.raises(ValueError, match="num_rows"):
+        RowGrid.for_netlist(small_netlist, num_rows=1)
+
+
+def test_max_legal_width(small_netlist):
+    grid = RowGrid.for_netlist(small_netlist, alpha=0.2)
+    assert grid.max_legal_width == pytest.approx(1.2 * grid.w_avg)
+
+
+def test_row_y_and_nearest_row(small_netlist):
+    grid = RowGrid.for_netlist(small_netlist, num_rows=5, row_height=4.0)
+    assert grid.row_y(0) == 0.0
+    assert grid.row_y(3) == 12.0
+    with pytest.raises(IndexError):
+        grid.row_y(5)
+    assert grid.nearest_row(1.9) == 0
+    assert grid.nearest_row(2.1) == 1
+    assert grid.nearest_row(-10) == 0
+    assert grid.nearest_row(1e9) == 4
+
+
+def test_pads_on_periphery(small_netlist):
+    grid = RowGrid.for_netlist(small_netlist)
+    for cell in small_netlist.primary_inputs():
+        assert grid.pad_x[cell.index] < 0
+    for cell in small_netlist.primary_outputs():
+        assert grid.pad_x[cell.index] > grid.w_avg
+    # Movable cells have no fixed coordinates.
+    for cell in small_netlist.movable_cells():
+        assert np.isnan(grid.pad_x[cell.index])
+
+
+def test_pad_coords_immutable(small_netlist):
+    grid = RowGrid.for_netlist(small_netlist)
+    with pytest.raises(ValueError):
+        grid.pad_x[0] = 3.0

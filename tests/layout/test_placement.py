@@ -1,0 +1,207 @@
+"""Placement invariants and move primitives."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.layout.grid import RowGrid
+from repro.layout.initial import random_placement, sequential_placement
+from repro.layout.placement import Placement, PlacementError
+from repro.utils.rng import RngStream
+
+
+@pytest.fixture()
+def grid(small_netlist):
+    return RowGrid.for_netlist(small_netlist, num_rows=5)
+
+
+@pytest.fixture()
+def placement(grid):
+    return random_placement(grid, RngStream(3))
+
+
+def movable(grid):
+    return [c.index for c in grid.netlist.movable_cells()]
+
+
+def test_initial_placement_valid(placement):
+    placement.validate()
+
+
+def test_sequential_placement_deterministic(grid):
+    a = sequential_placement(grid)
+    b = sequential_placement(grid)
+    assert a.to_rows() == b.to_rows()
+
+
+def test_random_placement_seeded(grid):
+    a = random_placement(grid, RngStream(5))
+    b = random_placement(grid, RngStream(5))
+    assert a.to_rows() == b.to_rows()
+    c = random_placement(grid, RngStream(6))
+    assert a.to_rows() != c.to_rows()
+
+
+def test_initial_placement_width_balanced(placement):
+    grid = placement.grid
+    assert placement.max_row_width() <= grid.w_avg + 8  # one max cell width
+
+
+def test_packed_coordinates(placement):
+    nl = placement.grid.netlist
+    for r, row in enumerate(placement.rows):
+        offset = 0.0
+        for c in row:
+            w = nl.cells[c].width_sites
+            assert placement.x[c] == pytest.approx(offset + w / 2)
+            assert placement.y[c] == pytest.approx(placement.grid.row_y(r))
+            offset += w
+
+
+def test_missing_cell_rejected(grid):
+    rows = random_placement(grid, RngStream(1)).to_rows()
+    rows[0] = rows[0][1:]  # drop a cell
+    with pytest.raises(PlacementError, match="unplaced"):
+        Placement.from_rows(grid, rows)
+
+
+def test_duplicate_cell_rejected(grid):
+    rows = random_placement(grid, RngStream(1)).to_rows()
+    rows[0].append(rows[1][0])
+    with pytest.raises(PlacementError, match="more than once"):
+        Placement.from_rows(grid, rows)
+
+
+def test_pad_in_rows_rejected(grid):
+    rows = random_placement(grid, RngStream(1)).to_rows()
+    pad = next(iter(grid.netlist.pads())).index
+    rows[0].append(pad)
+    with pytest.raises(PlacementError, match="pad"):
+        Placement.from_rows(grid, rows)
+
+
+def test_wrong_row_count_rejected(grid):
+    rows = random_placement(grid, RngStream(1)).to_rows()
+    with pytest.raises(PlacementError, match="expected"):
+        Placement.from_rows(grid, rows[:-1])
+
+
+def test_remove_insert_roundtrip(placement):
+    cell = placement.rows[2][1]
+    r, s = placement.remove_cell(cell)
+    assert (r, s) == (2, 1)
+    assert placement.row_of[cell] == -1
+    assert math.isnan(placement.x[cell])
+    placement.insert_cell(cell, r, s)
+    placement.validate()
+    assert placement.rows[2][1] == cell
+
+
+def test_remove_unplaced_rejected(placement):
+    cell = placement.rows[0][0]
+    placement.remove_cell(cell)
+    with pytest.raises(PlacementError, match="not placed"):
+        placement.remove_cell(cell)
+
+
+def test_insert_placed_rejected(placement):
+    cell = placement.rows[0][0]
+    with pytest.raises(PlacementError, match="already placed"):
+        placement.insert_cell(cell, 1, 0)
+
+
+def test_move_cell(placement):
+    cell = placement.rows[0][0]
+    placement.move_cell(cell, 3, 2)
+    assert placement.row_of[cell] == 3
+    assert placement.rows[3][2] == cell
+    placement.validate()
+
+
+def test_insert_slot_clamped(placement):
+    cell = placement.rows[0][0]
+    placement.remove_cell(cell)
+    placement.insert_cell(cell, 1, 10_000)
+    assert placement.rows[1][-1] == cell
+    placement.validate()
+
+
+def test_swap_same_row(placement):
+    a, b = placement.rows[1][0], placement.rows[1][2]
+    placement.swap_cells(a, b)
+    assert placement.rows[1][0] == b and placement.rows[1][2] == a
+    placement.validate()
+
+
+def test_swap_cross_row(placement):
+    a, b = placement.rows[0][1], placement.rows[4][0]
+    placement.swap_cells(a, b)
+    assert placement.row_of[a] == 4 and placement.row_of[b] == 0
+    placement.validate()
+
+
+def test_bulk_remove_matches_sequential(grid):
+    p1 = random_placement(grid, RngStream(9))
+    p2 = p1.copy()
+    victims = [p1.rows[0][0], p1.rows[0][2], p1.rows[3][1]]
+    for c in victims:
+        p1.remove_cell(c)
+    changed = p2.remove_cells(victims)
+    assert p1.to_rows() == p2.to_rows()
+    assert set(victims) <= set(changed)
+    for c in victims:
+        assert math.isnan(p2.x[c])
+
+
+def test_bulk_remove_changed_set_covers_shifts(placement):
+    row = 1
+    victim = placement.rows[row][0]  # everything in the row shifts
+    rest = list(placement.rows[row][1:])
+    changed = placement.remove_cells([victim])
+    assert set(rest) <= set(changed)
+
+
+def test_copy_independent(placement):
+    clone = placement.copy()
+    cell = placement.rows[0][0]
+    placement.remove_cell(cell)
+    clone.validate()  # untouched
+    assert clone.row_of[cell] == 0
+
+
+def test_extract_replace_rows(placement):
+    snap = placement.extract_rows([1, 2])
+    placement.replace_rows({1: list(reversed(snap[1])), 2: snap[2]})
+    placement.validate()
+    assert placement.rows[1] == list(reversed(snap[1]))
+
+
+def test_width_slack_and_legality(placement):
+    assert placement.is_width_legal()
+    assert placement.width_slack() == pytest.approx(
+        placement.grid.max_legal_width - placement.max_row_width()
+    )
+
+
+@settings(max_examples=20, deadline=None)
+@given(data=st.data())
+def test_random_move_sequences_preserve_invariants(small_netlist, data):
+    """Property: any sequence of legal moves keeps the placement valid."""
+    grid = RowGrid.for_netlist(small_netlist, num_rows=5)
+    p = random_placement(grid, RngStream(1))
+    cells = [c.index for c in small_netlist.movable_cells()]
+    for _ in range(data.draw(st.integers(1, 12))):
+        kind = data.draw(st.sampled_from(["move", "swap"]))
+        if kind == "move":
+            c = data.draw(st.sampled_from(cells))
+            r = data.draw(st.integers(0, grid.num_rows - 1))
+            s = data.draw(st.integers(0, 30))
+            p.move_cell(c, r, s)
+        else:
+            a = data.draw(st.sampled_from(cells))
+            b = data.draw(st.sampled_from(cells))
+            if a != b:
+                p.swap_cells(a, b)
+    p.validate()

@@ -1,0 +1,114 @@
+"""ISCAS-89 .bench parser/writer round trips and error handling."""
+
+import pytest
+
+from repro.netlist.bench import parse_bench, parse_bench_text, write_bench_text
+from repro.netlist.core import GateKind, NetlistError
+from repro.netlist.generator import CircuitSpec, generate_circuit
+from repro.utils.rng import RngStream
+
+SAMPLE = """
+# tiny sample
+INPUT(G0)
+INPUT(G1)
+OUTPUT(G5)
+G2 = NAND(G0, G1)
+G3 = DFF(G2)
+G4 = NOT(G3)
+G5 = OR(G4, G0)
+"""
+
+
+def test_parse_sample_counts():
+    nl = parse_bench_text(SAMPLE, "sample")
+    assert nl.num_movable == 4  # G2 G3 G4 G5
+    assert len(nl.primary_inputs()) == 2
+    assert len(nl.primary_outputs()) == 1
+    assert len(nl.flip_flops()) == 1
+
+
+def test_parse_gate_kinds():
+    nl = parse_bench_text(SAMPLE)
+    assert nl.cell("G2").kind is GateKind.NAND
+    assert nl.cell("G3").kind is GateKind.DFF
+    assert nl.cell("G4").kind is GateKind.NOT
+
+
+def test_parse_connectivity():
+    nl = parse_bench_text(SAMPLE)
+    g2_in = {nl.nets[j].name for j in nl.fanin_nets(nl.cell("G2").index)}
+    assert g2_in == {"G0", "G1"}
+    # G0 fans out to both G2 and G5.
+    assert set(nl.net("G0").sinks) == {nl.cell("G2").index, nl.cell("G5").index}
+
+
+def test_parse_case_insensitive_keywords():
+    nl = parse_bench_text(
+        "input(A)\noutput(B)\nB = nand(A, A)\n".replace("B = nand(A, A)", "B = nand(A,A)")
+    )
+    assert nl.cell("B").kind is GateKind.NAND
+
+
+def test_parse_aliases():
+    nl = parse_bench_text("INPUT(a)\nOUTPUT(x)\nx = BUFF(a)\n")
+    assert nl.cell("x").kind is GateKind.BUF
+    nl2 = parse_bench_text("INPUT(a)\nOUTPUT(x)\nx = INV(a)\n")
+    assert nl2.cell("x").kind is GateKind.NOT
+
+
+def test_parse_comments_and_blanks():
+    text = "# header\n\nINPUT(a)\nOUTPUT(x)  # trailing\nx = NOT(a)\n"
+    nl = parse_bench_text(text)
+    assert nl.num_movable == 1
+
+
+def test_unknown_gate_rejected():
+    with pytest.raises(NetlistError, match="unknown gate kind"):
+        parse_bench_text("INPUT(a)\nx = FROB(a)\n")
+
+
+def test_bad_syntax_rejected():
+    with pytest.raises(NetlistError, match="cannot parse"):
+        parse_bench_text("INPUT(a)\nthis is not bench\n")
+
+
+def test_undefined_signal_rejected():
+    with pytest.raises(NetlistError, match="never defined"):
+        parse_bench_text("INPUT(a)\nOUTPUT(x)\nx = NOT(ghost)\n")
+
+
+def test_duplicate_signal_rejected():
+    with pytest.raises(NetlistError, match="duplicate signal"):
+        parse_bench_text("INPUT(a)\nINPUT(a)\n")
+
+
+def test_dff_arity_enforced():
+    with pytest.raises(NetlistError, match="exactly 1 input"):
+        parse_bench_text("INPUT(a)\nINPUT(b)\nx = DFF(a, b)\nOUTPUT(x)\n")
+
+
+def test_round_trip_preserves_structure():
+    nl1 = parse_bench_text(SAMPLE, "rt")
+    text = write_bench_text(nl1)
+    nl2 = parse_bench_text(text, "rt")
+    assert nl2.num_cells == nl1.num_cells
+    assert nl2.num_nets == nl1.num_nets
+    for c1 in nl1.cells:
+        assert nl2.cell(c1.name).kind is c1.kind
+
+
+def test_generated_circuit_round_trips():
+    spec = CircuitSpec("gen", n_gates=60, n_inputs=5, n_outputs=5, depth=6)
+    nl1 = generate_circuit(spec, RngStream(3))
+    text = write_bench_text(nl1)
+    nl2 = parse_bench_text(text)
+    assert nl2.num_movable == nl1.num_movable
+    assert nl2.num_nets == nl1.num_nets
+
+
+def test_parse_bench_from_file(tmp_path):
+    path = tmp_path / "sample.bench"
+    path.write_text(SAMPLE)
+    nl = parse_bench(path)
+    assert nl.name == "sample"
+    assert nl.num_movable == 4

@@ -1,0 +1,196 @@
+"""Netlist core: construction, validation, frozen connectivity."""
+
+import numpy as np
+import pytest
+
+from repro.netlist.core import GATE_LIBRARY, GateKind, Netlist, NetlistError
+
+
+def test_gate_library_covers_all_kinds():
+    assert set(GATE_LIBRARY) == set(GateKind)
+
+
+def test_gate_kind_classification():
+    assert GateKind.INPUT.is_pad and GateKind.OUTPUT.is_pad
+    assert GateKind.DFF.is_sequential and not GateKind.DFF.is_pad
+    assert GateKind.NAND.is_combinational
+    assert not GateKind.INPUT.is_combinational
+    assert not GateKind.DFF.is_combinational
+
+
+def test_pads_have_zero_width():
+    assert GATE_LIBRARY[GateKind.INPUT].width_sites == 0
+    assert GATE_LIBRARY[GateKind.OUTPUT].width_sites == 0
+
+
+def test_add_cell_and_lookup(tiny_netlist):
+    assert tiny_netlist.cell("g1").kind is GateKind.NAND
+    assert tiny_netlist.cell(2).name == "g1"
+    assert tiny_netlist.num_cells == 8
+    assert tiny_netlist.num_nets == 6
+
+
+def test_duplicate_cell_name_rejected():
+    nl = Netlist()
+    nl.add_cell("x", GateKind.INPUT)
+    with pytest.raises(NetlistError, match="duplicate cell name"):
+        nl.add_cell("x", GateKind.NAND)
+
+
+def test_duplicate_net_name_rejected():
+    nl = Netlist()
+    nl.add_cell("a", GateKind.INPUT)
+    nl.add_cell("g", GateKind.NOT)
+    nl.add_cell("o", GateKind.OUTPUT)
+    nl.add_net("n", "a", ["g"])
+    with pytest.raises(NetlistError, match="duplicate net name"):
+        nl.add_net("n", "g", ["o"])
+
+
+def test_net_with_no_sinks_rejected():
+    nl = Netlist()
+    nl.add_cell("a", GateKind.INPUT)
+    with pytest.raises(NetlistError, match="no sinks"):
+        nl.add_net("n", "a", [])
+
+
+def test_output_pad_cannot_drive():
+    nl = Netlist()
+    nl.add_cell("o", GateKind.OUTPUT)
+    nl.add_cell("g", GateKind.NOT)
+    with pytest.raises(NetlistError, match="OUTPUT pad cannot drive"):
+        nl.add_net("n", "o", ["g"])
+
+
+def test_input_pad_cannot_sink():
+    nl = Netlist()
+    nl.add_cell("a", GateKind.INPUT)
+    nl.add_cell("b", GateKind.INPUT)
+    with pytest.raises(NetlistError, match="INPUT pad cannot be a sink"):
+        nl.add_net("n", "a", ["b"])
+
+
+def test_unknown_cell_name_rejected():
+    nl = Netlist()
+    nl.add_cell("a", GateKind.INPUT)
+    with pytest.raises(NetlistError, match="unknown cell name"):
+        nl.add_net("n", "a", ["ghost"])
+
+
+def test_cell_drives_at_most_one_net():
+    nl = Netlist()
+    nl.add_cell("a", GateKind.INPUT)
+    nl.add_cell("g", GateKind.NOT)
+    nl.add_cell("h", GateKind.NOT)
+    nl.add_net("n1", "a", ["g"])
+    nl.add_net("n2", "a", ["h"])
+    with pytest.raises(NetlistError, match="drives multiple nets"):
+        nl.freeze()
+
+
+def test_gate_without_input_rejected():
+    nl = Netlist()
+    nl.add_cell("a", GateKind.INPUT)
+    nl.add_cell("g", GateKind.NOT)
+    nl.add_cell("lonely", GateKind.NAND)
+    nl.add_cell("o", GateKind.OUTPUT)
+    nl.add_net("n1", "a", ["g"])
+    nl.add_net("n2", "g", ["o"])
+    nl.add_net("n3", "lonely", ["o"])
+    with pytest.raises(NetlistError, match="has no input net"):
+        nl.freeze()
+
+
+def test_combinational_cycle_rejected():
+    nl = Netlist()
+    nl.add_cell("a", GateKind.INPUT)
+    nl.add_cell("g1", GateKind.NAND)
+    nl.add_cell("g2", GateKind.NAND)
+    nl.add_cell("o", GateKind.OUTPUT)
+    nl.add_net("n1", "g1", ["g2", "o"])
+    nl.add_net("n2", "g2", ["g1"])
+    nl.add_net("na", "a", ["g1"])
+    with pytest.raises(NetlistError, match="combinational cycle"):
+        nl.freeze()
+
+
+def test_sequential_loop_allowed():
+    """A loop through a DFF is a legal sequential circuit."""
+    nl = Netlist()
+    nl.add_cell("a", GateKind.INPUT)
+    nl.add_cell("g", GateKind.NAND)
+    nl.add_cell("ff", GateKind.DFF)
+    nl.add_cell("o", GateKind.OUTPUT)
+    nl.add_net("na", "a", ["g"])
+    nl.add_net("ng", "g", ["ff", "o"])
+    nl.add_net("nff", "ff", ["g"])
+    nl.freeze()  # must not raise
+    assert nl.frozen
+
+
+def test_freeze_is_idempotent(tiny_netlist):
+    before = tiny_netlist.net_pin_cells
+    tiny_netlist.freeze()
+    assert tiny_netlist.net_pin_cells is before
+
+
+def test_frozen_rejects_mutation(tiny_netlist):
+    with pytest.raises(NetlistError, match="frozen"):
+        tiny_netlist.add_cell("new", GateKind.NOT)
+    with pytest.raises(NetlistError, match="frozen"):
+        tiny_netlist.add_net("new", 0, [2])
+
+
+def test_csr_pins_match_net_objects(tiny_netlist):
+    for net in tiny_netlist.nets:
+        assert list(tiny_netlist.pins_of_net(net.index)) == list(net.pins)
+
+
+def test_csr_cell_nets_match(tiny_netlist):
+    for cell in tiny_netlist.cells:
+        expect = sorted(
+            n.index for n in tiny_netlist.nets if cell.index in n.pins
+        )
+        assert sorted(tiny_netlist.nets_of_cell(cell.index)) == expect
+
+
+def test_net_pins_deduplicate():
+    """A cell appearing as driver and sink is a single pin."""
+    nl = Netlist()
+    nl.add_cell("a", GateKind.INPUT)
+    nl.add_cell("g", GateKind.AND)
+    nl.add_cell("o", GateKind.OUTPUT)
+    nl.add_net("na", "a", ["g", "g"])
+    nl.add_net("ng", "g", ["o"])
+    nl.freeze()
+    assert nl.net("na").degree == 2  # a + g, duplicate sink collapsed
+
+
+def test_fanin_nets(tiny_netlist):
+    g1 = tiny_netlist.cell("g1").index
+    names = {tiny_netlist.nets[j].name for j in tiny_netlist.fanin_nets(g1)}
+    assert names == {"na", "nb"}
+
+
+def test_movable_and_pad_queries(tiny_netlist):
+    assert tiny_netlist.num_movable == 4  # g1 g2 g3 ff
+    assert len(list(tiny_netlist.pads())) == 4
+    assert len(tiny_netlist.primary_inputs()) == 2
+    assert len(tiny_netlist.primary_outputs()) == 2
+    assert len(tiny_netlist.flip_flops()) == 1
+
+
+def test_total_movable_width(tiny_netlist):
+    expect = sum(c.width_sites for c in tiny_netlist.cells if c.is_movable)
+    assert tiny_netlist.total_movable_width() == expect
+
+
+def test_movable_mask(tiny_netlist):
+    mask = tiny_netlist.movable_mask
+    assert mask.sum() == tiny_netlist.num_movable
+    assert not mask[tiny_netlist.cell("a").index]
+
+
+def test_empty_netlist_rejected():
+    with pytest.raises(NetlistError):
+        Netlist().freeze()

@@ -1,0 +1,99 @@
+"""Critical-path extraction."""
+
+import numpy as np
+import pytest
+
+from repro.netlist.core import GateKind, Netlist
+from repro.netlist.paths import extract_critical_paths, levelize
+
+
+def ladder(depth: int) -> Netlist:
+    """A linear chain: INPUT -> NOT^depth -> OUTPUT (one path)."""
+    nl = Netlist("ladder")
+    nl.add_cell("a", GateKind.INPUT)
+    prev = "a"
+    for i in range(depth):
+        nl.add_cell(f"g{i}", GateKind.NOT)
+        nl.add_net(f"n{i}", prev, [f"g{i}"])
+        prev = f"g{i}"
+    nl.add_cell("o", GateKind.OUTPUT)
+    nl.add_net("nout", prev, ["o"])
+    return nl.freeze()
+
+
+def test_single_chain_single_path():
+    nl = ladder(5)
+    ps = extract_critical_paths(nl, k=10)
+    assert ps.num_paths == 1
+    assert len(ps.path_nets(0)) == 6  # 5 gate nets + input net
+    # Cell delay = sum of CDs along path (INPUT has CD 0, NOTs have 0.5).
+    assert ps.cell_delay[0] == pytest.approx(5 * 0.5)
+
+
+def test_paths_ordered_by_static_delay(small_netlist):
+    ps = extract_critical_paths(small_netlist, k=20)
+    # Best-first enumeration yields near-sorted delays; the maximum must be
+    # the first-extracted bound's path.
+    assert ps.static_delay.max() == pytest.approx(ps.static_delay[0], rel=0.2)
+
+
+def test_k_limits_path_count(small_netlist):
+    p4 = extract_critical_paths(small_netlist, k=4)
+    p16 = extract_critical_paths(small_netlist, k=16)
+    assert p4.num_paths == 4
+    assert p16.num_paths == 16
+
+
+def test_paths_start_at_sources_and_end_at_endpoints(small_netlist):
+    nl = small_netlist
+    ps = extract_critical_paths(nl, k=12)
+    for p in range(ps.num_paths):
+        nets = ps.path_nets(p)
+        first_driver = nl.nets[nets[0]].driver
+        assert (
+            nl.cells[first_driver].kind is GateKind.INPUT
+            or nl.cells[first_driver].kind.is_sequential
+        )
+        # The last net must reach an endpoint (PO or DFF sink).
+        last = nl.nets[nets[-1]]
+        assert any(
+            nl.cells[s].kind is GateKind.OUTPUT or nl.cells[s].kind.is_sequential
+            for s in last.pins[1:]
+        )
+
+
+def test_paths_are_connected(small_netlist):
+    nl = small_netlist
+    ps = extract_critical_paths(nl, k=12)
+    for p in range(ps.num_paths):
+        nets = ps.path_nets(p)
+        for a, b in zip(nets[:-1], nets[1:]):
+            # The driver of net b must be a sink of net a.
+            assert nl.nets[b].driver in nl.nets[a].pins[1:]
+
+
+def test_touched_nets_and_reverse_index(small_netlist):
+    ps = extract_critical_paths(small_netlist, k=8)
+    through = ps.paths_through_net()
+    touched = set(ps.touched_nets())
+    assert set(through) == touched
+    for j, paths in through.items():
+        for p in paths:
+            assert j in ps.path_nets(p)
+
+
+def test_levelize_monotone_along_paths(small_netlist):
+    nl = small_netlist
+    level = levelize(nl)
+    for net in nl.nets:
+        u = net.driver
+        if not nl.cells[u].kind.is_combinational:
+            continue
+        for v in net.pins[1:]:
+            if nl.cells[v].kind.is_combinational:
+                assert level[v] > level[u]
+
+
+def test_k_must_be_positive(small_netlist):
+    with pytest.raises(ValueError):
+        extract_critical_paths(small_netlist, k=0)

@@ -1,0 +1,21 @@
+"""Netlist statistics."""
+
+from repro.netlist.stats import netlist_stats
+
+
+def test_stats_fields(tiny_netlist):
+    st = netlist_stats(tiny_netlist)
+    assert st.num_cells == 8
+    assert st.num_movable == 4
+    assert st.num_pads == 4
+    assert st.num_nets == 6
+    assert st.num_dffs == 1
+    assert st.max_net_degree == 3  # nb and n1 have 3 pins
+    assert st.total_movable_width > 0
+
+
+def test_as_row_keys(tiny_netlist):
+    row = netlist_stats(tiny_netlist).as_row()
+    assert row["circuit"] == "tiny"
+    assert row["cells"] == 4
+    assert row["nets"] == 6

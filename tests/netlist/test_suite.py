@@ -1,0 +1,41 @@
+"""Paper-circuit stand-in registry."""
+
+import pytest
+
+from repro.netlist.stats import netlist_stats
+from repro.netlist.suite import PAPER_CIRCUITS, list_paper_circuits, paper_circuit
+
+#: Cell counts from the paper's Table 1.
+PAPER_CELLS = {"s1196": 561, "s1488": 667, "s1494": 661, "s1238": 540, "s3330": 1561}
+
+
+def test_registry_matches_paper_order():
+    assert list_paper_circuits() == ["s1196", "s1238", "s1488", "s1494", "s3330"]
+
+
+@pytest.mark.parametrize("name,cells", sorted(PAPER_CELLS.items()))
+def test_cell_counts_match_paper(name, cells):
+    nl = paper_circuit(name)
+    assert nl.num_movable == cells
+
+
+def test_caching_returns_same_object():
+    assert paper_circuit("s1196") is paper_circuit("s1196")
+
+
+def test_unknown_circuit_raises():
+    with pytest.raises(KeyError, match="unknown paper circuit"):
+        paper_circuit("s9999")
+
+
+def test_specs_declare_paper_interfaces():
+    spec, _seed = PAPER_CIRCUITS["s1488"]
+    assert spec.n_inputs == 8
+    assert spec.n_outputs == 19
+
+
+def test_stats_are_plausible():
+    st = netlist_stats(paper_circuit("s1238"))
+    assert st.num_movable == 540
+    assert 2.0 <= st.avg_net_degree <= 5.0
+    assert st.num_dffs == 18

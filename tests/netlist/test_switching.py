@@ -1,0 +1,115 @@
+"""Switching-probability propagation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.netlist.core import GateKind, Netlist
+from repro.netlist.switching import (
+    _gate_output_prob,
+    compute_switching,
+    signal_probabilities,
+)
+
+
+def chain(kind: GateKind) -> Netlist:
+    nl = Netlist("chain")
+    nl.add_cell("a", GateKind.INPUT)
+    nl.add_cell("b", GateKind.INPUT)
+    nl.add_cell("g", kind)
+    nl.add_cell("o", GateKind.OUTPUT)
+    nl.add_net("na", "a", ["g"])
+    nl.add_net("nb", "b", ["g"])
+    nl.add_net("ng", "g", ["o"])
+    return nl.freeze()
+
+
+@pytest.mark.parametrize(
+    "kind,expect",
+    [
+        (GateKind.AND, 0.25),
+        (GateKind.NAND, 0.75),
+        (GateKind.OR, 0.75),
+        (GateKind.NOR, 0.25),
+        (GateKind.XOR, 0.5),
+        (GateKind.XNOR, 0.5),
+    ],
+)
+def test_two_input_gate_probabilities(kind, expect):
+    nl = chain(kind)
+    p = signal_probabilities(nl)
+    assert p[nl.net("ng").index] == pytest.approx(expect)
+
+
+def test_not_buf_probability():
+    for kind, expect in [(GateKind.NOT, 0.3), (GateKind.BUF, 0.7)]:
+        nl = Netlist("x")
+        nl.add_cell("a", GateKind.INPUT)
+        nl.add_cell("g", kind)
+        nl.add_cell("o", GateKind.OUTPUT)
+        nl.add_net("na", "a", ["g"])
+        nl.add_net("ng", "g", ["o"])
+        nl.freeze()
+        p = signal_probabilities(nl, pi_prob=0.7)
+        assert p[nl.net("ng").index] == pytest.approx(expect)
+
+
+def test_activity_formula():
+    nl = chain(GateKind.AND)
+    p = signal_probabilities(nl)
+    s = compute_switching(nl)
+    assert np.allclose(s, 2 * p * (1 - p))
+    assert (s >= 0).all() and (s <= 0.5).all()
+
+
+def test_sequential_fixed_point_converges():
+    """A DFF feedback loop must converge to a stable probability."""
+    nl = Netlist("loop")
+    nl.add_cell("a", GateKind.INPUT)
+    nl.add_cell("g", GateKind.NAND)
+    nl.add_cell("ff", GateKind.DFF)
+    nl.add_cell("o", GateKind.OUTPUT)
+    nl.add_net("na", "a", ["g"])
+    nl.add_net("ng", "g", ["ff", "o"])
+    nl.add_net("nff", "ff", ["g"])
+    nl.freeze()
+    p = signal_probabilities(nl)
+    # Fixed point of q = 1 - 0.5*q  ->  q = 2/3.
+    assert p[nl.net("ng").index] == pytest.approx(2 / 3, abs=1e-6)
+
+
+def test_probabilities_in_unit_interval(small_netlist):
+    p = signal_probabilities(small_netlist)
+    assert (p >= 0).all() and (p <= 1).all()
+
+
+def test_xor_fold_matches_pairwise():
+    inputs = [0.3, 0.6, 0.8]
+    p = _gate_output_prob(GateKind.XOR, inputs)
+    q = inputs[0]
+    for x in inputs[1:]:
+        q = q * (1 - x) + x * (1 - q)
+    assert p == pytest.approx(q)
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    probs=st.lists(st.floats(min_value=0, max_value=1), min_size=1, max_size=5),
+    kind=st.sampled_from(
+        [GateKind.AND, GateKind.NAND, GateKind.OR, GateKind.NOR, GateKind.XOR]
+    ),
+)
+def test_gate_probability_stays_in_unit_interval(probs, kind):
+    assert 0.0 <= _gate_output_prob(kind, probs) <= 1.0
+
+
+def test_unfrozen_netlist_rejected():
+    nl = Netlist("u")
+    nl.add_cell("a", GateKind.INPUT)
+    nl.add_cell("g", GateKind.NOT)
+    nl.add_cell("o", GateKind.OUTPUT)
+    nl.add_net("na", "a", ["g"])
+    nl.add_net("ng", "g", ["o"])
+    with pytest.raises(Exception, match="frozen"):
+        signal_probabilities(nl)

@@ -1,0 +1,60 @@
+"""Calibrated work/network models: anchors and invariants."""
+
+import pytest
+
+from repro.netlist.generator import CircuitSpec
+from repro.netlist.suite import PAPER_CIRCUITS, paper_circuit
+from repro.parallel.mpi.calibration import (
+    PAPER_SERIAL_SECONDS_PER_ITER,
+    calibrated_network_model,
+    calibrated_work_model,
+)
+from repro.parallel.runners import ExperimentSpec, run_serial
+
+
+def test_anchor_constant():
+    assert PAPER_SERIAL_SECONDS_PER_ITER == pytest.approx(92.0 / 3500.0)
+
+
+def test_work_model_covers_all_hot_categories():
+    model = calibrated_work_model()
+    for cat in ("allocation", "wirelength", "power", "goodness", "selection",
+                "delay", "merge"):
+        assert model.cost(cat) > 0, cat
+
+
+def test_allocation_is_most_expensive_per_unit():
+    model = calibrated_work_model()
+    alloc = model.cost("allocation")
+    for cat in ("wirelength", "power", "selection"):
+        assert alloc > model.cost(cat)
+
+
+def test_network_model_is_fast_ethernet_class():
+    net = calibrated_network_model()
+    assert 1e-4 <= net.latency <= 5e-3     # MPICH-over-TCP small-message range
+    assert 5e6 <= net.bandwidth <= 12.5e6  # <= 100 Mbit/s line rate
+
+
+def test_serial_s1196_lands_near_paper_per_iteration():
+    """The calibration anchor: a serial s1196 WL+P iteration costs ≈ 26 ms
+    of model time (within 30 % — unit counts drift slightly with seeds)."""
+    spec = ExperimentSpec(
+        circuit="s1196", objectives=("wirelength", "power"), iterations=12
+    )
+    out = run_serial(spec)
+    per_iter = out.runtime / out.iterations
+    assert per_iter == pytest.approx(PAPER_SERIAL_SECONDS_PER_ITER, rel=0.30)
+
+
+def test_bigger_circuit_costs_more_per_iteration():
+    """No per-circuit fudge factors: s3330's cost emerges from its size."""
+    small = run_serial(
+        ExperimentSpec(circuit="s1238", objectives=("wirelength", "power"),
+                       iterations=6)
+    )
+    big = run_serial(
+        ExperimentSpec(circuit="s3330", objectives=("wirelength", "power"),
+                       iterations=6)
+    )
+    assert big.runtime / big.iterations > 1.8 * (small.runtime / small.iterations)

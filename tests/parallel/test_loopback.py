@@ -1,0 +1,58 @@
+"""Size-1 loopback communicator."""
+
+import pytest
+
+from repro.cost.workmeter import WorkMeter, WorkModel
+from repro.parallel.mpi.comm import CommError
+from repro.parallel.mpi.loopback import LoopbackComm
+
+
+def test_identity():
+    comm = LoopbackComm()
+    assert comm.rank == 0 and comm.size == 1
+
+
+def test_collectives_identity():
+    comm = LoopbackComm()
+    assert comm.bcast("x") == "x"
+    assert comm.gather(1) == [1]
+    assert comm.scatter(["only"]) == "only"
+    comm.barrier()
+    assert comm.allgather(7) == [7]
+
+
+def test_self_send_recv_fifo():
+    comm = LoopbackComm()
+    comm.send("a", 0)
+    comm.send("b", 0)
+    assert comm.recv() == (0, "a")
+    assert comm.recv() == (0, "b")
+
+
+def test_recv_by_tag():
+    comm = LoopbackComm()
+    comm.send("a", 0, tag=1)
+    comm.send("b", 0, tag=2)
+    assert comm.recv(tag=2) == (0, "b")
+
+
+def test_recv_empty_raises():
+    with pytest.raises(CommError, match="deadlock"):
+        LoopbackComm().recv()
+
+
+def test_bad_rank_rejected():
+    with pytest.raises(CommError):
+        LoopbackComm().send("x", 1)
+
+
+def test_elapsed_is_meter_seconds():
+    meter = WorkMeter(WorkModel({"allocation": 1e-3}))
+    comm = LoopbackComm(meter)
+    meter.charge("allocation", 5)
+    assert comm.elapsed() == pytest.approx(5e-3)
+
+
+def test_scatter_validation():
+    with pytest.raises(CommError):
+        LoopbackComm().scatter([1, 2])

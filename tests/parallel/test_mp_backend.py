@@ -1,0 +1,74 @@
+"""Real multiprocessing backend."""
+
+import pytest
+
+from repro.parallel.mpi.comm import ANY_SOURCE, CommError
+from repro.parallel.mpi.mp_backend import MpCluster
+
+
+def _collectives(comm):
+    data = comm.bcast({"k": 1} if comm.rank == 0 else None, root=0)
+    assert data == {"k": 1}
+    part = comm.scatter(
+        [i * 2 for i in range(comm.size)] if comm.rank == 0 else None, root=0
+    )
+    g = comm.gather(part + 1, root=0)
+    comm.barrier()
+    return g
+
+
+def _ring(comm):
+    comm.send(comm.rank, (comm.rank + 1) % comm.size, tag=9)
+    src, v = comm.recv(source=(comm.rank - 1) % comm.size, tag=9)
+    return v
+
+
+def _any_source_master(comm):
+    if comm.rank == 0:
+        got = sorted(comm.recv(source=ANY_SOURCE)[1] for _ in range(comm.size - 1))
+        return got
+    comm.send(comm.rank * 100, 0)
+    return None
+
+
+def _failing(comm):
+    if comm.rank == 1:
+        raise RuntimeError("rank down")
+    return comm.rank
+
+
+def _elapsed(comm):
+    comm.barrier()
+    return comm.elapsed()
+
+
+def test_collectives():
+    res = MpCluster(4).run(_collectives)
+    assert res.results[0] == [1, 3, 5, 7]
+    assert all(r is None for r in res.results[1:])
+
+
+def test_ring():
+    res = MpCluster(3).run(_ring)
+    assert res.results == [2, 0, 1]
+
+
+def test_any_source():
+    res = MpCluster(4).run(_any_source_master)
+    assert res.results[0] == [100, 200, 300]
+
+
+def test_rank_failure_reported():
+    with pytest.raises(CommError, match="rank down"):
+        MpCluster(2).run(_failing)
+
+
+def test_elapsed_positive():
+    res = MpCluster(2).run(_elapsed)
+    assert all(t >= 0 for t in res.results)
+    assert res.wall_seconds > 0
+
+
+def test_size_one():
+    res = MpCluster(1).run(_collectives)
+    assert res.results[0] == [1]

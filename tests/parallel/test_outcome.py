@@ -1,0 +1,35 @@
+"""ParallelOutcome record helpers."""
+
+import pytest
+
+from repro.parallel.runners import ParallelOutcome
+
+
+def make(history, best_mu=0.5, runtime=10.0):
+    return ParallelOutcome(
+        strategy="t", circuit="c", objectives=("wirelength",), p=2,
+        iterations=len(history), runtime=runtime, best_mu=best_mu,
+        history=history,
+    )
+
+
+def test_time_to_quality_first_crossing():
+    out = make([(0, 0.1, 1.0), (1, 0.4, 2.0), (2, 0.4, 3.0), (3, 0.6, 4.0)])
+    assert out.time_to_quality(0.4) == 2.0
+    assert out.time_to_quality(0.6) == 4.0
+
+
+def test_time_to_quality_unreached():
+    out = make([(0, 0.1, 1.0)])
+    assert out.time_to_quality(0.9) is None
+
+
+def test_time_to_quality_empty_history():
+    out = make([])
+    assert out.time_to_quality(0.1) is None
+
+
+def test_extras_default_independent():
+    a, b = make([]), make([])
+    a.extras["x"] = 1
+    assert "x" not in b.extras

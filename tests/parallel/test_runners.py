@@ -1,0 +1,91 @@
+"""Experiment plumbing: specs, streams, problems, serial baseline."""
+
+import pytest
+
+from repro.netlist.generator import CircuitSpec
+from repro.netlist.suite import PAPER_CIRCUITS, paper_circuit
+from repro.parallel.runners import (
+    ExperimentSpec,
+    build_problem,
+    make_config,
+    rank_stream_id,
+    run_serial,
+    stream_for,
+)
+
+
+@pytest.fixture(scope="module", autouse=True)
+def tiny_suite_entry():
+    PAPER_CIRCUITS["_test90"] = (
+        CircuitSpec("_test90", n_gates=90, n_inputs=5, n_outputs=5,
+                    frac_dff=0.05, depth=7),
+        123,
+    )
+    yield
+    PAPER_CIRCUITS.pop("_test90")
+    paper_circuit.cache_clear()
+
+
+SPEC = ExperimentSpec(circuit="_test90", iterations=6, seed=2)
+
+
+def test_streams_named_and_disjoint():
+    draws = {
+        stream_for(1, 0).random(),
+        stream_for(1, 1).random(),
+        stream_for(1, 2).random(),
+        stream_for(1, rank_stream_id(0)).random(),
+        stream_for(1, rank_stream_id(1)).random(),
+    }
+    assert len(draws) == 5
+
+
+def test_streams_reproducible():
+    assert stream_for(5, 2).random() == stream_for(5, 2).random()
+
+
+def test_build_problem_shares_initial_placement():
+    p1 = build_problem(SPEC)
+    p2 = build_problem(SPEC)
+    assert p1.initial_rows == p2.initial_rows
+
+
+def test_build_problem_meter_binding():
+    from repro.cost.workmeter import WorkMeter
+
+    meter = WorkMeter()
+    problem = build_problem(SPEC, meter)
+    assert problem.engine.meter is meter
+
+
+def test_make_config_mirrors_spec():
+    spec = ExperimentSpec(circuit="_test90", iterations=9, bias=0.1,
+                          row_window=3, slot_window=4)
+    cfg = make_config(spec)
+    assert cfg.max_iterations == 9
+    assert cfg.bias == 0.1
+    assert cfg.row_window == 3 and cfg.slot_window == 4
+    assert make_config(spec, max_iterations=77).max_iterations == 77
+
+
+def test_run_serial_outcome_fields():
+    out = run_serial(SPEC)
+    assert out.strategy == "serial" and out.p == 1
+    assert out.iterations == 6
+    assert out.runtime > 0
+    assert len(out.history) == 6
+    assert 0 <= out.best_mu <= 1
+    assert out.extras["work_units"]["allocation"] > 0
+
+
+def test_run_serial_deterministic():
+    a, b = run_serial(SPEC), run_serial(SPEC)
+    assert a.best_mu == b.best_mu
+    assert a.runtime == pytest.approx(b.runtime)
+
+
+def test_time_to_quality():
+    out = run_serial(SPEC)
+    t = out.time_to_quality(-1.0)  # trivially reached at first record
+    assert t == out.history[0][2]
+    assert out.time_to_quality(2.0) is None

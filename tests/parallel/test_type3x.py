@@ -1,0 +1,73 @@
+"""Diversified Type III building blocks: crossover repair, profiles."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cost.engine import CostEngine
+from repro.layout.grid import RowGrid
+from repro.layout.initial import random_placement
+from repro.layout.placement import Placement
+from repro.parallel.runners import ExperimentSpec
+from repro.parallel.type3x import allocator_profile, goodness_crossover
+from repro.utils.rng import RngStream
+
+
+@pytest.fixture()
+def ctx(small_netlist):
+    grid = RowGrid.for_netlist(small_netlist, num_rows=5)
+    engine = CostEngine(small_netlist, grid, objectives=("wirelength", "power"))
+    placement = random_placement(grid, RngStream(1))
+    engine.attach(placement)
+    return grid, engine
+
+
+def test_crossover_produces_valid_placement(ctx):
+    grid, engine = ctx
+    a = random_placement(grid, RngStream(2)).to_rows()
+    b = random_placement(grid, RngStream(3)).to_rows()
+    child = goodness_crossover(grid, engine, a, b, RngStream(4))
+    Placement.from_rows(grid, child).validate()
+
+
+def test_crossover_identical_parents_is_identity(ctx):
+    grid, engine = ctx
+    a = random_placement(grid, RngStream(2)).to_rows()
+    child = goodness_crossover(grid, engine, a, [list(r) for r in a], RngStream(0))
+    assert child == a
+
+
+def test_crossover_rejects_bad_shapes(ctx):
+    grid, engine = ctx
+    a = random_placement(grid, RngStream(2)).to_rows()
+    with pytest.raises(ValueError, match="one list per grid row"):
+        goodness_crossover(grid, engine, a[:-1], a, RngStream(0))
+
+
+@settings(max_examples=10, deadline=None)
+@given(seed_a=st.integers(0, 1000), seed_b=st.integers(0, 1000),
+       seed_r=st.integers(0, 1000))
+def test_crossover_always_repairs(small_netlist, seed_a, seed_b, seed_r):
+    """Property: any two parents yield a complete, duplicate-free child."""
+    grid = RowGrid.for_netlist(small_netlist, num_rows=5)
+    engine = CostEngine(small_netlist, grid, objectives=("wirelength",))
+    engine.attach(random_placement(grid, RngStream(0)))
+    a = random_placement(grid, RngStream(seed_a)).to_rows()
+    b = random_placement(grid, RngStream(seed_b)).to_rows()
+    child = goodness_crossover(grid, engine, a, b, RngStream(seed_r))
+    Placement.from_rows(grid, child).validate()
+
+
+def test_allocator_profiles_differ():
+    spec = ExperimentSpec(circuit="s1196", iterations=10)
+    profiles = [allocator_profile(spec, i, 10) for i in range(4)]
+    # Four distinct (window, order) combinations, then it cycles.
+    keys = {(p.row_window, p.slot_window, p.sort_descending) for p in profiles}
+    assert len(keys) == 4
+    assert allocator_profile(spec, 4, 10) == profiles[0]
+
+
+def test_allocator_profiles_keep_budget():
+    spec = ExperimentSpec(circuit="s1196", iterations=10)
+    for i in range(4):
+        assert allocator_profile(spec, i, 33).max_iterations == 33

@@ -1,0 +1,53 @@
+"""Evaluation step: goodness sweeps."""
+
+import pytest
+
+from repro.cost.engine import CostEngine
+from repro.layout.grid import RowGrid
+from repro.layout.initial import random_placement
+from repro.sime.goodness import evaluate_goodness
+from repro.utils.rng import RngStream
+
+
+@pytest.fixture()
+def engine(small_netlist):
+    grid = RowGrid.for_netlist(small_netlist, num_rows=5)
+    eng = CostEngine(small_netlist, grid, objectives=("wirelength", "power"))
+    eng.attach(random_placement(grid, RngStream(0)))
+    return eng
+
+
+def test_default_sweep_covers_all_movables(engine):
+    goodness = evaluate_goodness(engine)
+    movable = {c.index for c in engine.netlist.movable_cells()}
+    assert set(goodness) == movable
+
+
+def test_sweep_order_is_index_order(engine):
+    """Selection reproducibility depends on dict iteration order."""
+    goodness = evaluate_goodness(engine)
+    keys = list(goodness)
+    assert keys == sorted(keys)
+
+
+def test_subset_sweep(engine):
+    cells = [c.index for c in engine.netlist.movable_cells()][:7]
+    goodness = evaluate_goodness(engine, cells)
+    assert list(goodness) == cells
+
+
+def test_values_in_unit_interval(engine):
+    for g in evaluate_goodness(engine).values():
+        assert 0.0 <= g <= 1.0
+
+
+def test_goodness_matches_engine(engine):
+    goodness = evaluate_goodness(engine)
+    cell = next(iter(goodness))
+    assert goodness[cell] == pytest.approx(engine.cell_goodness(cell))
+
+
+def test_charges_goodness_category(engine):
+    engine.meter.reset()
+    evaluate_goodness(engine)
+    assert engine.meter.units["goodness"] == engine.netlist.num_movable

@@ -1,0 +1,72 @@
+"""Selection operator: bias semantics, determinism, statistics."""
+
+import pytest
+
+from repro.cost.workmeter import WorkMeter
+from repro.sime.selection import effective_bias, select_cells
+from repro.utils.rng import RngStream
+
+
+def test_zero_goodness_always_selected():
+    goodness = {i: 0.0 for i in range(50)}
+    selected = select_cells(goodness, RngStream(0))
+    assert len(selected) == 50
+
+
+def test_perfect_goodness_never_selected_at_zero_bias():
+    goodness = {i: 1.0 for i in range(50)}
+    assert select_cells(goodness, RngStream(0)) == []
+
+
+def test_negative_bias_can_select_perfect_cells():
+    goodness = {i: 1.0 for i in range(500)}
+    selected = select_cells(goodness, RngStream(0), bias=-0.5)
+    # threshold 0.5 -> ~half selected.
+    assert 150 < len(selected) < 350
+
+
+def test_positive_bias_throttles():
+    goodness = {i: 0.5 for i in range(1000)}
+    loose = select_cells(goodness, RngStream(1), bias=0.0)
+    tight = select_cells(goodness, RngStream(1), bias=0.3)
+    assert len(tight) < len(loose)
+
+
+def test_selection_rate_tracks_goodness():
+    rng = RngStream(7)
+    goodness = {i: 0.2 for i in range(2000)}
+    selected = select_cells(goodness, rng)
+    assert 0.7 < len(selected) / 2000 < 0.9  # expect ~0.8
+
+
+def test_deterministic_given_stream():
+    goodness = {i: i / 100 for i in range(100)}
+    a = select_cells(goodness, RngStream(3))
+    b = select_cells(goodness, RngStream(3))
+    assert a == b
+
+
+def test_order_preserved():
+    goodness = {5: 0.0, 2: 0.0, 9: 0.0}
+    assert select_cells(goodness, RngStream(0)) == [5, 2, 9]
+
+
+def test_meter_charged():
+    meter = WorkMeter()
+    select_cells({i: 0.5 for i in range(10)}, RngStream(0), meter=meter)
+    assert meter.units["selection"] == 10
+
+
+def test_effective_bias_adaptive():
+    goodness = {0: 0.25, 1: 0.75}
+    assert effective_bias(goodness, 0.1, adaptive=False) == 0.1
+    assert effective_bias(goodness, 0.1, adaptive=True) == pytest.approx(0.5)
+    assert effective_bias({}, 0.1, adaptive=True) == 0.1
+
+
+def test_adaptive_selects_below_average():
+    goodness = {i: (0.2 if i < 100 else 0.9) for i in range(200)}
+    selected = select_cells(goodness, RngStream(2), adaptive=True)
+    low = sum(1 for c in selected if c < 100)
+    high = len(selected) - low
+    assert low > high
