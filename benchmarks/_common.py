@@ -18,14 +18,30 @@ from __future__ import annotations
 import os
 from functools import lru_cache
 
+from repro.experiments.registry import (
+    PAPER_ITERS_T2_WP,
+    PAPER_ITERS_T3_WPD,
+    PAPER_ITERS_T4,
+    base_spec,
+    scaled_iterations,
+)
+from repro.netlist.suite import list_paper_circuits
 from repro.parallel.runners import ExperimentSpec, ParallelOutcome, run_serial
 
-#: Paper serial iteration budgets per experiment family.
-PAPER_ITERS_T2_WP = 3500  # Table 2 (also Table 1's program version)
-PAPER_ITERS_T3_WPD = 5000  # Table 3
-PAPER_ITERS_T4 = 2500  # Table 4
+__all__ = [
+    "PAPER_ITERS_T2_WP",
+    "PAPER_ITERS_T3_WPD",
+    "PAPER_ITERS_T4",
+    "ALL_CIRCUITS",
+    "scale",
+    "scaled",
+    "circuits",
+    "serial_outcome",
+    "spec_for",
+    "banner",
+]
 
-ALL_CIRCUITS = ["s1196", "s1488", "s1494", "s1238", "s3330"]
+ALL_CIRCUITS = list_paper_circuits()
 
 
 def scale() -> int:
@@ -35,7 +51,7 @@ def scale() -> int:
 
 def scaled(paper_iters: int, minimum: int = 20) -> int:
     """Paper budget divided by the scale, floored to stay meaningful."""
-    return max(minimum, paper_iters // scale())
+    return scaled_iterations(paper_iters, scale(), minimum)
 
 
 def circuits(default: list[str] | None = None) -> list[str]:
@@ -51,18 +67,14 @@ def serial_outcome(
     circuit: str, objectives: tuple[str, ...], iterations: int, seed: int = 1
 ) -> ParallelOutcome:
     """Cached serial baseline (shared across benches in one session)."""
-    spec = ExperimentSpec(
-        circuit=circuit, objectives=objectives, iterations=iterations, seed=seed
-    )
-    return run_serial(spec)
+    return run_serial(spec_for(circuit, objectives, iterations, seed))
 
 
 def spec_for(
     circuit: str, objectives: tuple[str, ...], iterations: int, seed: int = 1
 ) -> ExperimentSpec:
-    return ExperimentSpec(
-        circuit=circuit, objectives=objectives, iterations=iterations, seed=seed
-    )
+    """Spec construction via the registry's shared constructor."""
+    return base_spec(circuit, objectives, iterations, seed)
 
 
 def banner(title: str) -> None:

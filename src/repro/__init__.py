@@ -43,6 +43,17 @@ from repro.parallel import (
 from repro.parallel.runners import ExperimentSpec, ParallelOutcome
 from repro.parallel.type3x import run_type3_diversified
 from repro.baselines import run_esp, run_sa, SAConfig
+from repro.experiments import (
+    ArtifactStore,
+    RunRecord,
+    Scenario,
+    SweepCell,
+    custom_sweep,
+    get_scenario,
+    list_scenarios,
+    resolve,
+    run_sweep,
+)
 
 __version__ = "1.0.0"
 
@@ -74,5 +85,14 @@ __all__ = [
     "run_esp",
     "run_sa",
     "SAConfig",
+    "ArtifactStore",
+    "RunRecord",
+    "Scenario",
+    "SweepCell",
+    "custom_sweep",
+    "get_scenario",
+    "list_scenarios",
+    "resolve",
+    "run_sweep",
     "__version__",
 ]

@@ -1,15 +1,35 @@
-"""Plain-text table rendering for the bench harnesses.
+"""Plain-text table rendering for benches, sweeps and the CLI.
 
-The benches print tables with the same rows and columns as the paper's
-Tables 1–4, with paper values alongside measured values where applicable.
+Two layers:
+
+* the generic :func:`render_table` (aligned monospace dict-rows) the bench
+  harnesses print with;
+* artifact renderers — :func:`render_records` and the per-table helpers —
+  that take the :class:`~repro.experiments.artifacts.RunRecord` lists a
+  sweep produced (or an :class:`~repro.experiments.artifacts.ArtifactStore`
+  loaded back from disk) and lay them out in the paper's Table 1–4 shapes,
+  including the quality-bracket convention of Tables 2/3.
+
 No external dependency — aligned monospace columns.
 """
 
 from __future__ import annotations
 
-from typing import Any, Mapping, Sequence
+from typing import TYPE_CHECKING, Any, Iterable, Mapping, Sequence
 
-__all__ = ["render_table", "format_seconds"]
+if TYPE_CHECKING:  # import cycle guard: experiments.artifacts imports runners
+    from repro.experiments.artifacts import RunRecord
+
+__all__ = [
+    "render_table",
+    "format_seconds",
+    "render_records",
+    "render_table1_records",
+    "render_type2_records",
+    "render_table4_records",
+    "render_profile_records",
+    "render_generic_records",
+]
 
 
 def format_seconds(seconds: float) -> str:
@@ -28,12 +48,20 @@ def render_table(
 ) -> str:
     """Render dict-rows as an aligned text table.
 
-    ``columns`` fixes the column order (default: keys of the first row).
-    Missing cells render as ``-``.
+    ``columns`` fixes the column order (default: the union of all rows'
+    keys in first-seen order, so a sparse first row cannot hide later
+    columns).  Missing cells render as ``-``.
     """
     if not rows:
         return f"{title}\n(empty)" if title else "(empty)"
-    cols = list(columns) if columns is not None else list(rows[0].keys())
+    if columns is not None:
+        cols = list(columns)
+    else:
+        cols = []
+        for row in rows:
+            for key in row:
+                if key not in cols:
+                    cols.append(key)
     cells = [[_fmt(r.get(c, "-")) for c in cols] for r in rows]
     widths = [
         max(len(c), *(len(row[i]) for row in cells)) for i, c in enumerate(cols)
@@ -53,3 +81,219 @@ def _fmt(v: Any) -> str:
     if isinstance(v, float):
         return f"{v:.3f}" if abs(v) < 100 else f"{v:.1f}"
     return str(v)
+
+
+# ---------------------------------------------------------------------------
+# Artifact (RunRecord) renderers — the paper's table layouts
+# ---------------------------------------------------------------------------
+
+
+def _ok_records(records: Iterable["RunRecord"]) -> list["RunRecord"]:
+    return [r for r in records if r.ok and r.outcome is not None]
+
+
+#: Rows are keyed by (circuit, seed) so multi-seed sweeps never mix
+#: replicates into one row.
+_GroupKey = tuple
+
+def _group_of(r: "RunRecord") -> _GroupKey:
+    return (r.spec.get("circuit", "?"), r.spec.get("seed", 1))
+
+
+def _group_order(records: Iterable["RunRecord"]) -> list[_GroupKey]:
+    order: list[_GroupKey] = []
+    for r in records:
+        g = _group_of(r)
+        if g not in order:
+            order.append(g)
+    return order
+
+
+def _by_group(
+    records: Iterable["RunRecord"], strategy: str
+) -> dict[_GroupKey, list["RunRecord"]]:
+    # Exact match: RunRecord.strategy holds the cell's strategy name
+    # ("type3" vs "type3x" are distinct strategies, not variants).
+    out: dict[_GroupKey, list["RunRecord"]] = {}
+    for r in records:
+        if r.strategy == strategy:
+            out.setdefault(_group_of(r), []).append(r)
+    return out
+
+
+def _serial_by_group(records: Iterable["RunRecord"]) -> dict[_GroupKey, "RunRecord"]:
+    return {g: rs[0] for g, rs in _by_group(records, "serial").items()}
+
+
+def _label(group: _GroupKey, multi_seed: bool) -> dict[str, Any]:
+    """Row label columns: the circuit, plus the seed when replicates exist."""
+    circuit, seed = group
+    return {"Ckt": circuit, "seed": seed} if multi_seed else {"Ckt": circuit}
+
+
+def render_table1_records(records: Sequence["RunRecord"], title: str | None = None) -> str:
+    """Table 1 layout: serial runtime plus Type I runtime per p."""
+    ok = _ok_records(records)
+    serial = _serial_by_group(ok)
+    t1 = _by_group(ok, "type1")
+    groups = _group_order(ok)
+    multi_seed = len({g[1] for g in groups}) > 1
+    rows = []
+    for g in groups:
+        if g not in serial:
+            continue
+        s = serial[g].outcome or {}
+        row: dict[str, Any] = {
+            **_label(g, multi_seed),
+            "µ(s)": f"{s.get('best_mu', 0.0):.3f}",
+            "Seq": format_seconds(s.get("runtime", 0.0)),
+        }
+        for r in sorted(t1.get(g, []), key=lambda r: r.params.get("p", 0)):
+            o = r.outcome or {}
+            row[f"p={r.params.get('p')}"] = format_seconds(o.get("runtime", 0.0))
+        rows.append(row)
+    return render_table(rows, title=title or "Table 1 — Type I runtimes (model-seconds)")
+
+
+def render_type2_records(records: Sequence["RunRecord"], title: str | None = None) -> str:
+    """Tables 2/3 layout: bracketed times per pattern and processor count.
+
+    Cells follow the paper's convention — the time the parallel run first
+    reached the serial best µ, else the full runtime with the achieved
+    quality percentage in brackets.
+    """
+    from repro.analysis.speedup import quality_bracket
+
+    ok = _ok_records(records)
+    serial = _serial_by_group(ok)
+    t2 = _by_group(ok, "type2")
+    groups = _group_order(ok)
+    multi_seed = len({g[1] for g in groups}) > 1
+    rows = []
+    for g in groups:
+        if g not in serial:
+            continue
+        s = serial[g].outcome or {}
+        row: dict[str, Any] = {
+            **_label(g, multi_seed),
+            "µ(s)": f"{s.get('best_mu', 0.0):.3f}",
+            "Seq": format_seconds(s.get("runtime", 0.0)),
+        }
+        cells = sorted(
+            t2.get(g, []),
+            key=lambda r: (r.params.get("pattern", ""), r.params.get("p", 0)),
+        )
+        for r in cells:
+            b = quality_bracket(r.parallel_outcome(), s.get("best_mu", 0.0))
+            key = f"{str(r.params.get('pattern', '?'))[0]} p={r.params.get('p')}"
+            row[key] = b.cell(decimals=2)
+        rows.append(row)
+    return render_table(
+        rows,
+        title=title
+        or "Type II (model-seconds; (q%) = share of serial quality reached)",
+    )
+
+
+def render_table4_records(records: Sequence["RunRecord"], title: str | None = None) -> str:
+    """Table 4 layout: quality/time per retry threshold and p."""
+    ok = _ok_records(records)
+    serial = _serial_by_group(ok)
+    t3 = _by_group(ok, "type3")
+    groups = _group_order(ok)
+    multi_seed = len({g[1] for g in groups}) > 1
+    rows = []
+    for g in groups:
+        if g not in serial:
+            continue
+        s = serial[g].outcome or {}
+        retries = sorted({r.params.get("retry_threshold", 0) for r in t3.get(g, [])})
+        for retry in retries:
+            row: dict[str, Any] = {
+                **_label(g, multi_seed),
+                "retry": retry,
+                "Seq µ": f"{s.get('best_mu', 0.0):.3f}",
+                "Seq t": format_seconds(s.get("runtime", 0.0)),
+            }
+            for r in sorted(
+                (r for r in t3.get(g, [])
+                 if r.params.get("retry_threshold") == retry),
+                key=lambda r: r.params.get("p", 0),
+            ):
+                o = r.outcome or {}
+                row[f"p={r.params.get('p')}"] = (
+                    f"{o.get('best_mu', 0.0):.3f}@{format_seconds(o.get('runtime', 0.0))}"
+                )
+            rows.append(row)
+    return render_table(
+        rows, title=title or "Table 4 — Type III (µ@model-seconds per retry threshold)"
+    )
+
+
+def render_profile_records(records: Sequence["RunRecord"], title: str | None = None) -> str:
+    """Section 4 layout: work-category share per circuit and version."""
+    rows = []
+    for r in _ok_records(records):
+        extras = (r.outcome or {}).get("extras", {})
+        shares = extras.get("shares", {})
+        for cat in sorted(shares, key=lambda c: -shares[c]):
+            rows.append({
+                "Ckt": r.spec.get("circuit", "?"),
+                "version": extras.get("version", "?"),
+                "category": cat,
+                "share %": round(100 * shares[cat], 2),
+            })
+    return render_table(rows, title=title or "Section 4 — runtime profile shares")
+
+
+def render_generic_records(records: Sequence["RunRecord"], title: str | None = None) -> str:
+    """Fallback flat layout for custom sweeps (one row per cell)."""
+    rows = []
+    for r in records:
+        o = r.outcome or {}
+        rows.append({
+            "cell": r.cell_id,
+            "ok": "yes" if r.ok else "FAIL",
+            "µ(s)": f"{o.get('best_mu', 0.0):.3f}" if r.ok else "-",
+            "t": format_seconds(o.get("runtime", 0.0)) if r.ok else "-",
+            "iters": r.spec.get("iterations", "-"),
+        })
+    return render_table(rows, title=title or "Sweep results")
+
+
+#: scenario-name → (renderer, title) dispatch used by :func:`render_records`.
+_RENDERERS = {
+    "table1": (render_table1_records, None),
+    "table2": (
+        render_type2_records,
+        "Table 2 — Type II, WL+P (model-seconds; (q%) = quality bracket)",
+    ),
+    "table3": (
+        render_type2_records,
+        "Table 3 — Type II, WL+P+delay (model-seconds; (q%) = quality bracket)",
+    ),
+    "table4": (render_table4_records, None),
+    "profile": (render_profile_records, None),
+}
+
+
+def render_records(
+    records: Sequence["RunRecord"], scenario: str | None = None
+) -> str:
+    """Render records in the paper layout for their scenario.
+
+    ``scenario`` defaults to the records' own scenario name; unknown
+    scenarios fall back to the generic flat layout.  Failed cells are
+    listed beneath the table so they are never silently dropped.
+    """
+    name = scenario or (records[0].scenario if records else None)
+    renderer, table_title = _RENDERERS.get(name or "", (render_generic_records, None))
+    body = renderer(records, title=table_title)
+    failures = [r for r in records if not r.ok]
+    if failures:
+        lines = [body, "", f"{len(failures)} failed cell(s):"]
+        for r in failures:
+            first = ((r.error or "").splitlines() or ["(no error recorded)"])[0]
+            lines.append(f"  {r.cell_id}: {first}")
+        return "\n".join(lines)
+    return body

@@ -1,0 +1,332 @@
+"""``repro`` — the command-line front end to the experiment layer.
+
+Subcommands
+-----------
+``repro list``
+    Show registered scenarios (and ``--circuits`` for the circuit suite).
+``repro run``
+    Run one experiment cell (circuit × strategy × parameters) and print
+    the outcome; ``--out`` also writes a JSON/CSV artifact.
+``repro sweep``
+    Run a named scenario or an open-ended ``circuit × strategy × p ×
+    pattern`` grid, serially or over a process pool, writing artifacts.
+``repro tables``
+    Reproduce a paper table end to end: resolve the scenario, sweep it,
+    save the artifact and render the paper-shaped report.
+
+Every stochastic component seeds from the spec, so any command line is
+reproducible bit-for-bit; ``--smoke`` shrinks budgets for CI.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Any, Sequence
+
+from repro.analysis.reporting import render_records, render_table
+from repro.experiments.artifacts import ArtifactStore, RunRecord, failed
+from repro.experiments.registry import (
+    base_spec,
+    custom_sweep,
+    get_scenario,
+    list_scenarios,
+    resolve,
+)
+from repro.experiments.sweeps import run_cell, run_sweep
+from repro.netlist.suite import list_paper_circuits
+
+__all__ = ["main", "build_parser"]
+
+
+def _csv_list(text: str) -> list[str]:
+    return [t.strip() for t in text.split(",") if t.strip()]
+
+
+def _csv_ints(text: str) -> list[int]:
+    return [int(t) for t in _csv_list(text)]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Parallel SimE placement experiments (Sait, Ali & Zaidi, IPPS 2006)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_list = sub.add_parser("list", help="list scenarios and circuits")
+    p_list.add_argument("--circuits", action="store_true",
+                        help="list the paper circuit suite instead")
+    p_list.add_argument("-v", "--verbose", action="store_true",
+                        help="include scenario descriptions and grids")
+    p_list.set_defaults(func=cmd_list)
+
+    p_run = sub.add_parser("run", help="run a single experiment cell")
+    p_run.add_argument("--circuit", required=True, choices=list_paper_circuits())
+    p_run.add_argument("--strategy", default="serial",
+                       choices=["serial", "type1", "type2", "type3", "type3x", "profile"])
+    p_run.add_argument("--objectives", type=_csv_list,
+                       default=["wirelength", "power"],
+                       help="comma-separated subset of wirelength,power,delay")
+    p_run.add_argument("--iterations", type=int, default=35,
+                       help="serial iteration budget (default 35 ≈ paper/100)")
+    p_run.add_argument("--seed", type=int, default=1)
+    p_run.add_argument("--p", type=int, default=None,
+                       help="processor count (parallel strategies)")
+    p_run.add_argument("--pattern", default="random",
+                       choices=["fixed", "random", "contiguous"],
+                       help="Type II row-allocation pattern")
+    p_run.add_argument("--retry-threshold", type=int, default=None,
+                       help="Type III retry threshold (default ~4%% of budget)")
+    p_run.add_argument("--out", default=None,
+                       help="artifact directory (also writes JSON/CSV)")
+    p_run.add_argument("--json", action="store_true",
+                       help="print the full outcome record as JSON")
+    p_run.set_defaults(func=cmd_run)
+
+    p_sweep = sub.add_parser("sweep", help="run a scenario or custom grid")
+    p_sweep.add_argument("--scenario", default=None,
+                         help="registered scenario name (see `repro list`)")
+    p_sweep.add_argument("--circuits", type=_csv_list, default=None,
+                         help="override the scenario's circuit set")
+    p_sweep.add_argument("--strategies", type=_csv_list, default=None,
+                         help="custom grid: comma-separated strategies")
+    p_sweep.add_argument("--p-values", type=_csv_ints, default=[2, 4],
+                         help="custom grid: processor counts")
+    p_sweep.add_argument("--patterns", type=_csv_list, default=["random"],
+                         help="custom grid: Type II patterns")
+    p_sweep.add_argument("--seeds", type=_csv_ints, default=None,
+                         help="replicate seeds (default: scenario's)")
+    p_sweep.add_argument("--scale", type=int, default=100,
+                         help="divide paper iteration budgets by this")
+    p_sweep.add_argument("--smoke", action="store_true",
+                         help="tiny budgets/circuits (CI); default scenario: smoke")
+    p_sweep.add_argument("--workers", type=int, default=None,
+                         help="process-pool size (implies --processes)")
+    p_sweep.add_argument("--processes", action="store_true",
+                         help="fan cells out over a process pool")
+    p_sweep.add_argument("--out", default="artifacts",
+                         help="artifact directory (default: artifacts/)")
+    p_sweep.add_argument("--tag", default=None,
+                         help="artifact basename (default: scenario name)")
+    p_sweep.set_defaults(func=cmd_sweep)
+
+    p_tables = sub.add_parser("tables", help="reproduce a paper table")
+    p_tables.add_argument("--table", type=int, required=True, choices=[1, 2, 3, 4],
+                          help="paper table number")
+    p_tables.add_argument("--circuits", type=_csv_list, default=None)
+    p_tables.add_argument("--scale", type=int, default=100)
+    p_tables.add_argument("--smoke", action="store_true",
+                          help="one cheap circuit, minimal iterations")
+    p_tables.add_argument("--workers", type=int, default=None)
+    p_tables.add_argument("--processes", action="store_true")
+    p_tables.add_argument("--out", default="artifacts")
+    p_tables.set_defaults(func=cmd_tables)
+
+    return parser
+
+
+def _progress(done: int, total: int, record: RunRecord) -> None:
+    status = "ok" if record.ok else "FAIL"
+    mu = ""
+    if record.ok and record.outcome:
+        mu = f"  µ={record.outcome.get('best_mu', 0.0):.3f}"
+    print(f"[{done}/{total}] {record.cell_id}: {status}{mu} "
+          f"({record.wall_seconds:.1f}s)", flush=True)
+
+
+def cmd_list(args: argparse.Namespace) -> int:
+    if args.circuits:
+        print("paper circuit suite:")
+        for name in list_paper_circuits():
+            print(f"  {name}")
+        return 0
+    rows = []
+    for s in list_scenarios():
+        # Resolve for real so the count reflects scale-dependent dedup
+        # (e.g. Table 4's retry fractions collapsing at small budgets).
+        n_cells = len(resolve(s, scale=100))
+        rows.append({
+            "scenario": s.name,
+            "table": s.table if s.table is not None else "-",
+            "circuits": len(s.circuits),
+            "cells": n_cells,
+            "title": s.title,
+        })
+    print(render_table(rows, title="Registered scenarios (cells at --scale 100)"))
+    if args.verbose:
+        for s in list_scenarios():
+            print(f"\n{s.name}: {s.description}")
+            for g in s.grids:
+                axes = ", ".join(f"{k}∈{list(v)}" for k, v in g.axes) or "(no axes)"
+                print(f"  {g.strategy}: {axes}")
+    return 0
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    from repro.experiments.registry import SweepCell
+
+    spec = base_spec(
+        args.circuit,
+        objectives=tuple(args.objectives),
+        iterations=args.iterations,
+        seed=args.seed,
+    )
+    params: dict[str, Any] = {}
+    if args.strategy in ("type1", "type2", "type3", "type3x"):
+        default_p = 3 if args.strategy in ("type3", "type3x") else 2
+        params["p"] = args.p if args.p is not None else default_p
+    if args.strategy == "type2":
+        params["pattern"] = args.pattern
+    if args.strategy in ("type3", "type3x"):
+        params["retry_threshold"] = (
+            args.retry_threshold
+            if args.retry_threshold is not None
+            else max(1, args.iterations // 25)
+        )
+    param_tail = ",".join(f"{k}={v}" for k, v in sorted(params.items()))
+    cell = SweepCell(
+        scenario="cli-run",
+        cell_id=f"{args.circuit}/seed{args.seed}/{args.strategy}"
+        + (f"[{param_tail}]" if param_tail else ""),
+        strategy=args.strategy,
+        spec=spec,
+        params=tuple(sorted(params.items())),
+    )
+    record = run_cell(cell)
+    if not record.ok:
+        print(f"FAILED: {record.error}", file=sys.stderr)
+        return 1
+    if args.json:
+        print(json.dumps(record.to_dict(), indent=2, sort_keys=True))
+    else:
+        out = record.outcome or {}
+        print(f"{record.cell_id}: µ(s)={out.get('best_mu', 0.0):.4f}  "
+              f"model-time={out.get('runtime', 0.0):.2f}s  "
+              f"iterations={out.get('iterations')}  "
+              f"wall={record.wall_seconds:.1f}s")
+        for k, v in (out.get("best_costs") or {}).items():
+            print(f"  {k:>11}: {v:,.1f}")
+    if args.out:
+        store = ArtifactStore(args.out)
+        # Name the artifact after the cell so successive runs with
+        # different configurations don't clobber each other.
+        tag = record.cell_id.replace("/", "-")
+        json_path, csv_path = store.save(tag, [record])
+        print(f"artifact: {json_path}")
+    return 0
+
+
+def _sweep_records(
+    cells: Sequence[Any],
+    workers: int | None,
+    processes: bool,
+) -> list[RunRecord]:
+    use_processes = processes or workers is not None
+    return run_sweep(
+        cells, workers=workers, processes=use_processes, progress=_progress
+    )
+
+
+def cmd_sweep(args: argparse.Namespace) -> int:
+    if args.strategies:
+        if args.scenario:
+            print("--scenario and --strategies are mutually exclusive "
+                  "(a custom grid replaces the named scenario)", file=sys.stderr)
+            return 2
+        if not args.circuits:
+            print("--strategies requires --circuits", file=sys.stderr)
+            return 2
+        try:
+            scenario = custom_sweep(
+                circuits=args.circuits,
+                strategies=args.strategies,
+                p_values=args.p_values,
+                patterns=args.patterns,
+                seeds=args.seeds or (1,),
+            )
+            # Keep the user's circuits even under --smoke (resolve would
+            # otherwise fall back to the scenario's smoke_circuits default).
+            cells = resolve(
+                scenario, scale=args.scale, circuits=args.circuits, smoke=args.smoke
+            )
+        except (KeyError, ValueError) as exc:
+            print(f"error: {exc.args[0]}", file=sys.stderr)
+            return 2
+    else:
+        name = args.scenario or ("smoke" if args.smoke else None)
+        if name is None:
+            print("need --scenario NAME, --smoke, or a custom grid "
+                  "(--circuits + --strategies)", file=sys.stderr)
+            return 2
+        try:
+            scenario = get_scenario(name)
+            cells = resolve(
+                scenario,
+                scale=args.scale,
+                circuits=args.circuits,
+                seeds=args.seeds,
+                smoke=args.smoke,
+            )
+        except KeyError as exc:
+            print(f"error: {exc.args[0]}", file=sys.stderr)
+            return 2
+    return _execute_sweep(args, scenario, cells, banner=f"sweep {scenario.name}")
+
+
+def cmd_tables(args: argparse.Namespace) -> int:
+    name = f"table{args.table}"
+    scenario = get_scenario(name)
+    try:
+        cells = resolve(
+            scenario,
+            scale=args.scale,
+            circuits=args.circuits,
+            smoke=args.smoke,
+        )
+    except KeyError as exc:
+        print(f"error: {exc.args[0]}", file=sys.stderr)
+        return 2
+    return _execute_sweep(args, scenario, cells, banner=scenario.title)
+
+
+def _execute_sweep(
+    args: argparse.Namespace, scenario: Any, cells: Sequence[Any], banner: str
+) -> int:
+    """Shared tail of `sweep` and `tables`: run, save artifacts, render."""
+    if not cells:
+        print("error: resolved 0 cells (empty circuit/seed set?)", file=sys.stderr)
+        return 2
+    print(f"{banner}: {len(cells)} cells" + (" (smoke)" if args.smoke else ""))
+    records = _sweep_records(cells, args.workers, args.processes)
+    store = ArtifactStore(args.out)
+    # Smoke runs get their own artifact name so they never clobber a
+    # full-scale run of the same scenario.
+    tag = getattr(args, "tag", None) or scenario.name
+    if args.smoke and not getattr(args, "tag", None) and not tag.endswith("smoke"):
+        tag = f"{scenario.name}-smoke"
+    meta = {
+        "scenario": scenario.name,
+        "scale": args.scale,
+        "smoke": args.smoke,
+        "argv": args.repro_argv,
+    }
+    json_path, csv_path = store.save(tag, records, meta)
+    print(f"\nartifacts: {json_path}  {csv_path}")
+    print()
+    print(render_records(records, scenario.name))
+    return 1 if failed(records) else 0
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    # The argv that actually produced this invocation (sys.argv is wrong
+    # for programmatic main([...]) calls) — recorded in artifact meta.
+    args.repro_argv = list(argv) if argv is not None else sys.argv[1:]
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,160 @@
+"""Run-record artifacts: JSON (full fidelity) and CSV (flat summary).
+
+A sweep produces one :class:`RunRecord` per cell.  The
+:class:`ArtifactStore` persists a record list as
+
+* ``<root>/<name>.json`` — metadata plus every record, including the full
+  quality-vs-time history (what ``repro tables`` re-renders and what
+  downstream analysis loads);
+* ``<root>/<name>.csv`` — one flat row per record for spreadsheets and
+  quick ``pandas``-free inspection.
+
+Records are **canonical** modulo wall-clock: :meth:`RunRecord.canonical`
+drops the host-dependent ``wall_seconds`` so serial and process-pool runs
+of the same cells compare equal byte-for-byte (the determinism contract
+pinned by the tests).
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from dataclasses import asdict, dataclass
+from pathlib import Path
+from typing import Any, Iterable, Sequence
+
+from repro.parallel.runners import ParallelOutcome
+
+__all__ = ["RunRecord", "ArtifactStore", "CSV_COLUMNS", "failed"]
+
+#: Flat columns written to the CSV summary, in order.
+CSV_COLUMNS = (
+    "scenario",
+    "cell_id",
+    "strategy",
+    "circuit",
+    "objectives",
+    "iterations",
+    "seed",
+    "p",
+    "pattern",
+    "retry_threshold",
+    "ok",
+    "runtime",
+    "best_mu",
+    "error",
+)
+
+
+@dataclass
+class RunRecord:
+    """One executed sweep cell: inputs, outcome (or failure), timing."""
+
+    scenario: str
+    cell_id: str
+    strategy: str
+    spec: dict[str, Any]
+    params: dict[str, Any]
+    ok: bool
+    error: str | None
+    outcome: dict[str, Any] | None
+    wall_seconds: float
+
+    def to_dict(self) -> dict[str, Any]:
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, d: dict[str, Any]) -> "RunRecord":
+        return cls(
+            scenario=d["scenario"],
+            cell_id=d["cell_id"],
+            strategy=d["strategy"],
+            spec=dict(d.get("spec", {})),
+            params=dict(d.get("params", {})),
+            ok=bool(d["ok"]),
+            error=d.get("error"),
+            outcome=d.get("outcome"),
+            wall_seconds=float(d.get("wall_seconds", 0.0)),
+        )
+
+    def canonical(self) -> dict[str, Any]:
+        """The record minus host-dependent timing — the determinism key."""
+        d = self.to_dict()
+        d.pop("wall_seconds", None)
+        return d
+
+    def parallel_outcome(self) -> ParallelOutcome:
+        """Rebuild the rich outcome object (raises if the cell failed)."""
+        if not self.ok or self.outcome is None:
+            raise ValueError(f"cell {self.cell_id} failed: {self.error}")
+        return ParallelOutcome.from_dict(self.outcome)
+
+    def csv_row(self) -> dict[str, Any]:
+        out = self.outcome or {}
+        return {
+            "scenario": self.scenario,
+            "cell_id": self.cell_id,
+            "strategy": self.strategy,
+            "circuit": self.spec.get("circuit", ""),
+            "objectives": "+".join(self.spec.get("objectives", [])),
+            "iterations": self.spec.get("iterations", ""),
+            "seed": self.spec.get("seed", ""),
+            "p": self.params.get("p", out.get("p", 1)),
+            "pattern": self.params.get("pattern", ""),
+            "retry_threshold": self.params.get("retry_threshold", ""),
+            "ok": int(self.ok),
+            "runtime": out.get("runtime", ""),
+            "best_mu": out.get("best_mu", ""),
+            "error": (self.error or "").splitlines()[0] if self.error else "",
+        }
+
+
+class ArtifactStore:
+    """Reads and writes sweep artifacts under one root directory."""
+
+    def __init__(self, root: str | Path = "artifacts"):
+        self.root = Path(root)
+
+    def save(
+        self,
+        name: str,
+        records: Sequence[RunRecord],
+        meta: dict[str, Any] | None = None,
+    ) -> tuple[Path, Path]:
+        """Write ``<name>.json`` and ``<name>.csv``; returns both paths."""
+        self.root.mkdir(parents=True, exist_ok=True)
+        json_path = self.root / f"{name}.json"
+        csv_path = self.root / f"{name}.csv"
+        payload = {
+            "meta": meta or {},
+            "records": [r.to_dict() for r in records],
+        }
+        json_path.write_text(json.dumps(payload, indent=2, sort_keys=True))
+        with csv_path.open("w", newline="") as fh:
+            writer = csv.DictWriter(fh, fieldnames=list(CSV_COLUMNS))
+            writer.writeheader()
+            for r in records:
+                writer.writerow(r.csv_row())
+        return json_path, csv_path
+
+    def load(self, name_or_path: str | Path) -> tuple[dict[str, Any], list[RunRecord]]:
+        """Load ``(meta, records)`` from a store name or an explicit path."""
+        path = Path(name_or_path)
+        # Only a literal .json suffix means "explicit path"; a dot
+        # elsewhere in the name (e.g. "run.v2") is still a store name.
+        if path.suffix != ".json":
+            path = self.root / f"{path}.json"
+        payload = json.loads(Path(path).read_text())
+        records = [RunRecord.from_dict(d) for d in payload.get("records", [])]
+        return payload.get("meta", {}), records
+
+    def list(self) -> list[Path]:
+        """All JSON artifacts under the root, sorted by name."""
+        if not self.root.exists():
+            return []
+        return sorted(self.root.glob("*.json"))
+
+
+def failed(records: Iterable[RunRecord]) -> list[RunRecord]:
+    """The subset of records whose cells raised."""
+    return [r for r in records if not r.ok]

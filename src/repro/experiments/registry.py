@@ -1,0 +1,476 @@
+"""Scenario registry: the paper's experiments declared as data.
+
+Every experiment family in the paper — Table 1 (Type I), Tables 2/3
+(Type II with the w/p and w/p/d objective sets), Table 4 (Type III) and the
+Section 4 runtime profile — is registered here as a :class:`Scenario`: a
+circuit set, an objective set, a paper iteration budget and a grid of
+strategy configurations.  :func:`resolve` expands a scenario into concrete
+:class:`SweepCell`\\ s (one :class:`~repro.parallel.runners.ExperimentSpec`
+plus runner parameters per cell) that :mod:`repro.experiments.sweeps` can
+execute serially or across a process pool, and that the benches, the CLI
+and the examples all share — no more hand-written driver scripts.
+
+Scaling
+-------
+The paper runs 2 500–5 000 SimE iterations per configuration; a pure-Python
+reproduction divides budgets by ``scale`` (default 100, like the benches'
+``REPRO_SCALE``) while preserving the serial/parallel budget *ratios*.
+``smoke=True`` shrinks a scenario further (one cheap circuit, a handful of
+iterations) for CI and quick sanity runs.
+
+Seeding
+-------
+Cells within one scenario share ``seed`` per replicate so that serial and
+parallel runs of the same circuit start from the same initial placement
+(the paper's protocol).  Replicates are an explicit axis: a scenario's
+``seeds`` tuple (or the ``seeds=`` override of :func:`resolve`) lists the
+spec seeds to run verbatim.  :func:`derive_seeds` is the recommended way
+to *build* such a list — independent integers spawned from one root seed
+via ``numpy.random.SeedSequence``, the same discipline as
+:mod:`repro.utils.rng` — e.g.
+``resolve("table2", seeds=derive_seeds(1, 5))``.
+"""
+
+from __future__ import annotations
+
+import itertools
+import warnings
+from dataclasses import dataclass, fields, replace
+from typing import Any, Iterable, Mapping
+
+import numpy as np
+
+from repro.netlist.suite import list_paper_circuits
+from repro.parallel.runners import ExperimentSpec
+
+__all__ = [
+    "Scenario",
+    "StrategyGrid",
+    "SweepCell",
+    "SCENARIOS",
+    "STRATEGIES",
+    "PAPER_ITERS_T2_WP",
+    "PAPER_ITERS_T3_WPD",
+    "PAPER_ITERS_T4",
+    "list_scenarios",
+    "get_scenario",
+    "resolve",
+    "custom_sweep",
+    "base_spec",
+    "scaled_iterations",
+    "derive_seeds",
+]
+
+#: Strategy names accepted in grids (``profile`` wraps a serial run and
+#: reports work-category shares, reproducing the paper's gprof study).
+STRATEGIES = ("serial", "type1", "type2", "type3", "type3x", "profile")
+
+#: Paper serial iteration budgets per experiment family.
+PAPER_ITERS_T2_WP = 3500  # Tables 1 and 2 (wirelength + power program)
+PAPER_ITERS_T3_WPD = 5000  # Table 3 (wirelength + power + delay)
+PAPER_ITERS_T4 = 2500  # Table 4 (Type III, per processor)
+
+#: Iteration budget used when a scenario is resolved with ``smoke=True``.
+SMOKE_ITERATIONS = 8
+
+#: Minimum processor counts per strategy (mirrors the runner validations).
+_MIN_P = {"serial": 1, "profile": 1, "type1": 2, "type2": 2, "type3": 3, "type3x": 3}
+
+
+@dataclass(frozen=True)
+class StrategyGrid:
+    """One strategy plus a cartesian grid of parameter options.
+
+    ``axes`` is an ordered tuple of ``(param, options)`` pairs; resolution
+    takes the cross product.  Parameters that name
+    :class:`~repro.parallel.runners.ExperimentSpec` fields (``objectives``,
+    ``bias``, ...) are folded into the cell's spec; the rest (``p``,
+    ``pattern``, ``retry_frac``, ...) are passed to the strategy runner.
+    """
+
+    strategy: str
+    axes: tuple[tuple[str, tuple], ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.strategy not in STRATEGIES:
+            raise ValueError(
+                f"unknown strategy {self.strategy!r}; expected one of {STRATEGIES}"
+            )
+
+    def combinations(self) -> Iterable[dict[str, Any]]:
+        """Yield one params dict per grid point."""
+        if not self.axes:
+            yield {}
+            return
+        names = [a[0] for a in self.axes]
+        for values in itertools.product(*(a[1] for a in self.axes)):
+            yield dict(zip(names, values))
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """A named experiment family, declared as data.
+
+    ``paper_iterations`` is the paper's *serial* budget; parallel budgets
+    derive from it inside the strategy runners.  ``table`` links back to
+    the paper table the scenario reproduces (``None`` for non-table
+    scenarios like ``profile`` and ``smoke``).
+    """
+
+    name: str
+    title: str
+    description: str
+    objectives: tuple[str, ...]
+    paper_iterations: int
+    circuits: tuple[str, ...]
+    grids: tuple[StrategyGrid, ...]
+    seeds: tuple[int, ...] = (1,)
+    min_iterations: int = 20
+    smoke_circuits: tuple[str, ...] = ("s1196",)
+    table: int | None = None
+
+
+@dataclass(frozen=True)
+class SweepCell:
+    """One concrete runnable experiment: a spec plus runner parameters."""
+
+    scenario: str
+    cell_id: str
+    strategy: str
+    spec: ExperimentSpec
+    params: tuple[tuple[str, Any], ...] = ()
+
+    def params_dict(self) -> dict[str, Any]:
+        return dict(self.params)
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "scenario": self.scenario,
+            "cell_id": self.cell_id,
+            "strategy": self.strategy,
+            "spec": self.spec.to_dict(),
+            "params": {k: list(v) if isinstance(v, tuple) else v
+                       for k, v in self.params},
+        }
+
+
+def scaled_iterations(paper_iters: int, scale: int = 100, minimum: int = 20) -> int:
+    """Paper budget divided by ``scale``, floored to stay meaningful."""
+    return max(minimum, paper_iters // max(1, scale))
+
+
+def derive_seeds(root_seed: int, n: int) -> list[int]:
+    """``n`` independent 32-bit replicate seeds spawned from ``root_seed``."""
+    children = np.random.SeedSequence(root_seed).spawn(n)
+    return [int(c.generate_state(1)[0]) for c in children]
+
+
+def base_spec(
+    circuit: str,
+    objectives: tuple[str, ...] = ("wirelength", "power"),
+    iterations: int = 100,
+    seed: int = 1,
+    **knobs: Any,
+) -> ExperimentSpec:
+    """The one spec constructor everything (benches, CLI, registry) shares."""
+    return ExperimentSpec(
+        circuit=circuit,
+        objectives=tuple(objectives),
+        iterations=iterations,
+        seed=seed,
+        **knobs,
+    )
+
+
+# ---------------------------------------------------------------------------
+# The registry proper
+# ---------------------------------------------------------------------------
+
+_P_RANGE = (2, 3, 4, 5)
+_PATTERNS = ("fixed", "random")
+#: Table 4's retry thresholds as fractions of the iteration budget
+#: (50/100/150/200 against 2 500 iterations).
+_RETRY_FRACS = (0.02, 0.04, 0.06, 0.08)
+
+SCENARIOS: dict[str, Scenario] = {}
+
+
+def _register(scenario: Scenario) -> Scenario:
+    if scenario.name in SCENARIOS:
+        raise ValueError(f"duplicate scenario {scenario.name!r}")
+    SCENARIOS[scenario.name] = scenario
+    return scenario
+
+
+_register(Scenario(
+    name="table1",
+    title="Table 1 — Type I (low-level parallel) runtimes",
+    description=(
+        "Serial baseline vs Type I parallel SimE at p=2..5, wirelength+power; "
+        "Type I replays the serial search so quality is identical and the "
+        "interest is the (negative) speed-up."
+    ),
+    objectives=("wirelength", "power"),
+    paper_iterations=PAPER_ITERS_T2_WP,
+    circuits=tuple(list_paper_circuits()),
+    grids=(
+        StrategyGrid("serial"),
+        StrategyGrid("type1", (("p", _P_RANGE),)),
+    ),
+    table=1,
+))
+
+_register(Scenario(
+    name="table2",
+    title="Table 2 — Type II (domain decomposition), wirelength+power",
+    description=(
+        "Serial vs Type II with fixed and random row allocation at p=2..5; "
+        "times carry the paper's quality bracket when serial quality is "
+        "not reached."
+    ),
+    objectives=("wirelength", "power"),
+    paper_iterations=PAPER_ITERS_T2_WP,
+    circuits=tuple(list_paper_circuits()),
+    grids=(
+        StrategyGrid("serial"),
+        StrategyGrid("type2", (("pattern", _PATTERNS), ("p", _P_RANGE))),
+    ),
+    table=2,
+))
+
+_register(Scenario(
+    name="table3",
+    title="Table 3 — Type II, wirelength+power+delay",
+    description=(
+        "Table 2's protocol with the delay objective added (serial 5000 "
+        "iterations; parallel 6000 + 1000 per extra processor, scaled)."
+    ),
+    objectives=("wirelength", "power", "delay"),
+    paper_iterations=PAPER_ITERS_T3_WPD,
+    circuits=tuple(list_paper_circuits()),
+    grids=(
+        StrategyGrid("serial"),
+        StrategyGrid("type2", (
+            ("base_factor", (6.0 / 5.0,)),
+            ("per_proc_frac", (1.0 / 5.0,)),
+            ("pattern", _PATTERNS),
+            ("p", _P_RANGE),
+        )),
+    ),
+    table=3,
+))
+
+_register(Scenario(
+    name="table4",
+    title="Table 4 — Type III (parallel search) vs retry threshold",
+    description=(
+        "Serial vs Type III at p=3..5 for retry thresholds 50/100/150/200 "
+        "(expressed as fractions of the iteration budget so they scale)."
+    ),
+    objectives=("wirelength", "power"),
+    paper_iterations=PAPER_ITERS_T4,
+    circuits=("s1494", "s1238"),
+    grids=(
+        StrategyGrid("serial"),
+        StrategyGrid("type3", (("retry_frac", _RETRY_FRACS), ("p", (3, 4, 5)))),
+    ),
+    smoke_circuits=("s1238",),
+    table=4,
+))
+
+_register(Scenario(
+    name="profile",
+    title="Section 4 — serial runtime profile (gprof reproduction)",
+    description=(
+        "Work-category shares of a serial run for both program versions "
+        "(w/p and w/p/d); the paper reports allocation at ~98%."
+    ),
+    objectives=("wirelength", "power"),
+    paper_iterations=PAPER_ITERS_T2_WP,
+    circuits=("s1196", "s1238"),
+    grids=(
+        StrategyGrid("profile", (
+            ("objectives", (("wirelength", "power"),
+                            ("wirelength", "power", "delay"))),
+        )),
+    ),
+))
+
+_register(Scenario(
+    name="smoke",
+    title="Smoke — one cheap cell per strategy",
+    description=(
+        "A minutes-scale end-to-end pass exercising every strategy on the "
+        "smallest circuit; used by CI (`repro sweep --smoke`)."
+    ),
+    objectives=("wirelength", "power"),
+    paper_iterations=SMOKE_ITERATIONS,
+    circuits=("s1196",),
+    grids=(
+        StrategyGrid("serial"),
+        StrategyGrid("type1", (("p", (2,)),)),
+        StrategyGrid("type2", (("pattern", ("random",)), ("p", (2,)))),
+        StrategyGrid("type3", (("retry_frac", (0.25,)), ("p", (3,)))),
+        StrategyGrid("type3x", (("retry_frac", (0.25,)), ("p", (3,)))),
+    ),
+    min_iterations=SMOKE_ITERATIONS,
+))
+
+
+def list_scenarios() -> list[Scenario]:
+    """All registered scenarios, in registration (paper) order."""
+    return list(SCENARIOS.values())
+
+
+def get_scenario(name: str) -> Scenario:
+    try:
+        return SCENARIOS[name]
+    except KeyError:
+        known = ", ".join(SCENARIOS)
+        raise KeyError(f"unknown scenario {name!r}; known: {known}") from None
+
+
+def custom_sweep(
+    circuits: Iterable[str],
+    strategies: Iterable[str] = ("serial", "type2"),
+    p_values: Iterable[int] = (2, 4),
+    patterns: Iterable[str] = ("random",),
+    objectives: tuple[str, ...] = ("wirelength", "power"),
+    paper_iterations: int = PAPER_ITERS_T2_WP,
+    retry_fracs: Iterable[float] = (0.04,),
+    seeds: Iterable[int] = (1,),
+    name: str = "sweep",
+) -> Scenario:
+    """Build an open-ended ``circuit × strategy × p × pattern`` scenario.
+
+    This is the CLI's ``repro sweep --circuits ... --strategies ...`` path:
+    anything the registry's named tables don't cover.
+    """
+    grids = []
+    for strategy in strategies:
+        axes: list[tuple[str, tuple]] = []
+        if strategy in ("type1", "type2", "type3", "type3x"):
+            min_p = _MIN_P[strategy]
+            ps = tuple(p for p in p_values if p >= min_p)
+            if not ps:
+                raise ValueError(
+                    f"{strategy} needs p >= {min_p}; got {tuple(p_values)}"
+                )
+            dropped = tuple(p for p in p_values if p < min_p)
+            if dropped:
+                warnings.warn(
+                    f"{strategy}: dropping p={list(dropped)} (needs p >= {min_p})",
+                    stacklevel=2,
+                )
+            axes.append(("p", ps))
+        if strategy == "type2":
+            axes.insert(0, ("pattern", tuple(patterns)))
+        if strategy in ("type3", "type3x"):
+            axes.insert(0, ("retry_frac", tuple(retry_fracs)))
+        grids.append(StrategyGrid(strategy, tuple(axes)))
+    return Scenario(
+        name=name,
+        title=f"Custom sweep over {len(grids)} strategies",
+        description="Open-ended sweep built from CLI arguments.",
+        objectives=tuple(objectives),
+        paper_iterations=paper_iterations,
+        circuits=tuple(circuits),
+        grids=tuple(grids),
+        seeds=tuple(seeds),
+    )
+
+
+_SPEC_FIELDS = {f.name for f in fields(ExperimentSpec)}
+
+
+def _fmt_param(v: Any) -> str:
+    if isinstance(v, (tuple, list)):
+        return "+".join(str(x) for x in v)
+    return str(v)
+
+
+def _cell_id(circuit: str, seed: int, strategy: str, params: Mapping[str, Any]) -> str:
+    parts = [f"{k}={_fmt_param(v)}" for k, v in params.items()]
+    tail = f"[{','.join(parts)}]" if parts else ""
+    return f"{circuit}/seed{seed}/{strategy}{tail}"
+
+
+def resolve(
+    scenario: Scenario | str,
+    scale: int = 100,
+    circuits: Iterable[str] | None = None,
+    seeds: Iterable[int] | None = None,
+    smoke: bool = False,
+) -> list[SweepCell]:
+    """Expand a scenario into concrete, validated sweep cells.
+
+    ``scale`` divides the paper iteration budget (``REPRO_SCALE``
+    convention); ``circuits``/``seeds`` override the scenario's own;
+    ``smoke`` shrinks to the scenario's smoke circuits and
+    :data:`SMOKE_ITERATIONS`.  Resolution is deterministic: the same
+    arguments always produce the same cells in the same order.  Cells that
+    collapse to duplicates under scaling (e.g. Table 4's retry fractions
+    all rounding to 1) are deduplicated.
+    """
+    if isinstance(scenario, str):
+        scenario = get_scenario(scenario)
+    if smoke:
+        iters = SMOKE_ITERATIONS
+        circ_list = list(circuits) if circuits is not None else list(scenario.smoke_circuits)
+    else:
+        iters = scaled_iterations(
+            scenario.paper_iterations, scale, scenario.min_iterations
+        )
+        circ_list = list(circuits) if circuits is not None else list(scenario.circuits)
+    known = set(list_paper_circuits())
+    for c in circ_list:
+        if c not in known:
+            raise KeyError(f"unknown circuit {c!r}; known: {sorted(known)}")
+    seed_list = list(seeds) if seeds is not None else list(scenario.seeds)
+
+    cells: list[SweepCell] = []
+    seen: set[str] = set()
+    for circuit in circ_list:
+        for seed in seed_list:
+            for grid in scenario.grids:
+                for combo in grid.combinations():
+                    spec_over = {k: v for k, v in combo.items() if k in _SPEC_FIELDS}
+                    params = {k: v for k, v in combo.items() if k not in _SPEC_FIELDS}
+                    if "retry_frac" in params:
+                        frac = params.pop("retry_frac")
+                        params["retry_threshold"] = max(1, int(round(frac * iters)))
+                    spec = base_spec(
+                        circuit, scenario.objectives, iters, seed
+                    )
+                    if spec_over:
+                        spec = replace(spec, **spec_over)
+                    # Spec overrides are part of the identity too — the
+                    # profile scenario's two objective versions must not
+                    # collapse into one cell.
+                    cid = _cell_id(
+                        circuit, seed, grid.strategy, {**spec_over, **params}
+                    )
+                    if cid in seen:
+                        continue
+                    seen.add(cid)
+                    _validate(grid.strategy, params)
+                    cells.append(SweepCell(
+                        scenario=scenario.name,
+                        cell_id=cid,
+                        strategy=grid.strategy,
+                        spec=spec,
+                        params=tuple(sorted(params.items())),
+                    ))
+    return cells
+
+
+def _validate(strategy: str, params: Mapping[str, Any]) -> None:
+    p = params.get("p", 1)
+    if p < _MIN_P[strategy]:
+        raise ValueError(f"{strategy} needs p >= {_MIN_P[strategy]}, got {p}")
+    if strategy in ("type3", "type3x") and params.get("retry_threshold", 1) < 1:
+        raise ValueError("retry_threshold must be >= 1")
+    if strategy == "type2" and params.get("pattern", "fixed") not in (
+        "fixed", "random", "contiguous"
+    ):
+        raise ValueError(f"unknown row pattern {params.get('pattern')!r}")

@@ -1,0 +1,160 @@
+"""Multiprocess sweep execution with failure isolation.
+
+Takes the :class:`~repro.experiments.registry.SweepCell` lists the registry
+resolves and runs them — serially in-process, or fanned out over a
+:class:`concurrent.futures.ProcessPoolExecutor`.  Each cell is a pure
+function of its spec and parameters (all randomness flows from
+``spec.seed`` through :mod:`repro.utils.rng` streams), so serial and
+pooled execution produce **identical** artifacts; the determinism test in
+``tests/experiments`` pins that.
+
+A failing cell (bad circuit, runner error) never takes the sweep down: it
+yields a :class:`~repro.experiments.artifacts.RunRecord` with ``ok=False``
+and the traceback, and the remaining cells proceed.
+"""
+
+from __future__ import annotations
+
+import time
+import traceback
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from typing import Callable, Sequence
+
+from repro.analysis.profiling import profile_serial_run
+from repro.experiments.artifacts import RunRecord
+from repro.experiments.registry import SweepCell
+from repro.parallel.runners import ParallelOutcome, run_serial
+from repro.parallel.type1 import run_type1
+from repro.parallel.type2 import run_type2
+from repro.parallel.type3 import run_type3
+from repro.parallel.type3x import run_type3_diversified
+
+__all__ = ["run_cell", "run_sweep", "ProgressFn"]
+
+#: Called after each cell completes: ``progress(done, total, record)``.
+ProgressFn = Callable[[int, int, RunRecord], None]
+
+
+def _run_profile(cell: SweepCell) -> ParallelOutcome:
+    """The ``profile`` pseudo-strategy: a serial run plus gprof-style shares."""
+    report = profile_serial_run(cell.spec)
+    return ParallelOutcome(
+        strategy="profile",
+        circuit=report.circuit,
+        objectives=report.objectives,
+        p=1,
+        iterations=report.iterations,
+        runtime=report.total_model_seconds,
+        best_mu=0.0,
+        extras={
+            "shares": report.shares,
+            "allocation_share": report.allocation_share,
+            "version": report.version_key(),
+        },
+    )
+
+
+def _dispatch(cell: SweepCell) -> ParallelOutcome:
+    params = cell.params_dict()
+    if cell.strategy == "serial":
+        return run_serial(cell.spec)
+    if cell.strategy == "profile":
+        return _run_profile(cell)
+    if cell.strategy == "type1":
+        return run_type1(cell.spec, **params)
+    if cell.strategy == "type2":
+        return run_type2(cell.spec, **params)
+    if cell.strategy == "type3":
+        return run_type3(cell.spec, **params)
+    if cell.strategy == "type3x":
+        return run_type3_diversified(cell.spec, **params)
+    raise ValueError(f"unknown strategy {cell.strategy!r}")
+
+
+def _failure_record(cell: SweepCell, error: str, wall_seconds: float) -> RunRecord:
+    return RunRecord(
+        scenario=cell.scenario,
+        cell_id=cell.cell_id,
+        strategy=cell.strategy,
+        spec=cell.spec.to_dict(),
+        params=cell.params_dict(),
+        ok=False,
+        error=error,
+        outcome=None,
+        wall_seconds=wall_seconds,
+    )
+
+
+def run_cell(cell: SweepCell) -> RunRecord:
+    """Execute one cell, capturing failures into the record.
+
+    Safe to ship across process boundaries: both the cell (dataclasses of
+    plain data) and the record (dicts of JSON scalars) pickle cheaply.
+    """
+    t0 = time.perf_counter()
+    try:
+        outcome = _dispatch(cell)
+    except Exception as exc:  # noqa: BLE001 - isolation is the point
+        return _failure_record(
+            cell,
+            f"{type(exc).__name__}: {exc}\n{traceback.format_exc()}",
+            time.perf_counter() - t0,
+        )
+    return RunRecord(
+        scenario=cell.scenario,
+        cell_id=cell.cell_id,
+        strategy=cell.strategy,
+        spec=cell.spec.to_dict(),
+        params=cell.params_dict(),
+        ok=True,
+        error=None,
+        outcome=outcome.to_dict(),
+        wall_seconds=time.perf_counter() - t0,
+    )
+
+
+def run_sweep(
+    cells: Sequence[SweepCell],
+    workers: int | None = None,
+    processes: bool = False,
+    progress: ProgressFn | None = None,
+) -> list[RunRecord]:
+    """Run every cell; return records in the input order.
+
+    ``processes=True`` fans out over a :class:`ProcessPoolExecutor` with
+    ``workers`` processes (default: executor's choice).  Results are
+    returned in submission order either way, and every field except the
+    host-dependent ``wall_seconds`` is identical across execution modes
+    (compare via :meth:`RunRecord.canonical`).  ``progress`` fires in
+    completion order under the pool, submission order serially.
+    """
+    total = len(cells)
+    records: list[RunRecord] = []
+    if not processes:
+        for i, cell in enumerate(cells):
+            record = run_cell(cell)
+            records.append(record)
+            if progress:
+                progress(i + 1, total, record)
+        return records
+
+    with ProcessPoolExecutor(max_workers=workers) as pool:
+        futures = {pool.submit(run_cell, cell): i for i, cell in enumerate(cells)}
+        slots: list[RunRecord | None] = [None] * total
+        done = 0
+        # Report completions as they happen (a slow head cell must not
+        # make the whole sweep look hung) while keeping result order.
+        for future in as_completed(futures):
+            i = futures[future]
+            try:
+                record = future.result()
+            except Exception as exc:  # noqa: BLE001 - e.g. broken pool
+                record = _failure_record(
+                    cells[i], f"{type(exc).__name__}: {exc}", 0.0
+                )
+            slots[i] = record
+            done += 1
+            if progress:
+                progress(done, total, record)
+    records = [r for r in slots if r is not None]
+    return records

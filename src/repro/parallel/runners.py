@@ -21,7 +21,7 @@ All randomness derives from ``spec.seed`` through named child streams:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import asdict, dataclass, field, fields
 from typing import Any
 
 import numpy as np
@@ -92,6 +92,21 @@ class ExperimentSpec:
     num_rows: int | None = None
     critical_paths: int = 64
 
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-ready form (tuples become lists) for artifacts and dispatch."""
+        d = asdict(self)
+        d["objectives"] = list(self.objectives)
+        return d
+
+    @classmethod
+    def from_dict(cls, d: dict[str, Any]) -> "ExperimentSpec":
+        """Inverse of :meth:`to_dict`; ignores unknown keys."""
+        known = {f.name for f in fields(cls)}
+        kwargs = {k: v for k, v in d.items() if k in known}
+        if "objectives" in kwargs:
+            kwargs["objectives"] = tuple(kwargs["objectives"])
+        return cls(**kwargs)
+
 
 @dataclass
 class Problem:
@@ -133,6 +148,67 @@ class ParallelOutcome:
             if mu >= target_mu:
                 return t
         return None
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-ready record of this outcome.
+
+        ``extras`` values that do not survive a JSON round trip (numpy
+        scalars, tuples) are coerced; non-serialisable extras are dropped
+        rather than poisoning the artifact.
+        """
+        return {
+            "strategy": self.strategy,
+            "circuit": self.circuit,
+            "objectives": list(self.objectives),
+            "p": int(self.p),
+            "iterations": int(self.iterations),
+            "runtime": float(self.runtime),
+            "best_mu": float(self.best_mu),
+            "best_costs": {k: float(v) for k, v in self.best_costs.items()},
+            "history": [
+                [int(it), float(mu), float(t)] for it, mu, t in self.history
+            ],
+            "extras": _jsonable(self.extras),
+        }
+
+    @classmethod
+    def from_dict(cls, d: dict[str, Any]) -> "ParallelOutcome":
+        """Rebuild an outcome from :meth:`to_dict` output."""
+        return cls(
+            strategy=d["strategy"],
+            circuit=d["circuit"],
+            objectives=tuple(d["objectives"]),
+            p=int(d["p"]),
+            iterations=int(d["iterations"]),
+            runtime=float(d["runtime"]),
+            best_mu=float(d["best_mu"]),
+            best_costs=dict(d.get("best_costs", {})),
+            history=[(int(it), float(mu), float(t)) for it, mu, t in d.get("history", [])],
+            extras=dict(d.get("extras", {})),
+        )
+
+
+def _jsonable(value: Any) -> Any:
+    """Best-effort coercion to JSON-compatible types (drops what can't go)."""
+    if isinstance(value, dict):
+        coerced = {str(k): _jsonable(v) for k, v in value.items()}
+        return {k: v for k, v in coerced.items() if v is not _DROP}
+    if isinstance(value, (list, tuple)):
+        return [c for c in (_jsonable(v) for v in value) if c is not _DROP]
+    if isinstance(value, (str, bool)) or value is None:
+        return value
+    if isinstance(value, (int, float, np.integer, np.floating)):
+        return float(value) if isinstance(value, (float, np.floating)) else int(value)
+    if isinstance(value, np.ndarray):
+        return [_jsonable(v) for v in value.tolist()]
+    return _DROP
+
+
+class _Drop:
+    """Sentinel for values that cannot be serialised."""
+
+
+_DROP = _Drop()
 
 
 def make_config(spec: ExperimentSpec, max_iterations: int | None = None) -> SimEConfig:

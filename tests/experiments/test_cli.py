@@ -1,0 +1,128 @@
+"""CLI smoke tests: `repro list`, `repro run`, `repro sweep`, `repro tables`."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+
+def test_list_scenarios(capsys):
+    assert main(["list"]) == 0
+    out = capsys.readouterr().out
+    for name in ("table1", "table2", "table3", "table4", "profile", "smoke"):
+        assert name in out
+
+
+def test_list_verbose_and_circuits(capsys):
+    assert main(["list", "-v"]) == 0
+    assert "pattern" in capsys.readouterr().out
+    assert main(["list", "--circuits"]) == 0
+    assert "s1196" in capsys.readouterr().out
+
+
+def test_run_serial(capsys):
+    assert main(["run", "--circuit", "s1196", "--iterations", "6"]) == 0
+    out = capsys.readouterr().out
+    assert "µ(s)=" in out and "wirelength" in out
+
+
+def test_run_json_and_artifact(tmp_path, capsys):
+    code = main([
+        "run", "--circuit", "s1196", "--strategy", "type2", "--p", "2",
+        "--iterations", "6", "--json", "--out", str(tmp_path),
+    ])
+    assert code == 0
+    out = capsys.readouterr().out
+    record = json.loads(out[: out.rindex("}") + 1])
+    assert record["ok"] is True
+    assert record["outcome"]["strategy"] == "type2-random"
+    # Artifact named after the full cell (params included), so runs with
+    # different configurations don't clobber each other.
+    assert (tmp_path / "s1196-seed1-type2[p=2,pattern=random].json").exists()
+
+
+def test_sweep_smoke_writes_artifacts(tmp_path, capsys):
+    code = main(["sweep", "--smoke", "--out", str(tmp_path), "--tag", "ci"])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "Sweep results" in out
+    payload = json.loads((tmp_path / "ci.json").read_text())
+    assert payload["meta"]["scenario"] == "smoke"
+    assert all(r["ok"] for r in payload["records"])
+    assert (tmp_path / "ci.csv").exists()
+
+
+def test_tables_smoke_renders_table_shape(tmp_path, capsys):
+    code = main(["tables", "--table", "1", "--smoke", "--out", str(tmp_path)])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "Table 1" in out
+    for col in ("Seq", "p=2", "p=3", "p=4", "p=5"):
+        assert col in out
+    payload = json.loads((tmp_path / "table1-smoke.json").read_text())
+    strategies = {r["strategy"] for r in payload["records"]}
+    assert strategies == {"serial", "type1"}
+
+
+def test_sweep_custom_grid_smoke_keeps_circuits(tmp_path, capsys):
+    code = main([
+        "sweep", "--circuits", "s1238", "--strategies", "serial",
+        "--smoke", "--out", str(tmp_path),
+    ])
+    assert code == 0
+    payload = json.loads((tmp_path / "sweep-smoke.json").read_text())
+    assert {r["spec"]["circuit"] for r in payload["records"]} == {"s1238"}
+
+
+def test_sweep_custom_grid_bad_inputs_error_cleanly(capsys):
+    assert main(["sweep", "--circuits", "bogus", "--strategies", "serial"]) == 2
+    assert "unknown circuit" in capsys.readouterr().err
+    assert main([
+        "sweep", "--circuits", "s1196", "--strategies", "type3",
+        "--p-values", "2",
+    ]) == 2
+    assert "needs p >=" in capsys.readouterr().err
+
+
+def test_list_cell_counts_reflect_resolution(capsys):
+    from repro.experiments.registry import resolve
+
+    assert main(["list"]) == 0
+    out = capsys.readouterr().out
+    line = next(l for l in out.splitlines() if l.startswith("table4"))
+    assert str(len(resolve("table4", scale=100))) in line.split()
+
+
+def test_sweep_empty_circuits_errors(capsys):
+    assert main(["sweep", "--scenario", "smoke", "--circuits", ""]) == 2
+    assert "0 cells" in capsys.readouterr().err
+
+
+def test_sweep_unknown_scenario_errors(capsys):
+    assert main(["sweep", "--scenario", "nope"]) == 2
+    assert "unknown scenario" in capsys.readouterr().err
+
+
+def test_sweep_custom_grid_requires_circuits(capsys):
+    assert main(["sweep", "--strategies", "serial"]) == 2
+
+
+def test_sweep_scenario_and_strategies_conflict(capsys):
+    code = main([
+        "sweep", "--scenario", "table3", "--circuits", "s1196",
+        "--strategies", "type2",
+    ])
+    assert code == 2
+    assert "mutually exclusive" in capsys.readouterr().err
+
+
+def test_sweep_without_target_errors(capsys):
+    assert main(["sweep"]) == 2
+
+
+def test_run_rejects_unknown_circuit():
+    with pytest.raises(SystemExit):
+        main(["run", "--circuit", "bogus"])

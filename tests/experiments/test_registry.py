@@ -1,0 +1,160 @@
+"""Registry resolution: every named scenario yields valid, unique cells."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.registry import (
+    SCENARIOS,
+    STRATEGIES,
+    SweepCell,
+    custom_sweep,
+    derive_seeds,
+    get_scenario,
+    list_scenarios,
+    resolve,
+    scaled_iterations,
+)
+from repro.netlist.suite import list_paper_circuits
+from repro.parallel.runners import ExperimentSpec
+
+_MIN_P = {"serial": 1, "profile": 1, "type1": 2, "type2": 2, "type3": 3, "type3x": 3}
+
+
+@pytest.mark.parametrize("name", sorted(SCENARIOS))
+def test_every_scenario_resolves_to_valid_cells(name):
+    cells = resolve(name, scale=100)
+    assert cells, name
+    known_circuits = set(list_paper_circuits())
+    ids = [c.cell_id for c in cells]
+    assert len(ids) == len(set(ids)), "cell ids must be unique"
+    for cell in cells:
+        assert isinstance(cell, SweepCell)
+        assert cell.scenario == name
+        assert cell.strategy in STRATEGIES
+        assert cell.spec.circuit in known_circuits
+        assert cell.spec.iterations >= 1
+        params = cell.params_dict()
+        assert params.get("p", 1) >= _MIN_P[cell.strategy]
+        if cell.strategy in ("type3", "type3x"):
+            assert params["retry_threshold"] >= 1
+        if cell.strategy == "type2":
+            assert params["pattern"] in ("fixed", "random", "contiguous")
+
+
+@pytest.mark.parametrize("name", sorted(SCENARIOS))
+def test_resolution_is_deterministic(name):
+    assert resolve(name, scale=100) == resolve(name, scale=100)
+
+
+def test_table_scenarios_include_serial_baseline():
+    for name in ("table1", "table2", "table3", "table4"):
+        strategies = {c.strategy for c in resolve(name)}
+        assert "serial" in strategies, name
+
+
+def test_scaling_and_smoke():
+    full = resolve("table2", scale=1)
+    scaled = resolve("table2", scale=100)
+    smoke = resolve("table2", smoke=True)
+    assert full[0].spec.iterations == 3500
+    assert scaled[0].spec.iterations == 35
+    assert smoke[0].spec.iterations < scaled[0].spec.iterations
+    # Smoke shrinks the circuit set but keeps the table's column structure.
+    assert {c.spec.circuit for c in smoke} == {"s1196"}
+    assert {c.params_dict().get("p") for c in smoke if c.strategy == "type2"} == {
+        2, 3, 4, 5,
+    }
+
+
+def test_table4_retry_thresholds_scale_and_dedupe():
+    cells = resolve("table4", scale=1)
+    retries = {
+        c.params_dict()["retry_threshold"] for c in cells if c.strategy == "type3"
+    }
+    assert retries == {50, 100, 150, 200}
+    # Under smoke budgets the four fractions collapse; duplicates must fold.
+    smoke = resolve("table4", smoke=True)
+    ids = [c.cell_id for c in smoke]
+    assert len(ids) == len(set(ids))
+
+
+def test_profile_scenario_has_both_program_versions():
+    cells = resolve("profile", smoke=True)
+    versions = {c.spec.objectives for c in cells}
+    assert versions == {
+        ("wirelength", "power"),
+        ("wirelength", "power", "delay"),
+    }
+
+
+def test_circuit_and_scenario_overrides():
+    cells = resolve("table1", circuits=["s1238"], seeds=[7, 9])
+    assert {c.spec.circuit for c in cells} == {"s1238"}
+    assert {c.spec.seed for c in cells} == {7, 9}
+    with pytest.raises(KeyError):
+        resolve("table1", circuits=["nonexistent"])
+    with pytest.raises(KeyError):
+        get_scenario("nonexistent")
+
+
+def test_custom_sweep_grid():
+    scenario = custom_sweep(
+        circuits=["s1196", "s1238"],
+        strategies=["serial", "type2", "type3"],
+        p_values=[2, 4],
+        patterns=["fixed", "random"],
+    )
+    cells = resolve(scenario, scale=100)
+    by_strategy: dict[str, int] = {}
+    for c in cells:
+        by_strategy[c.strategy] = by_strategy.get(c.strategy, 0) + 1
+    assert by_strategy["serial"] == 2  # one per circuit
+    assert by_strategy["type2"] == 2 * 2 * 2  # circuit x pattern x p
+    assert by_strategy["type3"] == 2  # p=2 filtered out (needs >= 3)
+    with pytest.raises(ValueError):
+        custom_sweep(circuits=["s1196"], strategies=["type3"], p_values=[2])
+
+
+def test_custom_sweep_warns_on_dropped_p_values():
+    with pytest.warns(UserWarning, match="type3: dropping p="):
+        custom_sweep(
+            circuits=["s1196"], strategies=["type3"], p_values=[2, 4]
+        )
+
+
+def test_derive_seeds_deterministic_and_distinct():
+    a = derive_seeds(1, 5)
+    assert a == derive_seeds(1, 5)
+    assert len(set(a)) == 5
+    assert a != derive_seeds(2, 5)
+
+
+def test_scaled_iterations_floor():
+    assert scaled_iterations(3500, 100) == 35
+    assert scaled_iterations(3500, 1000, minimum=20) == 20
+    assert scaled_iterations(3500, 1) == 3500
+
+
+def test_spec_serialization_roundtrip():
+    spec = ExperimentSpec(
+        circuit="s1196",
+        objectives=("wirelength", "power", "delay"),
+        iterations=42,
+        seed=9,
+        bias=0.1,
+    )
+    d = spec.to_dict()
+    assert d["objectives"] == ["wirelength", "power", "delay"]
+    assert ExperimentSpec.from_dict(d) == spec
+    # Unknown keys (forward compatibility) are ignored.
+    d["future_field"] = True
+    assert ExperimentSpec.from_dict(d) == spec
+
+
+def test_listing_order_matches_paper():
+    names = [s.name for s in list_scenarios()]
+    assert names[:4] == ["table1", "table2", "table3", "table4"]
+    # Scenario circuit tuples follow the suite's paper-table order
+    # (pinned in tests/netlist/test_suite.py).
+    assert get_scenario("table1").circuits == tuple(list_paper_circuits())

@@ -10,7 +10,8 @@ PAPER_CELLS = {"s1196": 561, "s1488": 667, "s1494": 661, "s1238": 540, "s3330": 
 
 
 def test_registry_matches_paper_order():
-    assert list_paper_circuits() == ["s1196", "s1238", "s1488", "s1494", "s3330"]
+    # Table 1 row order: s1196, s1488, s1494, s1238, s3330.
+    assert list_paper_circuits() == ["s1196", "s1488", "s1494", "s1238", "s3330"]
 
 
 @pytest.mark.parametrize("name,cells", sorted(PAPER_CELLS.items()))
