@@ -1,0 +1,29 @@
+"""Standalone wall-clock benchmark runner.
+
+Thin wrapper over the ``repro bench`` subcommand (same harness, same
+report format — :mod:`repro.experiments.bench`), for running the perf
+suite without an installed console script::
+
+    PYTHONPATH=src python benchmarks/wallclock.py --out BENCH.json
+    PYTHONPATH=src python benchmarks/wallclock.py --check BENCH_PR3.json
+
+Unlike the ``test_bench_*`` modules in this directory — which reproduce
+the *paper's* tables in model-seconds — this harness measures the
+*implementation* in wall-clock seconds and gates behavioural determinism
+(model-seconds and µ(s) must exactly match the committed baseline).
+"""
+
+from __future__ import annotations
+
+import sys
+
+
+def main(argv: list[str] | None = None) -> int:
+    from repro.cli import main as cli_main
+
+    args = list(sys.argv[1:] if argv is None else argv)
+    return cli_main(["bench", *args])
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

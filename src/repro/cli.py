@@ -13,6 +13,10 @@ Subcommands
 ``repro tables``
     Reproduce a paper table end to end: resolve the scenario, sweep it,
     save the artifact and render the paper-shaped report.
+``repro bench``
+    Wall-clock benchmark of the smoke suite (perf trajectory), with a
+    ``--check`` determinism gate against a committed baseline such as
+    ``BENCH_PR3.json``.
 
 Every stochastic component seeds from the spec, so any command line is
 reproducible bit-for-bit; ``--smoke`` shrinks budgets for CI.
@@ -123,6 +127,32 @@ def build_parser() -> argparse.ArgumentParser:
     p_tables.add_argument("--processes", action="store_true")
     p_tables.add_argument("--out", default="artifacts")
     p_tables.set_defaults(func=cmd_tables)
+
+    p_bench = sub.add_parser(
+        "bench", help="wall-clock benchmark + determinism gate")
+    p_bench.add_argument("--smoke", action="store_true",
+                         help="accepted for symmetry; the bench suite is "
+                              "always smoke-sized")
+    p_bench.add_argument("--scenarios", type=_csv_list, default=None,
+                         help="scenario names to bench at smoke size "
+                              "(default: smoke,table2)")
+    p_bench.add_argument("--repeats", type=int, default=3,
+                         help="timed runs per cell (min is reported)")
+    p_bench.add_argument("--no-warmup", action="store_true",
+                         help="skip the untimed warm-up run per cell")
+    p_bench.add_argument("--out", default=None,
+                         help="write the JSON report to this path")
+    p_bench.add_argument("--check", default=None, metavar="BASELINE",
+                         help="fail unless model-seconds and µ(s) exactly "
+                              "match this baseline report (determinism "
+                              "gate; wall-clock is never compared)")
+    p_bench.add_argument("--reference", default=None, metavar="PREV",
+                         help="embed this prior report as the new report's "
+                              "reference block (perf trajectory: previous "
+                              "numbers + derived speedups)")
+    p_bench.add_argument("--reference-note", default="previous baseline",
+                         help="provenance note stored with --reference")
+    p_bench.set_defaults(func=cmd_bench)
 
     return parser
 
@@ -317,6 +347,54 @@ def _execute_sweep(
     print()
     print(render_records(records, scenario.name))
     return 1 if failed(records) else 0
+
+
+def cmd_bench(args: argparse.Namespace) -> int:
+    from repro.experiments.bench import (
+        DEFAULT_SCENARIOS,
+        check_against,
+        embed_reference,
+        load_report,
+        render_bench,
+        run_bench,
+        save_report,
+    )
+
+    scenarios = args.scenarios or list(DEFAULT_SCENARIOS)
+    try:
+        report = run_bench(
+            repeats=args.repeats,
+            warmup=not args.no_warmup,
+            scenarios=scenarios,
+        )
+    except KeyError as exc:
+        print(f"error: {exc.args[0]}", file=sys.stderr)
+        return 2
+    if args.reference:
+        embed_reference(
+            report, load_report(args.reference), note=args.reference_note
+        )
+    print(render_bench(report))
+    if args.out:
+        path = save_report(report, args.out)
+        print(f"\nbench report: {path}")
+    failed_cells = [c for c in report["cells"] if not c["ok"]]
+    if failed_cells:
+        for c in failed_cells:
+            print(f"BENCH FAILURE: {c['id']}: "
+                  f"{'non-deterministic repeats' if not c['deterministic'] else c['error']}",
+                  file=sys.stderr)
+        return 1
+    if args.check:
+        problems = check_against(report, load_report(args.check))
+        if problems:
+            print(f"\ndeterminism gate vs {args.check}: FAILED", file=sys.stderr)
+            for p in problems:
+                print(f"  {p}", file=sys.stderr)
+            return 1
+        print(f"\ndeterminism gate vs {args.check}: ok "
+              f"({len(report['cells'])} cells, model-seconds and µ(s) exact)")
+    return 0
 
 
 def main(argv: Sequence[str] | None = None) -> int:

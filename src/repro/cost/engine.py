@@ -23,7 +23,25 @@ probe: it scores a hypothetical insertion **without** committing, using the
 standard approximation that ignores the downstream shift during the probe
 (the exact effect lands at commit time).  This probe-heavy pattern is
 precisely why Allocation dominates the runtime profile, as the paper
-reports.
+reports.  ``open_probe`` returns the fused probe kernel
+(:class:`~repro.cost.probe.ProbeContext`) that hoists the fixed-pin work
+out of the candidate loop; its results and meter charges are bit-identical
+to ``trial_insertion``, which is kept as the scalar reference.
+
+Incremental evaluation
+----------------------
+Since the estimators' batch and scalar paths are bit-identical per net
+(see :mod:`repro.cost.steiner`), the incremental caches *are* the full
+sweep: ``refresh_totals`` re-derives the solution-level totals from the
+cached per-net lengths with the same reductions ``full_refresh`` applies
+to a freshly swept vector — same bits, same meter charges, none of the
+per-pin re-walk.  The SimE loop runs on ``refresh_totals``;
+``full_refresh`` remains the from-scratch path (attachment, debugging,
+and the ``refresh_policy="full"`` reference pipeline).  Goodness is
+dirty-tracked: a cell's cached goodness is invalidated only when one of
+its incident nets changes length, and re-evaluation still charges one
+``goodness`` unit per cell per sweep (the meter models the paper's
+algorithm, not this implementation's shortcuts).
 
 Performance note: following the domain guides (profile first, then pick the
 representation the hot path wants), all per-net/per-cell caches that the
@@ -34,6 +52,7 @@ once-per-iteration full sweep and the path-delay algebra stay vectorized.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass
 from typing import Sequence
 
@@ -52,6 +71,57 @@ from repro.netlist.paths import PathSet, extract_critical_paths
 from repro.netlist.switching import compute_switching
 
 __all__ = ["CostEngine", "Objectives", "TrialResult"]
+
+# Engine construction is repeated per simulated rank with identical inputs
+# (same netlist singleton, same cached activity); the pure derived objects
+# are cached on the netlist instance, single-flight under one lock, so a
+# p-rank cluster builds them once.  Keys hold references to their inputs,
+# so identity comparison is sound (no id() reuse).
+_construct_lock = threading.Lock()
+
+
+def _cached_zeros(netlist: Netlist) -> np.ndarray:
+    """Shared read-only zero activity vector (wirelength-only engines)."""
+    with _construct_lock:
+        zeros = getattr(netlist, "_repro_zero_activity", None)
+        if zeros is None:
+            zeros = np.zeros(netlist.num_nets)
+            zeros.setflags(write=False)
+            netlist._repro_zero_activity = zeros
+        return zeros
+
+
+def _cached_paths(netlist: Netlist, k: int) -> PathSet:
+    with _construct_lock:
+        cache = getattr(netlist, "_repro_paths_cache", None)
+        if cache is None:
+            cache = netlist._repro_paths_cache = {}
+        paths = cache.get(k)
+        if paths is None:
+            paths = cache[k] = extract_critical_paths(netlist, k=k)
+        return paths
+
+
+def _cached_bounds(
+    netlist: Netlist,
+    activity: np.ndarray,
+    pathset: PathSet | None,
+    wire_cap_per_unit: float,
+    bound_scale: float,
+) -> CostBounds:
+    with _construct_lock:
+        cache = getattr(netlist, "_repro_bounds_cache", None)
+        if cache is None:
+            cache = netlist._repro_bounds_cache = []
+        for act, ps, wc, bs, bounds in cache:
+            if act is activity and ps is pathset and wc == wire_cap_per_unit \
+                    and bs == bound_scale:
+                return bounds
+        bounds = CostBounds.compute(
+            netlist, activity, pathset, wire_cap_per_unit, bound_scale=bound_scale
+        )
+        cache.append((activity, pathset, wire_cap_per_unit, bound_scale, bounds))
+        return bounds
 
 #: Valid objective names, in canonical order.
 Objectives = ("wirelength", "power", "delay")
@@ -135,22 +205,22 @@ class CostEngine:
             activity = (
                 compute_switching(netlist)
                 if self.has_power
-                else np.zeros(netlist.num_nets)
+                else _cached_zeros(netlist)
             )
         self.power_model = PowerModel(netlist, activity) if self.has_power else None
         if self.has_delay:
             if pathset is None:
-                pathset = extract_critical_paths(netlist, k=critical_paths)
+                pathset = _cached_paths(netlist, critical_paths)
             self.delay_model = DelayModel(netlist, pathset, wire_cap_per_unit)
         else:
             self.delay_model = None
 
-        self.bounds = CostBounds.compute(
+        self.bounds = _cached_bounds(
             netlist,
             activity,
             pathset if self.has_delay else None,
             wire_cap_per_unit,
-            bound_scale=bound_scale,
+            bound_scale,
         )
 
         # ---- hot-path caches (plain Python containers) -----------------
@@ -188,9 +258,23 @@ class CostEngine:
             self._cell_crit_nets = [[] for _ in range(n_cells)]
             self._cell_o_d = [0.0] * n_cells
         self._beta = self.aggregator.beta
+        #: Work units one full wirelength sweep charges (one per net-pin).
+        self._sweep_units: float = float(sum(self._degrees))
+        #: Lazily-built per-cell neighbour pin lists (allocation's optimal-
+        #: position gather): for each incident net, its other pins in pin
+        #: order — one flat list per cell, duplicates across nets kept.
+        self._neighbor_pins: list[list[int] | None] = [None] * n_cells
 
         # Mutable evaluation state (populated by attach()).
-        self.placement: Placement | None = None
+        #: Per-cell cached goodness; None = stale (dirty-set invalidation).
+        self._goodness_cache: list[float | None] = [None] * n_cells
+        #: Per-net cached estimator y-term (single-trunk branch sum or
+        #: HPWL y-span); None = unknown.  All placement mutations shift
+        #: cells horizontally except for the moved cell itself, so for
+        #: every other net a commit only recomputes the x-span and reuses
+        #: this term — bit-identical to a full evaluation.
+        self._net_branch: list[float | None] = [None] * netlist.num_nets
+        self._placement: Placement | None = None
         self.net_lengths: list[float] = []
         self.wirelength_total: float = 0.0
         self.power_total: float = 0.0
@@ -212,9 +296,84 @@ class CostEngine:
         p = self._require_placement()
         x = np.asarray(p.x)
         y = np.asarray(p.y)
-        lengths = self.evaluator.full_sweep(x, y)
-        self.meter.charge("wirelength", float(sum(self._degrees)))
+        branch: list = [None] * self.netlist.num_nets
+        lengths = self.evaluator.full_sweep(x, y, branch_out=branch)
         self.net_lengths = lengths.tolist()
+        self._net_branch = branch
+        self._goodness_cache = [None] * self.netlist.num_cells
+        self._finish_refresh(lengths)
+
+    def share_state(self) -> tuple:
+        """Snapshot the evaluation state for :meth:`attach_shared`.
+
+        Only valid when the caches exactly reflect the bound placement
+        (immediately after a refresh/attach, before further mutations).
+        """
+        return (
+            list(self.net_lengths),
+            list(self._net_branch),
+            self.wirelength_total,
+            self.power_total,
+            None if self.path_delays is None else self.path_delays.copy(),
+        )
+
+    def attach_shared(self, placement: Placement, state: tuple) -> "CostEngine":
+        """Bind a placement adopting evaluation state computed elsewhere.
+
+        ``state`` (from :meth:`share_state`) must be the evaluation of the
+        *same* rows — e.g. a simulated master rank's caches for the
+        solution it just broadcast.  Every entry is a deterministic
+        function of the coordinates, so adopting copies is bit-identical
+        to re-evaluating, and the meter is charged exactly as
+        :meth:`attach` would charge.  This is a wall-clock shortcut for
+        simulated clusters whose ranks share memory; the modelled
+        communication and work are unchanged.
+        """
+        if placement.grid is not self.grid:
+            raise ValueError("placement belongs to a different grid")
+        lengths, branches, wl_total, pw_total, path_delays = state
+        self.placement = placement
+        self.net_lengths = list(lengths)
+        self._net_branch = list(branches)
+        self.wirelength_total = wl_total
+        self.power_total = pw_total
+        self.path_delays = None if path_delays is None else path_delays.copy()
+        self.charge_refresh()
+        return self
+
+    def charge_refresh(self) -> None:
+        """Charge one full evaluation without recomputing anything.
+
+        Valid only when every cache already holds exactly what a refresh
+        would produce (a just-attached or just-adopted solution).  Charges
+        are identical to :meth:`full_refresh`.
+        """
+        self._require_placement()
+        self.meter.charge("wirelength", self._sweep_units)
+        if self.has_power:
+            self.meter.charge("power", float(self.netlist.num_nets))
+        if self.has_delay:
+            self.meter.charge("delay", float(len(self.delay_model.pathset.nets)))
+
+    def refresh_totals(self) -> None:
+        """Re-derive the solution totals from the cached per-net lengths.
+
+        Charges **exactly** what :meth:`full_refresh` charges and produces
+        bit-identical totals: the cached lengths equal a fresh sweep's
+        per-net bits (the estimators' bit-exactness contract plus the
+        exact incremental maintenance that ``assert_consistent`` /
+        ``verify_every`` pin), and the reductions below are the same
+        operations ``full_refresh`` applies to its freshly swept vector.
+        Cached goodness stays valid — that is the point: only cells whose
+        incident nets changed since the last sweep re-evaluate.
+        """
+        self._require_placement()
+        lengths = np.asarray(self.net_lengths)
+        self._finish_refresh(lengths)
+
+    def _finish_refresh(self, lengths: np.ndarray) -> None:
+        """Shared totals/charges tail of the two refresh flavours."""
+        self.meter.charge("wirelength", self._sweep_units)
         self.wirelength_total = float(lengths.sum())
         if self.has_power:
             self.power_total = self.power_model.total(lengths)
@@ -223,10 +382,25 @@ class CostEngine:
             self.path_delays = self.delay_model.path_delays_full(lengths)
             self.meter.charge("delay", float(len(self.delay_model.pathset.nets)))
 
+    @property
+    def placement(self) -> Placement | None:
+        """The bound placement (settable; rebinding stales all goodness)."""
+        return self._placement
+
+    @placement.setter
+    def placement(self, placement: Placement | None) -> None:
+        # A rebind means the solution changed out from under the engine
+        # (e.g. Type I ranks receiving a broadcast placement): every cached
+        # goodness is potentially stale.  Mutations *through* the engine
+        # invalidate precisely instead (see ``_update_nets_of``).
+        self._placement = placement
+        self._goodness_cache = [None] * self.netlist.num_cells
+        self._net_branch = [None] * self.netlist.num_nets
+
     def _require_placement(self) -> Placement:
-        if self.placement is None:
+        if self._placement is None:
             raise RuntimeError("no placement attached; call attach() first")
-        return self.placement
+        return self._placement
 
     # ------------------------------------------------------------------
     # solution-level queries
@@ -314,11 +488,42 @@ class CostEngine:
         return ratios
 
     def cell_goodness(self, cell: int) -> float:
-        """Multiobjective fuzzy goodness g_i ∈ [0, 1] of one cell."""
+        """Multiobjective fuzzy goodness g_i ∈ [0, 1] of one cell.
+
+        Dirty-tracked: the value is cached and reused until one of the
+        cell's incident nets changes length (``_update_nets_of``
+        invalidates the pins of every changed net).  A cache hit still
+        charges one ``goodness`` unit — the meter counts the evaluations
+        the paper's algorithm performs, not the ones this implementation
+        can skip.
+        """
+        g = self._goodness_cache[cell]
+        if g is not None:
+            self.meter.charge("goodness", 1.0)
+            return g
         ratios = self.cell_objective_ratios(cell)
         worst = min(ratios)
         mean = sum(ratios) / len(ratios)
-        return self._beta * worst + (1.0 - self._beta) * mean
+        g = self._beta * worst + (1.0 - self._beta) * mean
+        self._goodness_cache[cell] = g
+        return g
+
+    def neighbor_pins(self, cell: int) -> list[int]:
+        """Flat list of the cell's connected pins, one entry per net-pin.
+
+        Static connectivity (duplicates across nets kept — a neighbour
+        sharing two nets counts twice in the optimal-position median,
+        exactly as the per-net gather did); built lazily, used by the
+        allocator's ``_target_point``.
+        """
+        pins = self._neighbor_pins[cell]
+        if pins is None:
+            net_pins = self.evaluator.net_pins
+            pins = [
+                c for j in self._cell_nets[cell] for c in net_pins[j] if c != cell
+            ]
+            self._neighbor_pins[cell] = pins
+        return pins
 
     # ------------------------------------------------------------------
     # structural mutations with incremental updates
@@ -332,7 +537,7 @@ class CostEngine:
         # Cells at and after slot s shifted left; plus the removed cell's
         # nets lose a pin.
         changed = [cell] + p.rows[r][s:]
-        self._update_nets_of(changed, charge_to)
+        self._update_nets_of(changed, charge_to, moved=(cell,))
         return r, s
 
     def remove_cells(self, cells: Sequence[int], charge_to: str = "allocation") -> None:
@@ -344,7 +549,7 @@ class CostEngine:
         """
         p = self._require_placement()
         changed = p.remove_cells(cells)
-        self._update_nets_of(changed, charge_to)
+        self._update_nets_of(changed, charge_to, moved=cells)
 
     def insert_cell(
         self, cell: int, row: int, slot: int, charge_to: str = "allocation"
@@ -354,7 +559,7 @@ class CostEngine:
         p.insert_cell(cell, row, slot)
         slot = p.slot_of[cell]
         changed = p.rows[row][slot:]
-        self._update_nets_of(changed, charge_to)
+        self._update_nets_of(changed, charge_to, moved=(cell,))
 
     def move_cell(
         self, cell: int, row: int, slot: int, charge_to: str = "allocation"
@@ -375,10 +580,24 @@ class CostEngine:
             changed = set(p.rows[ra][sa:])
             changed.update(p.rows[rb][sb:])
         changed.update((a, b))
-        self._update_nets_of(list(changed), charge_to)
+        self._update_nets_of(list(changed), charge_to, moved=(a, b))
 
-    def _update_nets_of(self, cells: Sequence[int], charge_to: str) -> None:
-        """Recompute the nets touching ``cells``; update all totals."""
+    def _update_nets_of(
+        self,
+        cells: Sequence[int],
+        charge_to: str,
+        moved: Sequence[int] | None = None,
+    ) -> None:
+        """Recompute the nets touching ``cells``; update all totals.
+
+        ``moved`` names the cells whose y or membership changed (the
+        removed/inserted/swapped cells); every other touched cell only
+        shifted horizontally, so nets not incident to a moved cell reuse
+        their cached y-term and recompute the x-span only — bit-identical
+        to a full evaluation.  The iteration order over the net set is
+        independent of the hint, so the floating-point delta accumulation
+        is identical with or without it.
+        """
         p = self.placement
         cell_nets = self._cell_nets
         nets: set[int] = set()
@@ -386,22 +605,63 @@ class CostEngine:
             nets.update(cell_nets[c])
         lengths = self.net_lengths
         act = self._act
-        eval_net = self.evaluator.eval_net
+        eval_branch = self.evaluator.eval_net_branch
+        net_pins = self.evaluator.net_pins
+        goodness_cache = self._goodness_cache
+        degrees = self._degrees
+        branches = self._net_branch
+        has_power = self.has_power
+        has_delay = self.has_delay
         x, y = p.x, p.y
         units = 0.0
         wl_delta = 0.0
         pw_delta = 0.0
+        if moved is None:
+            forced: set[int] = nets
+        else:
+            forced = set()
+            for c in moved:
+                forced.update(cell_nets[c])
         for j in nets:
+            units += degrees[j]
             old = lengths[j]
-            new = eval_net(j, x, y)
-            units += self._degrees[j]
+            if j in forced:
+                new, br = eval_branch(j, x, y)
+                branches[j] = br
+            else:
+                br = branches[j]
+                if br is None:
+                    new, br = eval_branch(j, x, y)
+                    branches[j] = br
+                else:
+                    # Span-only re-evaluation (the single hottest loop in
+                    # the commit path): x extent of placed pins + the
+                    # cached y-term — exact selection plus the same final
+                    # add the full estimator performs, so bit-identical.
+                    lo = hi = 0.0
+                    m = 0
+                    for c in net_pins[j]:
+                        vx = x[c]
+                        if vx == vx:
+                            if m == 0:
+                                lo = hi = vx
+                            elif vx < lo:
+                                lo = vx
+                            elif vx > hi:
+                                hi = vx
+                            m += 1
+                    new = 0.0 if m < 2 else (hi - lo) + br
             if new == old:
                 continue
             lengths[j] = new
+            # Goodness dirty-set: every pin of a length-changed net has a
+            # stale cached goodness (unchanged nets leave it bit-valid).
+            for c in net_pins[j]:
+                goodness_cache[c] = None
             wl_delta += new - old
-            if self.has_power:
+            if has_power:
                 pw_delta += act[j] * (new - old)
-            if self.has_delay:
+            if has_delay:
                 # Path-delay shifts triggered by a mutation bill to the
                 # mutating phase (gprof attributes callee time to the
                 # caller's tree — allocation-internal recalcs are what make
@@ -429,6 +689,26 @@ class CostEngine:
             boundary = p.x[nxt] - widths[nxt] / 2.0
         return boundary + widths[cell] / 2.0, self.grid.row_y(row)
 
+    #: Lazily-bound ProbeContext class (import deferred: probe.py imports
+    #: TrialResult from this module).
+    _probe_cls = None
+
+    def open_probe(self, cell: int) -> "ProbeContext":
+        """Open the fused probe kernel for one cell's best-fit round.
+
+        Precomputes the fixed-pin partial of every incident net once;
+        ``probe(row, slot)`` then scores candidates in O(incident nets)
+        with results and meter charges bit-identical to
+        :meth:`trial_insertion` (see :mod:`repro.cost.probe`).  Valid
+        until the next structural mutation.
+        """
+        cls = CostEngine._probe_cls
+        if cls is None:
+            from repro.cost.probe import ProbeContext
+
+            CostEngine._probe_cls = cls = ProbeContext
+        return cls(self, cell)
+
     def trial_insertion(self, cell: int, row: int, slot: int) -> TrialResult:
         """Score inserting the (currently unplaced) ``cell`` at (row, slot).
 
@@ -438,6 +718,10 @@ class CostEngine:
         charged to ``allocation``: one unit per candidate plus one per
         net-pin probed — the paper's "wirelength re-calculation calls made
         in allocation routine".
+
+        This is the scalar reference the fused kernel
+        (:meth:`open_probe`) is pinned against; the allocator's hot loop
+        uses the kernel.
         """
         p = self._require_placement()
         w = p._widths[cell]

@@ -17,6 +17,19 @@ allocation inner loop calls them on 2–6 pins at a time, where numpy's
 per-call overhead would dominate (see the domain optimization guide's
 advice to profile before vectorizing — the batch variants below *are*
 vectorized because they sweep every net at once).
+
+Bit-exactness contract
+----------------------
+The scalar estimators are the **canonical numerics**: the batch variants
+return bit-identical values per net, not merely close ones.  Spans and
+medians are exact selections, so they vectorize freely; the single-trunk
+branch term is a floating-point *sum*, whose rounding depends on
+accumulation order, so :func:`batch_single_trunk` accumulates it in the
+same pin order the scalar loop uses (a ``sum`` over a per-net slice is the
+identical left-to-right operation sequence).  This is what lets the cost
+engine's incremental caches stand in for a full sweep bit-for-bit — the
+whole evaluation pipeline (probe kernel, dirty goodness, totals-only
+refresh) is built on it.
 """
 
 from __future__ import annotations
@@ -84,20 +97,37 @@ def _segments(indptr: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
 
 
 def batch_single_trunk(
-    indptr: np.ndarray, pin_x: np.ndarray, pin_y: np.ndarray
+    indptr: np.ndarray,
+    pin_x: np.ndarray,
+    pin_y: np.ndarray,
+    net_ids: np.ndarray | None = None,
+    deg_groups: list[tuple[int, np.ndarray]] | None = None,
+    branch_out: list | None = None,
 ) -> np.ndarray:
     """Single-trunk lengths for all nets at once (full-sweep path).
 
     ``indptr`` is the nets' CSR index pointer; ``pin_x``/``pin_y`` the flat
-    per-pin coordinates in CSR order.  Fully vectorized:
+    per-pin coordinates in CSR order.  Returns, per net, **exactly** the
+    bits :func:`single_trunk_length` produces for that net's pin sequence
+    (see the module docstring's bit-exactness contract):
 
-    * x-span via ``reduceat``;
-    * the median-branch term via one lexsort of pins by ``(net, y)`` and a
-      prefix-sum identity — for a sorted segment ``y_1..y_d`` with median
-      ``m`` splitting it into a left part (count L, sum S_L) and right part
-      (count R, sum S_R), ``Σ|y_i − m| = m·L − S_L + S_R − m·R``.  For even
-      degrees any point in the median interval gives the same (minimal)
-      branch sum, so the midpoint used by the scalar estimator matches.
+    * x-span via ``reduceat`` — min/max are exact selections, identical to
+      the scalar's sequential comparisons;
+    * medians via one lexsort of pins by ``(net, y)`` — exact selections
+      plus the scalar's own midpoint expression for even degrees;
+    * branch sums ``Σ|y_i − med|`` accumulated per net **in pin order**.
+      ``np.add.reduceat`` is *not* used here: it reduces segments in a
+      different association order, which changes the last bits.  Instead
+      nets are grouped by degree and each group's deviations are folded
+      column by column — an elementwise left-to-right chain of IEEE adds,
+      which is exactly the scalar loop's accumulation per net, vectorized
+      across the group.
+
+    ``net_ids`` (per-pin net index) and ``deg_groups`` (``(degree,
+    net-indices)`` pairs) are pure functions of ``indptr``; callers that
+    sweep repeatedly (the evaluator) pass precomputed ones.  ``branch_out``
+    (a list of length n_nets), when given, receives each net's branch sum
+    (0.0 for degree < 2 nets).
     """
     n_nets = len(indptr) - 1
     if n_nets == 0:
@@ -105,6 +135,8 @@ def batch_single_trunk(
     starts, counts = _segments(indptr)
     valid = counts >= 2
     out = np.zeros(n_nets, dtype=np.float64)
+    if branch_out is not None:
+        branch_out[:] = [0.0] * n_nets
     if not valid.any():
         return out
     # x-span via reduceat (empty segments impossible: every net has pins).
@@ -112,10 +144,10 @@ def batch_single_trunk(
 
     # Sort pins by (net, y); net boundaries are unchanged because the sort
     # is stable within each segment of the same net id.
-    net_ids = np.repeat(np.arange(n_nets), counts)
+    if net_ids is None:
+        net_ids = np.repeat(np.arange(n_nets), counts)
     order = np.lexsort((pin_y, net_ids))
     ys = pin_y[order]
-    prefix = np.concatenate(([0.0], np.cumsum(ys)))
 
     mid = starts + counts // 2
     odd = (counts % 2).astype(bool)
@@ -124,13 +156,24 @@ def batch_single_trunk(
     if even_idx.any():
         m = mid[even_idx]
         med[even_idx] = 0.5 * (ys[m - 1] + ys[np.minimum(m, len(ys) - 1)])
-    left_cnt = mid - starts
-    right_cnt = counts - left_cnt
-    sum_left = prefix[mid] - prefix[starts]
-    sum_right = prefix[starts + counts] - prefix[mid]
-    branch = med * left_cnt - sum_left + sum_right - med * right_cnt
 
-    out[valid] = span[valid] + branch[valid]
+    # |y − med| per pin in the ORIGINAL pin order; per-net left fold by
+    # degree group (see docstring — bit-identical to the scalar loop).
+    absdev = np.abs(pin_y - np.repeat(med, counts))
+    if deg_groups is None:
+        deg_groups = [
+            (int(d), np.flatnonzero(counts == d))
+            for d in np.unique(counts[valid])
+        ]
+    for d, nets in deg_groups:
+        first = starts[nets]
+        acc = absdev[first]
+        for i in range(1, d):
+            acc = acc + absdev[first + i]
+        out[nets] = span[nets] + acc
+        if branch_out is not None:
+            for j, b in zip(nets.tolist(), acc.tolist()):
+                branch_out[j] = b
     return out
 
 

@@ -50,32 +50,206 @@ class NetEvaluator:
         self.estimator = estimator
         self._scalar = single_trunk_length if estimator == "steiner" else hpwl_length
         self._batch = batch_single_trunk if estimator == "steiner" else batch_hpwl
+        # Single-net evaluation is the incremental-update hot path: bind
+        # the estimator-specific inlined variant once (the generic
+        # build-lists-then-call shape costs ~2x in interpreter overhead).
+        self.eval_net = (
+            self._eval_net_steiner if estimator == "steiner" else self._eval_net_hpwl
+        )
+        self.eval_net_branch = (
+            self._eval_branch_steiner
+            if estimator == "steiner"
+            else self._eval_branch_hpwl
+        )
         # Pure-Python pin lists for the hot single-net path.
         self.net_pins: list[list[int]] = [list(map(int, netlist.pins_of_net(j)))
                                           for j in range(netlist.num_nets)]
         self.net_degree = np.diff(netlist.net_pin_indptr).astype(np.int64)
+        # Static sweep helpers (pure functions of the CSR structure).
+        self._net_ids = np.repeat(
+            np.arange(netlist.num_nets), self.net_degree
+        )
+        self._deg_groups = [
+            (int(d), np.flatnonzero(self.net_degree == d))
+            for d in np.unique(self.net_degree[self.net_degree >= 2])
+        ]
 
     # ------------------------------------------------------------------
-    def full_sweep(self, x: np.ndarray, y: np.ndarray) -> np.ndarray:
+    def full_sweep(
+        self, x: np.ndarray, y: np.ndarray, branch_out: list | None = None
+    ) -> np.ndarray:
         """Lengths of every net (requires all cells placed: no NaNs used).
 
         Vectorized: gathers the CSR pin coordinates once and hands them to
-        the batch estimator.
+        the batch estimator — per net, the result is bit-identical to
+        :meth:`eval_net` (the estimators' bit-exactness contract).
+
+        ``branch_out``, when given, is filled per net with the estimator's
+        **y-term** — the single-trunk branch sum ``Σ|y_i − med|`` or the
+        HPWL y-span — which the cost engine caches: a horizontal-only
+        shift leaves it bit-unchanged, so commits can rebuild such a net's
+        length as x-span + cached y-term (see ``CostEngine``).
         """
         pin_cells = self.netlist.net_pin_cells
-        return self._batch(self.netlist.net_pin_indptr, x[pin_cells], y[pin_cells])
+        indptr = self.netlist.net_pin_indptr
+        px = x[pin_cells]
+        py = y[pin_cells]
+        if self.estimator == "steiner":
+            out = batch_single_trunk(
+                indptr, px, py,
+                net_ids=self._net_ids,
+                deg_groups=self._deg_groups,
+                branch_out=branch_out,
+            )
+            return out
+        out = batch_hpwl(indptr, px, py)
+        if branch_out is not None:
+            starts = indptr[:-1]
+            yspan = (
+                np.maximum.reduceat(py, starts) - np.minimum.reduceat(py, starts)
+            )
+            yspan[self.net_degree < 2] = 0.0
+            branch_out[:] = yspan.tolist()
+        return out
 
     # ------------------------------------------------------------------
-    def eval_net(self, j: int, x: np.ndarray, y: np.ndarray) -> float:
-        """Length of net ``j``, skipping unplaced (NaN) pins."""
-        xs: list[float] = []
+    # eval_net — length of net ``j``, skipping unplaced (NaN) pins.  Bound
+    # per estimator in __init__; both variants inline their scalar
+    # estimator with the identical operation sequence (bit-identical to
+    # ``self._scalar`` over the gathered coordinate lists).
+    def _eval_net_steiner(self, j: int, x, y) -> float:
+        """Single-trunk length of net ``j`` (inlined ``eval_net``)."""
         ys: list[float] = []
+        lo = hi = 0.0
+        n = 0
         for c in self.net_pins[j]:
             vx = x[c]
             if vx == vx:  # not NaN
-                xs.append(vx)
+                if n == 0:
+                    lo = hi = vx
+                elif vx < lo:
+                    lo = vx
+                elif vx > hi:
+                    hi = vx
+                n += 1
                 ys.append(y[c])
-        return self._scalar(xs, ys)
+        if n < 2:
+            return 0.0
+        if n == 2:
+            # Two-pin fast path (the majority of nets): the sort is a
+            # no-op for the median value (addition commutes bitwise) and
+            # the branch loop unrolls — identical bits, half the work.
+            y0, y1 = ys
+            med = 0.5 * (y0 + y1)
+            return (hi - lo) + (abs(y0 - med) + abs(y1 - med))
+        if n == 3:
+            # Median-of-three by comparison; branch loop unrolled in pin
+            # order — identical bits to the sort-based general path.
+            y0, y1, y2 = ys
+            if y0 <= y1:
+                med = y1 if y1 <= y2 else (y2 if y0 <= y2 else y0)
+            else:
+                med = y0 if y0 <= y2 else (y2 if y1 <= y2 else y1)
+            return (hi - lo) + (abs(y0 - med) + abs(y1 - med) + abs(y2 - med))
+        sorted_y = sorted(ys)
+        med = sorted_y[n // 2] if n % 2 == 1 else 0.5 * (
+            sorted_y[n // 2 - 1] + sorted_y[n // 2]
+        )
+        branches = 0.0
+        for v in ys:
+            branches += abs(v - med)
+        return (hi - lo) + branches
+
+    def _eval_branch_steiner(self, j: int, x, y) -> tuple[float, float]:
+        """``(length, branch)`` of net ``j`` — same bits as ``eval_net``."""
+        ys: list[float] = []
+        lo = hi = 0.0
+        n = 0
+        for c in self.net_pins[j]:
+            vx = x[c]
+            if vx == vx:
+                if n == 0:
+                    lo = hi = vx
+                elif vx < lo:
+                    lo = vx
+                elif vx > hi:
+                    hi = vx
+                n += 1
+                ys.append(y[c])
+        if n < 2:
+            return 0.0, 0.0
+        if n == 2:
+            y0, y1 = ys
+            med = 0.5 * (y0 + y1)
+            b = abs(y0 - med) + abs(y1 - med)
+            return (hi - lo) + b, b
+        if n == 3:
+            y0, y1, y2 = ys
+            if y0 <= y1:
+                med = y1 if y1 <= y2 else (y2 if y0 <= y2 else y0)
+            else:
+                med = y0 if y0 <= y2 else (y2 if y1 <= y2 else y1)
+            b = abs(y0 - med) + abs(y1 - med) + abs(y2 - med)
+            return (hi - lo) + b, b
+        sorted_y = sorted(ys)
+        med = sorted_y[n // 2] if n % 2 == 1 else 0.5 * (
+            sorted_y[n // 2 - 1] + sorted_y[n // 2]
+        )
+        branches = 0.0
+        for v in ys:
+            branches += abs(v - med)
+        return (hi - lo) + branches, branches
+
+    def _eval_branch_hpwl(self, j: int, x, y) -> tuple[float, float]:
+        """``(length, y-span)`` of net ``j`` — same bits as ``eval_net``."""
+        lo_x = hi_x = lo_y = hi_y = 0.0
+        n = 0
+        for c in self.net_pins[j]:
+            vx = x[c]
+            if vx == vx:
+                vy = y[c]
+                if n == 0:
+                    lo_x = hi_x = vx
+                    lo_y = hi_y = vy
+                else:
+                    if vx < lo_x:
+                        lo_x = vx
+                    elif vx > hi_x:
+                        hi_x = vx
+                    if vy < lo_y:
+                        lo_y = vy
+                    elif vy > hi_y:
+                        hi_y = vy
+                n += 1
+        if n < 2:
+            return 0.0, 0.0
+        yspan = hi_y - lo_y
+        return (hi_x - lo_x) + yspan, yspan
+
+    def _eval_net_hpwl(self, j: int, x, y) -> float:
+        """HPWL of net ``j`` (inlined ``eval_net``)."""
+        lo_x = hi_x = lo_y = hi_y = 0.0
+        n = 0
+        for c in self.net_pins[j]:
+            vx = x[c]
+            if vx == vx:  # not NaN
+                vy = y[c]
+                if n == 0:
+                    lo_x = hi_x = vx
+                    lo_y = hi_y = vy
+                else:
+                    if vx < lo_x:
+                        lo_x = vx
+                    elif vx > hi_x:
+                        hi_x = vx
+                    if vy < lo_y:
+                        lo_y = vy
+                    elif vy > hi_y:
+                        hi_y = vy
+                n += 1
+        if n < 2:
+            return 0.0
+        return (hi_x - lo_x) + (hi_y - lo_y)
 
     def eval_net_override(
         self,

@@ -22,6 +22,16 @@ coefficients are calibrated in :mod:`repro.parallel.mpi.calibration` so a
 serial run of the s1196 stand-in extrapolates to the paper's runtime scale.
 The simulated cluster advances each rank's virtual clock by the
 model-seconds its meter accumulates between communication events.
+
+Charges are a *model*, decoupled from wall-clock work: an operation
+charges the units the paper's algorithm would spend, even when this
+implementation takes a shortcut (the fused probe kernel touches O(nets)
+per candidate but charges the full per-pin walk; a cached goodness hit
+still charges its evaluation; ``refresh_totals`` charges a full sweep).
+That decoupling is what lets the hot paths get faster while model-seconds,
+the Section 4 profile and the simulated cluster's virtual clocks stay
+bit-identical.  All unit counts are integer-valued floats, so batching
+many charges into one (as the kernel does per row scan) is exact.
 """
 
 from __future__ import annotations

@@ -1,0 +1,220 @@
+"""Wall-clock benchmark harness: the perf trajectory and determinism gate.
+
+The work meter measures the *algorithm* (model-seconds); this module
+measures the *implementation* (wall-clock).  ``repro bench`` runs the smoke
+benchmark suite — every cell of the ``smoke`` scenario plus the Table-2
+scenario resolved at smoke size — with a warm-up pass and timed repeats per
+cell, and writes a JSON report (``BENCH_PR<n>.json`` by convention at the
+repo root) so successive PRs have a perf trajectory to beat.
+
+Two invariants ride along:
+
+* **determinism self-check** — the repeats of a cell must produce
+  byte-identical canonical records (wall-clock aside); a flaky cell fails
+  the bench;
+* **determinism gate** (``--check``) — model-seconds and best µ(s) per
+  cell must exactly match a committed baseline report.  This gates
+  *behaviour*, not speed: an optimization that changes what the engine
+  computes — rather than how fast — trips it.  Wall-clock numbers are
+  recorded but never compared (they are host-dependent).
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import sys
+import time
+from pathlib import Path
+from typing import Any, Iterable, Sequence
+
+from repro.experiments.registry import SweepCell, resolve
+from repro.experiments.sweeps import run_cell
+
+__all__ = [
+    "BENCH_SCHEMA",
+    "DEFAULT_SCENARIOS",
+    "bench_cells",
+    "run_bench",
+    "check_against",
+    "embed_reference",
+    "render_bench",
+]
+
+BENCH_SCHEMA = 1
+
+#: Scenarios benchmarked by default (resolved at smoke size): the CI smoke
+#: suite plus the Table-2 Type II family the perf acceptance tracks.
+DEFAULT_SCENARIOS: tuple[str, ...] = ("smoke", "table2")
+
+
+def bench_cells(scenarios: Iterable[str] = DEFAULT_SCENARIOS) -> list[SweepCell]:
+    """The benchmark suite: every listed scenario resolved at smoke size."""
+    cells: list[SweepCell] = []
+    for name in scenarios:
+        cells.extend(resolve(name, smoke=True))
+    return cells
+
+
+def _bench_id(cell: SweepCell) -> str:
+    return f"{cell.scenario}:{cell.cell_id}"
+
+
+def run_bench(
+    cells: Sequence[SweepCell] | None = None,
+    repeats: int = 3,
+    warmup: bool = True,
+    scenarios: Iterable[str] = DEFAULT_SCENARIOS,
+) -> dict[str, Any]:
+    """Run the suite; return the JSON-ready report.
+
+    Per cell: one warm-up run (pays one-time construction caches so the
+    timed runs measure the algorithmic path), then ``repeats`` timed runs;
+    the reported wall is the minimum (noise floor), and every repeat's
+    canonical record must be identical (determinism self-check).
+    """
+    if cells is None:
+        cells = bench_cells(scenarios)
+    results: list[dict[str, Any]] = []
+    for cell in cells:
+        if warmup:
+            run_cell(cell)
+        walls: list[float] = []
+        canon: dict | None = None
+        record = None
+        deterministic = True
+        for _ in range(max(1, repeats)):
+            t0 = time.perf_counter()
+            record = run_cell(cell)
+            walls.append(time.perf_counter() - t0)
+            c = record.canonical()
+            if canon is None:
+                canon = c
+            elif c != canon:
+                deterministic = False
+        outcome = record.outcome or {}
+        results.append({
+            "id": _bench_id(cell),
+            "scenario": cell.scenario,
+            "cell_id": cell.cell_id,
+            "ok": record.ok and deterministic,
+            "deterministic": deterministic,
+            "wall_seconds": min(walls),
+            "wall_seconds_all": walls,
+            "model_seconds": outcome.get("runtime"),
+            "best_mu": outcome.get("best_mu"),
+            "error": record.error,
+        })
+    scenario_wall: dict[str, float] = {}
+    for r in results:
+        scenario_wall[r["scenario"]] = (
+            scenario_wall.get(r["scenario"], 0.0) + r["wall_seconds"]
+        )
+    return {
+        "schema": BENCH_SCHEMA,
+        "python": sys.version.split()[0],
+        "platform": platform.platform(),
+        "repeats": repeats,
+        "cells": results,
+        "scenario_wall_seconds": scenario_wall,
+    }
+
+
+def check_against(
+    report: dict[str, Any], baseline: dict[str, Any]
+) -> list[str]:
+    """Determinism gate: exact model-seconds / best-µ match per cell.
+
+    Returns human-readable mismatch descriptions (empty = gate passes).
+    Wall-clock fields are never compared.
+    """
+    problems: list[str] = []
+    base_by_id = {c["id"]: c for c in baseline.get("cells", [])}
+    seen = set()
+    for c in report.get("cells", []):
+        cid = c["id"]
+        seen.add(cid)
+        b = base_by_id.get(cid)
+        if b is None:
+            problems.append(f"{cid}: not in baseline")
+            continue
+        if not c["ok"]:
+            problems.append(f"{cid}: cell failed ({c.get('error')})")
+            continue
+        for field in ("model_seconds", "best_mu"):
+            if c.get(field) != b.get(field):
+                problems.append(
+                    f"{cid}: {field} {c.get(field)!r} != baseline {b.get(field)!r}"
+                )
+    for cid in base_by_id:
+        if cid not in seen:
+            problems.append(f"{cid}: in baseline but not benchmarked")
+    return problems
+
+
+def embed_reference(
+    report: dict[str, Any],
+    reference: dict[str, Any],
+    note: str = "previous baseline",
+) -> dict[str, Any]:
+    """Attach a prior report as the ``reference`` block (perf trajectory).
+
+    Copies the reference's cells and scenario walls and derives per-cell
+    and per-scenario wall-clock speedups, so a freshly written baseline
+    carries the numbers it was measured against.  Returns ``report``.
+    """
+    ref_cells = reference.get("cells", [])
+    ref_wall = reference.get("scenario_wall_seconds", {})
+    ref_by_id = {c["id"]: c for c in ref_cells}
+    speedups = {}
+    for c in report["cells"]:
+        r = ref_by_id.get(c["id"])
+        if r and r.get("wall_seconds") and c["wall_seconds"]:
+            speedups[c["id"]] = round(r["wall_seconds"] / c["wall_seconds"], 2)
+    report["reference"] = {
+        "note": note,
+        "cells": ref_cells,
+        "scenario_wall_seconds": ref_wall,
+        "speedup_by_cell": speedups,
+        "scenario_speedup": {
+            k: round(ref_wall[k] / v, 2)
+            for k, v in report["scenario_wall_seconds"].items()
+            if ref_wall.get(k)
+        },
+    }
+    return report
+
+
+def render_bench(report: dict[str, Any]) -> str:
+    """Plain-text summary table of a bench report."""
+    lines = [
+        f"{'cell':55s} {'wall[s]':>8s} {'model[s]':>9s} {'µ(s)':>7s}",
+        "-" * 82,
+    ]
+    for c in report["cells"]:
+        mu = c.get("best_mu")
+        ms = c.get("model_seconds")
+        lines.append(
+            f"{c['id']:55s} {c['wall_seconds']:8.3f} "
+            f"{(f'{ms:.4f}' if ms is not None else '-'):>9s} "
+            f"{(f'{mu:.4f}' if mu is not None else '-'):>7s}"
+            + ("" if c["ok"] else "  FAILED")
+        )
+    lines.append("-" * 82)
+    for name, wall in report["scenario_wall_seconds"].items():
+        lines.append(f"{name + ' (scenario total)':55s} {wall:8.3f}")
+    return "\n".join(lines)
+
+
+def load_report(path: str | Path) -> dict[str, Any]:
+    """Load a bench report from disk."""
+    return json.loads(Path(path).read_text())
+
+
+def save_report(report: dict[str, Any], path: str | Path) -> Path:
+    """Write a bench report as pretty-printed JSON; returns the path."""
+    p = Path(path)
+    if p.parent and not p.parent.exists():
+        p.parent.mkdir(parents=True, exist_ok=True)
+    p.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+    return p

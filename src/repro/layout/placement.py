@@ -69,11 +69,19 @@ class Placement:
     # constructors / copies
     # ------------------------------------------------------------------
     @classmethod
-    def from_rows(cls, grid: RowGrid, rows: Sequence[Sequence[int]]) -> "Placement":
-        """Build a placement from per-row cell-index sequences."""
+    def from_rows(
+        cls, grid: RowGrid, rows: Sequence[Sequence[int]], check: bool = True
+    ) -> "Placement":
+        """Build a placement from per-row cell-index sequences.
+
+        ``check=False`` skips the movable-cell invariant scan — for hot
+        paths rebuilding rows that provably came from a validated
+        placement (e.g. a simulated rank receiving a broadcast solution);
+        :meth:`validate` can re-assert the invariant at any time.
+        """
         if len(rows) != grid.num_rows:
             raise PlacementError(f"expected {grid.num_rows} rows, got {len(rows)}")
-        return cls(grid, [list(r) for r in rows])
+        return cls(grid, [list(r) for r in rows], _skip_check=not check)
 
     def copy(self) -> "Placement":
         """Deep copy (independent row lists and coordinate stores)."""

@@ -18,6 +18,7 @@ a plain :class:`~repro.netlist.core.Netlist`.
 
 from __future__ import annotations
 
+import threading
 from functools import lru_cache
 
 from repro.netlist.core import Netlist
@@ -66,14 +67,7 @@ def list_paper_circuits() -> list[str]:
 
 
 @lru_cache(maxsize=None)
-def paper_circuit(name: str) -> Netlist:
-    """Build (and cache) the stand-in netlist for a paper circuit name.
-
-    Raises
-    ------
-    KeyError
-        If ``name`` is not one of :func:`list_paper_circuits`.
-    """
+def _paper_circuit_cached(name: str) -> Netlist:
     try:
         spec, seed = PAPER_CIRCUITS[name]
     except KeyError:
@@ -81,3 +75,27 @@ def paper_circuit(name: str) -> Netlist:
             f"unknown paper circuit {name!r}; available: {list_paper_circuits()}"
         ) from None
     return generate_circuit(spec, RngStream(seed, name=f"suite:{name}"))
+
+
+def paper_circuit(name: str) -> Netlist:
+    """Build (and cache) the stand-in netlist for a paper circuit name.
+
+    Single-flight: construction is serialized under a lock so the ranks of
+    a simulated cluster, which all build the same problem concurrently at
+    start-up, share one build instead of racing the cold cache (under the
+    GIL the losers would pay the full construction time for nothing).
+
+    Raises
+    ------
+    KeyError
+        If ``name`` is not one of :func:`list_paper_circuits`.
+    """
+    with _build_lock:
+        return _paper_circuit_cached(name)
+
+
+_build_lock = threading.Lock()
+#: Kept callable on the public wrapper (tests clear it when they inject
+#: temporary suite entries).
+paper_circuit.cache_clear = _paper_circuit_cached.cache_clear  # type: ignore[attr-defined]
+paper_circuit.cache_info = _paper_circuit_cached.cache_info  # type: ignore[attr-defined]

@@ -20,6 +20,9 @@ The result is one activity value per net, consumed by
 
 from __future__ import annotations
 
+import threading
+from functools import lru_cache
+
 import numpy as np
 
 from repro.netlist.core import GateKind, Netlist, NetlistError
@@ -114,12 +117,34 @@ def signal_probabilities(
     return prob
 
 
+@lru_cache(maxsize=64)
+def _switching_cached(
+    netlist: Netlist, pi_prob: float, max_iters: int
+) -> np.ndarray:
+    p = signal_probabilities(netlist, pi_prob=pi_prob, max_iters=max_iters)
+    act = 2.0 * p * (1.0 - p)
+    act.setflags(write=False)
+    return act
+
+
+_switching_lock = threading.Lock()
+
+
 def compute_switching(
     netlist: Netlist, pi_prob: float = 0.5, max_iters: int = 50
 ) -> np.ndarray:
-    """Per-net switching activity ``S_i = 2·p_i·(1 − p_i)`` in ``[0, 0.5]``."""
-    p = signal_probabilities(netlist, pi_prob=pi_prob, max_iters=max_iters)
-    return 2.0 * p * (1.0 - p)
+    """Per-net switching activity ``S_i = 2·p_i·(1 − p_i)`` in ``[0, 0.5]``.
+
+    A pure function of the (frozen, effectively immutable) netlist, so the
+    result is cached per netlist *instance* and returned read-only: every
+    simulated rank builds its own cost engine from the same netlist
+    singleton, and re-propagating probabilities per rank was a measurable
+    slice of problem construction.  Single-flight under a lock for the
+    same reason (cluster ranks start concurrently on a cold cache).
+    Callers that need to mutate must copy.
+    """
+    with _switching_lock:
+        return _switching_cached(netlist, pi_prob, max_iters)
 
 
 def _combinational_order(netlist: Netlist) -> list[int]:

@@ -21,6 +21,7 @@ All randomness derives from ``spec.seed`` through named child streams:
 
 from __future__ import annotations
 
+import threading
 from dataclasses import asdict, dataclass, field, fields
 from typing import Any
 
@@ -223,14 +224,47 @@ def make_config(spec: ExperimentSpec, max_iterations: int | None = None) -> SimE
     )
 
 
+_problem_lock = threading.Lock()
+_grid_cache: dict[tuple, RowGrid] = {}
+_rows_cache: dict[tuple, list[list[int]]] = {}
+#: The caches exist to dedupe the p concurrent ranks of one cluster run,
+#: not to memoize whole sweeps — cap them (FIFO) so a long many-seed sweep
+#: doesn't retain an initial row assignment per seed for the process life.
+_PROBLEM_CACHE_CAP = 32
+
+
+def _cache_put(cache: dict, key, value) -> None:
+    cache[key] = value
+    while len(cache) > _PROBLEM_CACHE_CAP:
+        cache.pop(next(iter(cache)))
+
+
 def build_problem(spec: ExperimentSpec, meter: WorkMeter | None = None) -> Problem:
     """Build netlist, grid, engine and the shared initial placement.
 
     ``meter`` binds the engine's work charging to the caller's clock (a
-    simulated rank passes its own meter).
+    simulated rank passes its own meter) — which is why every rank gets
+    its own engine.  The rank-independent derived objects — the immutable
+    grid and the deterministic initial row assignment — are cached
+    single-flight: every rank of a simulated cluster builds the identical
+    problem concurrently, and only one should pay for it.  (Keys contain
+    the netlist object itself — hashed by identity and kept alive by the
+    key — so a re-registered circuit name with a fresh netlist can never
+    alias a stale entry.)
     """
     netlist = paper_circuit(spec.circuit)
-    grid = RowGrid.for_netlist(netlist, num_rows=spec.num_rows)
+    gkey = (spec.circuit, netlist, spec.num_rows)
+    with _problem_lock:
+        grid = _grid_cache.get(gkey)
+        if grid is None:
+            grid = RowGrid.for_netlist(netlist, num_rows=spec.num_rows)
+            _cache_put(_grid_cache, gkey, grid)
+        rkey = (spec.circuit, netlist, spec.num_rows, spec.seed)
+        rows = _rows_cache.get(rkey)
+        if rows is None:
+            init_rng = stream_for(spec.seed, INIT_STREAM, "init")
+            rows = random_placement(grid, init_rng).to_rows()
+            _cache_put(_rows_cache, rkey, rows)
     engine = CostEngine(
         netlist,
         grid,
@@ -238,13 +272,11 @@ def build_problem(spec: ExperimentSpec, meter: WorkMeter | None = None) -> Probl
         meter=meter,
         critical_paths=spec.critical_paths,
     )
-    init_rng = stream_for(spec.seed, INIT_STREAM, "init")
-    placement = random_placement(grid, init_rng)
     return Problem(
         netlist=netlist,
         grid=grid,
         engine=engine,
-        initial_rows=placement.to_rows(),
+        initial_rows=[list(r) for r in rows],
     )
 
 

@@ -187,7 +187,8 @@ def _spmd(comm: Communicator, spec: ExperimentSpec, iterations: int) -> dict | N
     # ---- slave ----------------------------------------------------------
     for _it in range(iterations + 1):
         rows = comm.bcast(None, root=0)
-        placement = Placement.from_rows(problem.grid, rows)
+        # Broadcast rows mirror the master's validated placement.
+        placement = Placement.from_rows(problem.grid, rows, check=False)
         engine.placement = placement
         mine = _partial_evaluate(engine, my_cells, union_nets, owned[comm.rank])
         comm.gather(mine, root=0)

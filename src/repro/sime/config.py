@@ -45,6 +45,18 @@ class SimEConfig:
         Optional early stop: end the run after this many consecutive
         iterations without improving the best µ(s) ("no noticeable
         improvement ... after a number of iterations", paper Section 3).
+    refresh_policy:
+        Per-iteration evaluation refresh.  ``"incremental"`` (default)
+        trusts the engine's exact caches and re-derives only the solution
+        totals (:meth:`~repro.cost.engine.CostEngine.refresh_totals`);
+        ``"full"`` re-sweeps every net from coordinates
+        (:meth:`~repro.cost.engine.CostEngine.full_refresh`).  The two are
+        bit-identical in results and meter charges — ``"full"`` is the
+        reference pipeline the equivalence tests compare against.
+    verify_every:
+        Debug knob: every this-many iterations, re-assert the incremental
+        caches against a from-scratch evaluation
+        (``CostEngine.assert_consistent``).  0 (default) never verifies.
     """
 
     max_iterations: int = 100
@@ -54,6 +66,8 @@ class SimEConfig:
     slot_window: int = 2
     sort_descending: bool = False
     stall_limit: int | None = None
+    refresh_policy: str = "incremental"
+    verify_every: int = 0
 
     def __post_init__(self) -> None:
         check_positive("max_iterations", self.max_iterations)
@@ -62,3 +76,10 @@ class SimEConfig:
         check_positive("slot_window", self.slot_window)
         if self.stall_limit is not None:
             check_positive("stall_limit", self.stall_limit)
+        if self.refresh_policy not in ("incremental", "full"):
+            raise ValueError(
+                f"refresh_policy must be 'incremental' or 'full', "
+                f"got {self.refresh_policy!r}"
+            )
+        if self.verify_every < 0:
+            raise ValueError("verify_every must be >= 0")

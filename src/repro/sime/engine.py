@@ -93,24 +93,37 @@ class SimulatedEvolution:
 
         ``cells``/``allowed_rows`` restrict the operators to a subset
         (Type II slaves); the default covers the whole solution.
+
+        The per-iteration refresh follows ``config.refresh_policy``: the
+        default trusts the engine's exact incremental caches and only
+        re-derives the solution totals — bit-identical to the ``"full"``
+        re-sweep, at none of its per-pin cost.  ``config.verify_every``
+        periodically re-asserts that invariant from scratch.
         """
         engine = self.engine
-        engine.full_refresh()
+        cfg = self.config
+        if cfg.refresh_policy == "full":
+            engine.full_refresh()
+        else:
+            engine.refresh_totals()
         goodness = evaluate_goodness(engine, cells)
         selected = select_cells(
             goodness,
             self.rng,
-            bias=self.config.bias,
-            adaptive=self.config.adaptive_bias,
+            bias=cfg.bias,
+            adaptive=cfg.adaptive_bias,
             meter=engine.meter,
         )
         self.allocator.allocate(selected, goodness, allowed_rows)
+        if cfg.verify_every and (self._iteration + 1) % cfg.verify_every == 0:
+            engine.assert_consistent()
 
         mu = engine.mu()
+        costs = engine.costs()
         record = IterationRecord(
             iteration=self._iteration,
             mu=mu,
-            costs=engine.costs(),
+            costs=costs,
             mean_goodness=(
                 sum(goodness.values()) / len(goodness) if goodness else 0.0
             ),
@@ -122,7 +135,7 @@ class SimulatedEvolution:
         if mu > self.best_mu:
             self.best_mu = mu
             self.best_rows = engine.placement.to_rows()
-            self.best_costs = engine.costs()
+            self.best_costs = dict(costs)
             self._stall = 0
         else:
             self._stall += 1

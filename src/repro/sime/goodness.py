@@ -23,9 +23,13 @@ def evaluate_goodness(
     """Goodness of each cell in ``cells`` (default: every movable cell).
 
     The engine must hold a fully-placed attached placement whose caches are
-    current (the SimE loop calls ``full_refresh`` once per iteration before
-    evaluating — that refresh, not this sweep, is what the paper's profile
-    bills to "wirelength calculation").
+    current (the SimE loop refreshes once per iteration before evaluating —
+    that refresh, not this sweep, is what the paper's profile bills to
+    "wirelength calculation").  The sweep is dirty-aware through the
+    engine's per-cell goodness cache: only cells whose incident nets
+    changed length since their last evaluation recompute, while the map's
+    iteration order — which drives the selection operator's RNG stream —
+    and the per-cell ``goodness`` meter charges are identical either way.
     """
     if cells is None:
         cells = (c.index for c in engine.netlist.movable_cells())

@@ -1,0 +1,140 @@
+"""Fused probe kernel: bit-exact equivalence with the scalar reference.
+
+The kernel's contract is *exact* equality — results AND meter charges —
+with ``trial_insertion`` (and, through the allocator, with the scalar
+best-fit loop).  No ``approx`` anywhere in this module: a single flipped
+bit means a diverged trajectory.
+"""
+
+import pytest
+
+from repro.cost.engine import CostEngine
+from repro.layout.grid import RowGrid
+from repro.layout.initial import random_placement
+from repro.sime.allocation import Allocator
+from repro.sime.config import SimEConfig
+from repro.sime.engine import SimulatedEvolution
+from repro.utils.rng import RngStream
+
+OBJECTIVE_SETS = (
+    ("wirelength",),
+    ("wirelength", "power"),
+    ("wirelength", "power", "delay"),
+)
+
+
+def _engine(netlist, objectives, estimator, seed=3, num_rows=5):
+    grid = RowGrid.for_netlist(netlist, num_rows=num_rows)
+    engine = CostEngine(
+        netlist, grid, objectives=objectives, estimator=estimator,
+        critical_paths=8,
+    )
+    engine.attach(random_placement(grid, RngStream(seed)))
+    return engine
+
+
+@pytest.mark.parametrize("objectives", OBJECTIVE_SETS)
+@pytest.mark.parametrize("estimator", ["steiner", "hpwl"])
+def test_probe_matches_trial_insertion_bitwise(small_netlist, objectives, estimator):
+    """probe() == trial_insertion(): same TrialResult, same meter charges,
+    across random placements with unplaced (NaN) background cells."""
+    engine = _engine(small_netlist, objectives, estimator)
+    grid = engine.grid
+    rng = RngStream(11)
+    cells = [c.index for c in small_netlist.movable_cells()]
+    removed = list(dict.fromkeys(
+        cells[rng.randint(0, len(cells))] for _ in range(5)
+    ))
+    engine.remove_cells(removed)
+    cell = removed[0]
+    ctx = engine.open_probe(cell)
+    p = engine.placement
+    for _ in range(120):
+        r = rng.randint(0, grid.num_rows)
+        s = rng.randint(0, len(p.rows[r]) + 1)
+        before = engine.meter.units.get("allocation", 0.0)
+        scalar = engine.trial_insertion(cell, r, s)
+        mid = engine.meter.units.get("allocation", 0.0)
+        kernel = ctx.probe(r, s)
+        after = engine.meter.units.get("allocation", 0.0)
+        assert kernel == scalar  # exact: every field, every bit
+        assert after - mid == mid - before  # identical charge
+
+
+@pytest.mark.parametrize("objectives", OBJECTIVE_SETS)
+def test_allocator_kernel_matches_scalar_reference(small_netlist, objectives):
+    """A full SimE run through the kernel equals the scalar best-fit loop:
+    identical history, best solution, and work-unit totals."""
+    results = []
+    for use_kernel in (True, False):
+        engine = _engine(small_netlist, objectives, "steiner", seed=1)
+        sime = SimulatedEvolution(engine, SimEConfig(max_iterations=4), RngStream(5))
+        Allocator.use_kernel = use_kernel
+        try:
+            result = sime.run(engine.placement, iterations=4)
+        finally:
+            Allocator.use_kernel = True
+        results.append((result, engine.meter.snapshot()))
+    (res_k, units_k), (res_s, units_s) = results
+    assert units_k == units_s
+    assert res_k.best_rows == res_s.best_rows
+    assert res_k.best_mu == res_s.best_mu
+    assert res_k.history == res_s.history
+
+
+def test_probe_context_charges_per_candidate(small_problem):
+    """One probe charges 1 + sum of incident net degrees, like the scalar."""
+    grid, engine, placement = small_problem
+    cell = placement.rows[0][0]
+    engine.remove_cell(cell)
+    expected = 1.0 + sum(engine._degrees[j] for j in engine._cell_nets[cell])
+    ctx = engine.open_probe(cell)
+    before = engine.meter.units.get("allocation", 0.0)
+    ctx.probe(0, 0)
+    assert engine.meter.units["allocation"] - before == expected
+
+
+def test_scan_row_charges_match_scalar_loop(small_problem):
+    """scan_row + flush charges exactly what per-candidate probing charges,
+    including width-illegal rows (probed-and-discarded in the scalar loop)."""
+    grid, engine, placement = small_problem
+    cell = placement.rows[0][0]
+    engine.remove_cell(cell)
+    lo, hi = 0, min(4, len(placement.rows[1]))
+    # scalar reference
+    before = engine.meter.units.get("allocation", 0.0)
+    best_scalar = None
+    for slot in range(lo, hi + 1):
+        t = engine.trial_insertion(cell, 1, slot)
+        if t.legal and (best_scalar is None or t.goodness > best_scalar.goodness):
+            best_scalar = t
+    scalar_charge = engine.meter.units["allocation"] - before
+    # kernel
+    ctx = engine.open_probe(cell)
+    before = engine.meter.units["allocation"]
+    best = ctx.scan_row(1, lo, hi, None)
+    ctx.flush_charges()
+    kernel_charge = engine.meter.units["allocation"] - before
+    assert kernel_charge == scalar_charge
+    if best_scalar is None:
+        assert best is None
+    else:
+        assert best == (best_scalar.goodness, best_scalar.row, best_scalar.slot)
+
+
+def test_branch_cache_tracks_fresh_evaluation(small_problem):
+    """After arbitrary mutations, every cached y-term equals a fresh one."""
+    grid, engine, placement = small_problem
+    cells = [c.index for c in grid.netlist.movable_cells()]
+    rng = RngStream(9)
+    for _ in range(30):
+        c = cells[rng.randint(0, len(cells))]
+        engine.move_cell(c, rng.randint(0, grid.num_rows), rng.randint(0, 20))
+    x, y = placement.x, placement.y
+    for j in range(grid.netlist.num_nets):
+        br = engine._net_branch[j]
+        if br is None:
+            continue
+        fresh_len, fresh_br = engine.evaluator.eval_net_branch(j, x, y)
+        assert br == fresh_br
+        assert engine.net_lengths[j] == fresh_len

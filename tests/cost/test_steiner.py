@@ -96,3 +96,29 @@ def test_batch_discrete_rows():
     # give the same minimal sum as any trunk in the interval: 8.
     expect = single_trunk_length(px.tolist(), py.tolist())
     assert batch_single_trunk(indptr, px, py)[0] == pytest.approx(expect)
+
+
+@settings(max_examples=40, deadline=None)
+@given(data=st.data())
+def test_batch_bitwise_identical_to_scalar(data):
+    """The batch sweep is *bit-identical* to the scalar estimator per net
+    (not merely close) — the contract the incremental evaluation pipeline
+    and the fused probe kernel are built on."""
+    n_nets = data.draw(st.integers(1, 30))
+    counts = [data.draw(st.integers(2, 9)) for _ in range(n_nets)]
+    indptr = np.concatenate(([0], np.cumsum(counts)))
+    rng = np.random.default_rng(data.draw(st.integers(0, 2**31)))
+    px = rng.random(indptr[-1]) * 100
+    # Row-like ys (small discrete set) mixed with arbitrary pad-like ys.
+    py = np.where(
+        rng.random(indptr[-1]) < 0.7,
+        rng.integers(0, 12, indptr[-1]) * 4.0,
+        rng.random(indptr[-1]) * 40,
+    )
+    b = batch_single_trunk(indptr, px, py)
+    h = batch_hpwl(indptr, px, py)
+    for j in range(n_nets):
+        xs = px[indptr[j] : indptr[j + 1]].tolist()
+        ys = py[indptr[j] : indptr[j + 1]].tolist()
+        assert b[j] == single_trunk_length(xs, ys)  # exact, no tolerance
+        assert h[j] == hpwl_length(xs, ys)

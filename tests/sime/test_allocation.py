@@ -111,3 +111,51 @@ def test_ideal_slot_bisection(setup):
     # x before the first cell -> slot 0; far right -> end slot.
     assert allocator._ideal_slot(row, -100.0) == 0
     assert allocator._ideal_slot(row, 1e9) == len(placement.rows[row])
+
+
+def test_best_fit_keeps_first_best_on_ties(setup):
+    """Tie-breaking pin: with strict ``>``, the first best-goodness
+    candidate in scan order wins — in the kernel AND the scalar reference.
+
+    The probe window is replayed with ``trial_insertion`` in the exact
+    scan order (rows by distance to the target, slots ascending) to find
+    the first maximum; ``_best_fit`` must return it under both paths.
+    The inflated optimistic bounds clamp many ratios to 1.0, so genuine
+    ties exist in the window (asserted, not assumed).
+    """
+    grid, engine, placement, allocator = setup
+    cfg = allocator.config
+    cell = placement.rows[2][0]
+    engine.remove_cell(cell)
+    tx, ty = allocator._target_point(cell)
+    target_row = grid.nearest_row(ty)
+    rows = list(range(grid.num_rows))
+    cand_rows = sorted(rows, key=lambda r: abs(r - target_row))[
+        : 2 * cfg.row_window + 1
+    ]
+    scan = []
+    for r in cand_rows:
+        ideal = allocator._ideal_slot(r, tx)
+        lo = max(0, ideal - cfg.slot_window)
+        hi = min(len(placement.rows[r]), ideal + cfg.slot_window)
+        for slot in range(lo, hi + 1):
+            t = engine.trial_insertion(cell, r, slot)
+            if t.legal:
+                scan.append(t)
+    assert scan, "probe window produced no legal candidate"
+    best_g = max(t.goodness for t in scan)
+    ties = [t for t in scan if t.goodness == best_g]
+    assert len(ties) >= 2, "fixture produced no goodness tie; pick another cell"
+    first = ties[0]
+
+    from repro.sime.allocation import Allocator
+
+    for use_kernel in (True, False):
+        Allocator.use_kernel = use_kernel
+        try:
+            row, slot = allocator._best_fit(cell, rows)
+        finally:
+            Allocator.use_kernel = True
+        assert (row, slot) == (first.row, first.slot), (
+            f"use_kernel={use_kernel} broke first-wins tie-breaking"
+        )

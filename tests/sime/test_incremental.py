@@ -1,0 +1,161 @@
+"""Incremental evaluation pipeline: bit-exact equivalence with the full
+re-sweep reference, refresh charging, verify_every, and the end-to-end
+Table-2 smoke determinism pin."""
+
+import numpy as np
+import pytest
+
+from repro.cost.engine import CostEngine
+from repro.layout.grid import RowGrid
+from repro.layout.initial import random_placement
+from repro.sime.allocation import Allocator
+from repro.sime.config import SimEConfig
+from repro.sime.engine import SimulatedEvolution
+from repro.utils.rng import RngStream
+
+
+def _mutate(engine, grid, seed, n_ops=25):
+    cells = [c.index for c in grid.netlist.movable_cells()]
+    rng = RngStream(seed)
+    for _ in range(n_ops):
+        c = cells[rng.randint(0, len(cells))]
+        engine.move_cell(c, rng.randint(0, grid.num_rows), rng.randint(0, 20))
+
+
+def test_refresh_totals_bitwise_equals_full_refresh(small_netlist):
+    """After arbitrary mutations, deriving totals from the caches equals a
+    from-scratch sweep — exactly, including the meter charges."""
+    grid = RowGrid.for_netlist(small_netlist, num_rows=5)
+    engines = []
+    for _ in range(2):
+        e = CostEngine(small_netlist, grid,
+                       objectives=("wirelength", "power", "delay"),
+                       critical_paths=8)
+        e.attach(random_placement(grid, RngStream(2)))
+        _mutate(e, grid, seed=7)
+        engines.append(e)
+    full, incr = engines
+    full.full_refresh()
+    incr.refresh_totals()
+    assert incr.net_lengths == full.net_lengths  # list equality = bitwise
+    assert incr.wirelength_total == full.wirelength_total
+    assert incr.power_total == full.power_total
+    assert np.array_equal(incr.path_delays, full.path_delays)
+    assert incr.meter.snapshot() == full.meter.snapshot()
+
+
+def test_attach_shared_bitwise_equals_attach(small_netlist):
+    """Adopting another engine's evaluation state equals evaluating."""
+    grid = RowGrid.for_netlist(small_netlist, num_rows=5)
+    placement = random_placement(grid, RngStream(4))
+    src = CostEngine(small_netlist, grid).attach(placement)
+    adopted = CostEngine(small_netlist, grid)
+    adopted.attach_shared(placement.copy(), src.share_state())
+    fresh = CostEngine(small_netlist, grid).attach(placement.copy())
+    assert adopted.net_lengths == fresh.net_lengths
+    assert adopted.wirelength_total == fresh.wirelength_total
+    assert adopted.power_total == fresh.power_total
+    assert adopted.meter.snapshot() == fresh.meter.snapshot()
+    assert adopted.mu() == fresh.mu()
+
+
+@pytest.mark.parametrize("objectives", [
+    ("wirelength", "power"),
+    ("wirelength", "power", "delay"),
+])
+def test_full_and_incremental_policies_identical(small_netlist, objectives):
+    """The two refresh policies produce identical runs: history, best
+    solution, work units — the incremental pipeline is the full pipeline."""
+    outcomes = []
+    for policy in ("incremental", "full"):
+        grid = RowGrid.for_netlist(small_netlist, num_rows=5)
+        engine = CostEngine(small_netlist, grid, objectives=objectives,
+                            critical_paths=8)
+        cfg = SimEConfig(max_iterations=5, refresh_policy=policy)
+        sime = SimulatedEvolution(engine, cfg, RngStream(6))
+        result = sime.run(random_placement(grid, RngStream(3)))
+        outcomes.append((result, engine.meter.snapshot()))
+    (res_i, units_i), (res_f, units_f) = outcomes
+    assert units_i == units_f
+    assert res_i.history == res_f.history
+    assert res_i.best_rows == res_f.best_rows
+    assert res_i.best_mu == res_f.best_mu
+    assert res_i.model_seconds == res_f.model_seconds
+
+
+def test_verify_every_asserts_cache_consistency(small_netlist):
+    """The debug knob re-runs assert_consistent periodically and passes on
+    the (exact) incremental pipeline."""
+    grid = RowGrid.for_netlist(small_netlist, num_rows=5)
+    engine = CostEngine(small_netlist, grid)
+    cfg = SimEConfig(max_iterations=4, verify_every=1)
+    sime = SimulatedEvolution(engine, cfg, RngStream(6))
+    sime.run(random_placement(grid, RngStream(3)))  # must not raise
+
+
+def test_config_validates_new_knobs():
+    with pytest.raises(ValueError, match="refresh_policy"):
+        SimEConfig(refresh_policy="sometimes")
+    with pytest.raises(ValueError, match="verify_every"):
+        SimEConfig(verify_every=-1)
+
+
+def test_step_computes_costs_once(small_netlist, monkeypatch):
+    """One engine.costs() call per improving iteration (was two)."""
+    grid = RowGrid.for_netlist(small_netlist, num_rows=5)
+    engine = CostEngine(small_netlist, grid)
+    sime = SimulatedEvolution(engine, SimEConfig(max_iterations=2), RngStream(6))
+    engine.attach(random_placement(grid, RngStream(3)))
+    calls = {"n": 0}
+    orig = CostEngine.costs
+    def counted(self):
+        calls["n"] += 1
+        return orig(self)
+    monkeypatch.setattr(CostEngine, "costs", counted)
+    record = sime.step()
+    assert calls["n"] == 1
+    # best_costs is an independent copy, not an alias of the record's dict.
+    if sime.best_costs:
+        assert sime.best_costs == record.costs
+        assert sime.best_costs is not record.costs
+
+
+def test_goodness_cache_reuse_charges_and_values(small_problem):
+    """A cache hit charges one goodness unit and returns identical bits."""
+    grid, engine, placement = small_problem
+    cell = placement.rows[0][0]
+    g1 = engine.cell_goodness(cell)
+    before = engine.meter.units["goodness"]
+    g2 = engine.cell_goodness(cell)
+    assert engine.meter.units["goodness"] - before == 1.0
+    assert g2 == g1
+    # Moving the cell invalidates it; recomputation reflects the new state.
+    engine.move_cell(cell, grid.num_rows - 1, 0)
+    g3 = engine.cell_goodness(cell)
+    fresh = (lambda r: engine.aggregator.beta * min(r)
+             + (1.0 - engine.aggregator.beta) * (sum(r) / len(r)))(
+        engine.cell_objective_ratios(cell))
+    assert g3 == fresh
+
+
+def test_table2_smoke_cell_identical_legacy_vs_optimized(monkeypatch):
+    """End-to-end determinism pin: a Table-2 Type II smoke cell produces a
+    bit-identical RunRecord under the legacy pipeline (scalar best-fit, no
+    state sharing) and the optimized one (fused kernel, shared adoption)."""
+    import repro.parallel.type2 as t2
+    from repro.experiments.registry import resolve
+    from repro.experiments.sweeps import run_cell
+
+    cell = [c for c in resolve("table2", smoke=True)
+            if c.strategy == "type2"][0]
+
+    fast = run_cell(cell).canonical()
+
+    orig_spmd = t2._spmd
+    def legacy_spmd(comm, **kw):
+        return orig_spmd(comm, **{**kw, "shared": None})
+    monkeypatch.setattr(t2, "_spmd", legacy_spmd)
+    monkeypatch.setattr(Allocator, "use_kernel", False)
+    legacy = run_cell(cell).canonical()
+
+    assert fast == legacy
