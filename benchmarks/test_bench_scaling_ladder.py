@@ -1,0 +1,55 @@
+"""E10 — Scaling ladder: model-time growth across the synthetic rungs.
+
+Not a paper table: the `scaling` scenario charts how serial SimE cost
+grows with circuit size on the synthetic ladder (250 → 2000 movable
+cells, spanning beyond the paper suite's 540–1561 range).  The shape
+claim is the obvious one the cost model must reproduce: per-iteration
+model-time increases monotonically along the ladder, and the largest
+rung costs several times the smallest (allocation work is linear-ish in
+the selected-set size, which scales with the netlist).
+"""
+
+import pytest
+
+from repro.analysis.reporting import render_scaling_records, render_table
+from repro.experiments.registry import resolve
+from repro.experiments.sweeps import run_sweep
+from repro.netlist.suite import circuit_cell_count, list_scaling_circuits
+
+from _common import banner
+
+ITERS_SCALE = 500  # ladder rungs get expensive; a light budget suffices
+
+
+@pytest.mark.benchmark(group="scaling")
+def test_scaling_ladder(benchmark):
+    cells = resolve("scaling", scale=ITERS_SCALE)
+    serial_cells = [c for c in cells if c.strategy == "serial"]
+
+    records = benchmark.pedantic(
+        lambda: run_sweep(serial_cells), rounds=1, iterations=1
+    )
+
+    banner("Scaling ladder — serial model-seconds per rung")
+    rows = []
+    per_iter = {}
+    for r in records:
+        assert r.ok, r.error
+        o = r.outcome or {}
+        circuit = r.spec["circuit"]
+        per_iter[circuit] = o["runtime"] / max(1, o["iterations"])
+        rows.append({
+            "Ckt": circuit,
+            "cells": circuit_cell_count(circuit),
+            "µ(s)": f"{o['best_mu']:.3f}",
+            "t": f"{o['runtime']:.2f}",
+            "t/iter": f"{per_iter[circuit]:.3f}",
+        })
+    print(render_table(rows))
+    print()
+    print(render_scaling_records(records))
+
+    ladder = [c for c in list_scaling_circuits() if c in per_iter]
+    costs = [per_iter[c] for c in ladder]
+    assert costs == sorted(costs), "per-iteration cost must grow with size"
+    assert costs[-1] > 3 * costs[0], "8x the cells must cost well over 3x"

@@ -28,6 +28,10 @@ __all__ = [
     "render_type2_records",
     "render_table4_records",
     "render_profile_records",
+    "render_scaling_records",
+    "render_knob_records",
+    "render_retry_records",
+    "render_shootout_records",
     "render_generic_records",
 ]
 
@@ -246,6 +250,154 @@ def render_profile_records(records: Sequence["RunRecord"], title: str | None = N
     return render_table(rows, title=title or "Section 4 — runtime profile shares")
 
 
+def render_scaling_records(records: Sequence["RunRecord"], title: str | None = None) -> str:
+    """Scaling-ladder layout: per circuit size, serial vs Type II cost."""
+    from repro.netlist.suite import circuit_cell_count
+
+    ok = _ok_records(records)
+    serial = _serial_by_group(ok)
+    t2 = _by_group(ok, "type2")
+    groups = _group_order(ok)
+    multi_seed = len({g[1] for g in groups}) > 1
+    rows = []
+    for g in groups:
+        if g not in serial:
+            continue
+        s = serial[g].outcome or {}
+        try:
+            gates = circuit_cell_count(g[0])
+        except KeyError:
+            gates = "-"
+        row: dict[str, Any] = {
+            **_label(g, multi_seed),
+            "cells": gates,
+            "Seq µ": f"{s.get('best_mu', 0.0):.3f}",
+            "Seq t": format_seconds(s.get("runtime", 0.0)),
+        }
+        for r in sorted(t2.get(g, []), key=lambda r: r.params.get("p", 0)):
+            o = r.outcome or {}
+            p = r.params.get("p")
+            row[f"T2 p={p} µ"] = f"{o.get('best_mu', 0.0):.3f}"
+            row[f"T2 p={p} t"] = format_seconds(o.get("runtime", 0.0))
+            seq_t, par_t = s.get("runtime", 0.0), o.get("runtime", 0.0)
+            row[f"speedup p={p}"] = (
+                f"{seq_t / par_t:.2f}x" if par_t > 0 else "-"
+            )
+        rows.append(row)
+    return render_table(
+        rows, title=title or "Scaling ladder — model-seconds vs circuit size"
+    )
+
+
+def render_knob_records(records: Sequence["RunRecord"], title: str | None = None) -> str:
+    """Knob-grid layout: one row per (β, bias) point, best µ first."""
+    rows = []
+    for r in sorted(
+        _ok_records(records),
+        key=lambda r: -(r.outcome or {}).get("best_mu", 0.0),
+    ):
+        o = r.outcome or {}
+        rows.append({
+            "Ckt": r.spec.get("circuit", "?"),
+            "β": r.spec.get("beta", "-"),
+            "bias": "adaptive" if r.spec.get("adaptive_bias")
+                    else r.spec.get("bias", "-"),
+            "µ(s)": f"{o.get('best_mu', 0.0):.3f}",
+            "t": format_seconds(o.get("runtime", 0.0)),
+        })
+    return render_table(
+        rows, title=title or "Knob grid — fuzzy β × selection bias (best µ first)"
+    )
+
+
+def render_retry_records(records: Sequence["RunRecord"], title: str | None = None) -> str:
+    """Retry-study layout: type3 and type3x side by side per threshold."""
+    ok = _ok_records(records)
+    serial = _serial_by_group(ok)
+    groups = _group_order(ok)
+    multi_seed = len({g[1] for g in groups}) > 1
+    variants = {name: _by_group(ok, name) for name in ("type3", "type3x")}
+    rows = []
+    for g in groups:
+        if g not in serial:
+            continue
+        s = serial[g].outcome or {}
+        retries = sorted({
+            r.params.get("retry_threshold", 0)
+            for cells in variants.values()
+            for r in cells.get(g, [])
+        })
+        for retry in retries:
+            row: dict[str, Any] = {
+                **_label(g, multi_seed),
+                "retry": retry,
+                "Seq µ": f"{s.get('best_mu', 0.0):.3f}",
+            }
+            for name, cells in variants.items():
+                for r in sorted(
+                    (r for r in cells.get(g, [])
+                     if r.params.get("retry_threshold") == retry),
+                    key=lambda r: r.params.get("p", 0),
+                ):
+                    o = r.outcome or {}
+                    row[f"{name} p={r.params.get('p')}"] = (
+                        f"{o.get('best_mu', 0.0):.3f}"
+                        f"@{format_seconds(o.get('runtime', 0.0))}"
+                    )
+            rows.append(row)
+    return render_table(
+        rows,
+        title=title
+        or "Retry study — type3 vs type3x (µ@model-seconds per threshold)",
+    )
+
+
+def render_shootout_records(records: Sequence["RunRecord"], title: str | None = None) -> str:
+    """Shootout layout: one row per strategy config, bracketed vs serial."""
+    from repro.analysis.speedup import quality_bracket
+
+    ok = _ok_records(records)
+    serial = _serial_by_group(ok)
+    groups = _group_order(ok)
+    multi_seed = len({g[1] for g in groups}) > 1
+    rows = []
+    for g in groups:
+        if g not in serial:
+            continue
+        s = serial[g].outcome or {}
+        serial_mu = s.get("best_mu", 0.0)
+        rows.append({
+            **_label(g, multi_seed),
+            "strategy": "serial",
+            "µ(s)": f"{serial_mu:.3f}",
+            "t": format_seconds(s.get("runtime", 0.0)),
+            "vs serial": "1.000",
+        })
+        others = [r for r in ok if _group_of(r) == g and r.strategy != "serial"]
+        for r in sorted(others, key=lambda r: (r.strategy,
+                                               str(r.params.get("pattern", "")))):
+            o = r.outcome or {}
+            label = r.strategy
+            if r.params.get("pattern"):
+                label += f"/{r.params['pattern']}"
+            b = quality_bracket(r.parallel_outcome(), serial_mu)
+            rows.append({
+                **_label(g, multi_seed),
+                "strategy": label,
+                "µ(s)": f"{o.get('best_mu', 0.0):.3f}",
+                "t": b.cell(decimals=2),
+                "vs serial": (
+                    f"{o.get('best_mu', 0.0) / serial_mu:.3f}"
+                    if serial_mu > 0 else "-"
+                ),
+            })
+    return render_table(
+        rows,
+        title=title
+        or "Shootout — strategies head-to-head ((q%) = quality bracket)",
+    )
+
+
 def render_generic_records(records: Sequence["RunRecord"], title: str | None = None) -> str:
     """Fallback flat layout for custom sweeps (one row per cell)."""
     rows = []
@@ -274,6 +426,10 @@ _RENDERERS = {
     ),
     "table4": (render_table4_records, None),
     "profile": (render_profile_records, None),
+    "scaling": (render_scaling_records, None),
+    "knobs": (render_knob_records, None),
+    "retry": (render_retry_records, None),
+    "shootout": (render_shootout_records, None),
 }
 
 

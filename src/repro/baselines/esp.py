@@ -15,6 +15,8 @@ isolates the objective/selection design rather than implementation noise.
 
 from __future__ import annotations
 
+from dataclasses import replace
+
 from repro.cost.workmeter import WorkMeter, WorkModel
 from repro.parallel.mpi.calibration import calibrated_work_model
 from repro.parallel.runners import (
@@ -27,7 +29,20 @@ from repro.parallel.runners import (
 )
 from repro.sime.engine import SimulatedEvolution
 
-__all__ = ["run_esp"]
+__all__ = ["run_esp", "derive_esp_spec"]
+
+
+def derive_esp_spec(spec: ExperimentSpec, bias: float = 0.1) -> ExperimentSpec:
+    """The spec ESP actually runs: ``spec`` with ONLY the two intended
+    overrides (wirelength-only objectives, ESP's fixed positive bias).
+
+    ``dataclasses.replace`` carries every other field — seed, budgets,
+    windows, ``adaptive_bias``, ``sort_descending``, ``num_rows``,
+    ``critical_paths``, fuzzy knobs — so a non-default spec round-trips
+    instead of being silently reset to defaults (the historical bug this
+    helper exists to pin down).
+    """
+    return replace(spec, objectives=("wirelength",), bias=bias)
 
 
 def run_esp(
@@ -41,15 +56,7 @@ def run_esp(
     µ(s) is therefore the *wirelength membership*, which remains
     comparable across baselines because all share the same bounds.
     """
-    esp_spec = ExperimentSpec(
-        circuit=spec.circuit,
-        objectives=("wirelength",),
-        iterations=spec.iterations,
-        seed=spec.seed,
-        bias=bias,
-        row_window=spec.row_window,
-        slot_window=spec.slot_window,
-    )
+    esp_spec = derive_esp_spec(spec, bias)
     meter = WorkMeter(work_model or calibrated_work_model())
     problem = build_problem(esp_spec, meter)
     rng = stream_for(esp_spec.seed, SERIAL_STREAM, "esp-sel")

@@ -9,17 +9,26 @@ Subcommands
     the outcome; ``--out`` also writes a JSON/CSV artifact.
 ``repro sweep``
     Run a named scenario or an open-ended ``circuit × strategy × p ×
-    pattern`` grid, serially or over a process pool, writing artifacts.
+    pattern`` grid through a sweep backend (``serial`` / ``process`` /
+    ``chunked``), writing artifacts.  ``--shard i/N`` runs one
+    deterministic slice of the grid (CI/cluster fan-out); ``--resume``
+    replays completed cells from the on-disk cell cache and re-runs only
+    the missing or failed ones.
 ``repro tables``
-    Reproduce a paper table end to end: resolve the scenario, sweep it,
-    save the artifact and render the paper-shaped report.
+    Reproduce a paper table (``--table N``) or any registered scenario
+    (``--scenario NAME``) end to end: resolve, sweep, save the artifact
+    and render the paper-shaped report.
+``repro diff``
+    Compare two sweep artifacts cell by cell (modulo wall-clock); exit 1
+    on any difference — the merge gate for sharded runs.
 ``repro bench``
     Wall-clock benchmark of the smoke suite (perf trajectory), with a
     ``--check`` determinism gate against a committed baseline such as
     ``BENCH_PR3.json``.
 
 Every stochastic component seeds from the spec, so any command line is
-reproducible bit-for-bit; ``--smoke`` shrinks budgets for CI.
+reproducible bit-for-bit; ``--smoke`` shrinks budgets for CI.  Any
+command that executes cells exits non-zero if one of them failed.
 """
 
 from __future__ import annotations
@@ -27,10 +36,11 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+from pathlib import Path
 from typing import Any, Sequence
 
 from repro.analysis.reporting import render_records, render_table
-from repro.experiments.artifacts import ArtifactStore, RunRecord, failed
+from repro.experiments.artifacts import ArtifactStore, CellCache, RunRecord, failed
 from repro.experiments.registry import (
     base_spec,
     custom_sweep,
@@ -38,8 +48,18 @@ from repro.experiments.registry import (
     list_scenarios,
     resolve,
 )
-from repro.experiments.sweeps import run_cell, run_sweep
-from repro.netlist.suite import list_paper_circuits
+from repro.experiments.sweeps import (
+    BACKENDS,
+    parse_shard,
+    run_cell,
+    run_sweep,
+    shard_cells,
+)
+from repro.netlist.suite import (
+    list_all_circuits,
+    list_paper_circuits,
+    list_scaling_circuits,
+)
 
 __all__ = ["main", "build_parser"]
 
@@ -67,7 +87,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_list.set_defaults(func=cmd_list)
 
     p_run = sub.add_parser("run", help="run a single experiment cell")
-    p_run.add_argument("--circuit", required=True, choices=list_paper_circuits())
+    p_run.add_argument("--circuit", required=True, choices=list_all_circuits())
     p_run.add_argument("--strategy", default="serial",
                        choices=["serial", "type1", "type2", "type3", "type3x", "profile"])
     p_run.add_argument("--objectives", type=_csv_list,
@@ -107,18 +127,37 @@ def build_parser() -> argparse.ArgumentParser:
     p_sweep.add_argument("--smoke", action="store_true",
                          help="tiny budgets/circuits (CI); default scenario: smoke")
     p_sweep.add_argument("--workers", type=int, default=None,
-                         help="process-pool size (implies --processes)")
+                         help="process-pool size (implies --backend process)")
     p_sweep.add_argument("--processes", action="store_true",
                          help="fan cells out over a process pool")
+    p_sweep.add_argument("--backend", default=None, choices=sorted(BACKENDS),
+                         help="execution backend (default: serial, or "
+                              "process when --processes/--workers given)")
+    p_sweep.add_argument("--chunk-size", type=int, default=None,
+                         help="cells per pool task for --backend chunked")
+    p_sweep.add_argument("--shard", default=None, metavar="I/N",
+                         help="run only deterministic shard I of N "
+                              "(1-based); shards merge via --resume")
+    p_sweep.add_argument("--resume", nargs="?", const="", default=None,
+                         metavar="DIR",
+                         help="replay completed cells from DIR's cell "
+                              "cache (default DIR: --out) and run only "
+                              "missing/failed ones")
+    p_sweep.add_argument("--no-cache", action="store_true",
+                         help="do not write the per-cell resume cache")
     p_sweep.add_argument("--out", default="artifacts",
                          help="artifact directory (default: artifacts/)")
     p_sweep.add_argument("--tag", default=None,
                          help="artifact basename (default: scenario name)")
     p_sweep.set_defaults(func=cmd_sweep)
 
-    p_tables = sub.add_parser("tables", help="reproduce a paper table")
-    p_tables.add_argument("--table", type=int, required=True, choices=[1, 2, 3, 4],
+    p_tables = sub.add_parser(
+        "tables", help="reproduce a paper table or render a scenario")
+    p_tables.add_argument("--table", type=int, default=None, choices=[1, 2, 3, 4],
                           help="paper table number")
+    p_tables.add_argument("--scenario", default=None,
+                          help="any registered scenario name instead of "
+                               "a table number (see `repro list`)")
     p_tables.add_argument("--circuits", type=_csv_list, default=None)
     p_tables.add_argument("--scale", type=int, default=100)
     p_tables.add_argument("--smoke", action="store_true",
@@ -127,6 +166,12 @@ def build_parser() -> argparse.ArgumentParser:
     p_tables.add_argument("--processes", action="store_true")
     p_tables.add_argument("--out", default="artifacts")
     p_tables.set_defaults(func=cmd_tables)
+
+    p_diff = sub.add_parser(
+        "diff", help="compare two sweep artifacts (modulo wall-clock)")
+    p_diff.add_argument("a", help="first artifact JSON path")
+    p_diff.add_argument("b", help="second artifact JSON path")
+    p_diff.set_defaults(func=cmd_diff)
 
     p_bench = sub.add_parser(
         "bench", help="wall-clock benchmark + determinism gate")
@@ -171,6 +216,9 @@ def cmd_list(args: argparse.Namespace) -> int:
         print("paper circuit suite:")
         for name in list_paper_circuits():
             print(f"  {name}")
+        print("scaling ladder:")
+        for name in list_scaling_circuits():
+            print(f"  {name}")
         return 0
     rows = []
     for s in list_scenarios():
@@ -191,6 +239,8 @@ def cmd_list(args: argparse.Namespace) -> int:
             for g in s.grids:
                 axes = ", ".join(f"{k}∈{list(v)}" for k, v in g.axes) or "(no axes)"
                 print(f"  {g.strategy}: {axes}")
+            for cell, reason in s.dropped_cells:
+                print(f"  dropped {cell}: {reason}")
     return 0
 
 
@@ -252,10 +302,19 @@ def _sweep_records(
     cells: Sequence[Any],
     workers: int | None,
     processes: bool,
+    backend: str | None = None,
+    chunk_size: int | None = None,
+    cache: CellCache | None = None,
 ) -> list[RunRecord]:
     use_processes = processes or workers is not None
     return run_sweep(
-        cells, workers=workers, processes=use_processes, progress=_progress
+        cells,
+        workers=workers,
+        processes=use_processes,
+        progress=_progress,
+        backend=backend,
+        chunk_size=chunk_size,
+        cache=cache,
     )
 
 
@@ -306,9 +365,12 @@ def cmd_sweep(args: argparse.Namespace) -> int:
 
 
 def cmd_tables(args: argparse.Namespace) -> int:
-    name = f"table{args.table}"
-    scenario = get_scenario(name)
+    if (args.table is None) == (args.scenario is None):
+        print("need exactly one of --table N or --scenario NAME", file=sys.stderr)
+        return 2
+    name = args.scenario if args.scenario else f"table{args.table}"
     try:
+        scenario = get_scenario(name)
         cells = resolve(
             scenario,
             scale=args.scale,
@@ -324,29 +386,120 @@ def cmd_tables(args: argparse.Namespace) -> int:
 def _execute_sweep(
     args: argparse.Namespace, scenario: Any, cells: Sequence[Any], banner: str
 ) -> int:
-    """Shared tail of `sweep` and `tables`: run, save artifacts, render."""
+    """Shared tail of `sweep` and `tables`: run, save artifacts, render.
+
+    Exit status: 0 all cells succeeded, 1 any cell failed, 2 bad usage —
+    a red sweep must never look green to a caller or a CI job.
+    """
+    for cell, reason in scenario.dropped_cells:
+        print(f"note: dropped {cell}: {reason}", file=sys.stderr)
     if not cells:
         print("error: resolved 0 cells (empty circuit/seed set?)", file=sys.stderr)
         return 2
-    print(f"{banner}: {len(cells)} cells" + (" (smoke)" if args.smoke else ""))
-    records = _sweep_records(cells, args.workers, args.processes)
-    store = ArtifactStore(args.out)
+
     # Smoke runs get their own artifact name so they never clobber a
-    # full-scale run of the same scenario.
+    # full-scale run of the same scenario; shards get a slice suffix.
     tag = getattr(args, "tag", None) or scenario.name
     if args.smoke and not getattr(args, "tag", None) and not tag.endswith("smoke"):
         tag = f"{scenario.name}-smoke"
+    shard = None
+    if getattr(args, "shard", None):
+        try:
+            shard = parse_shard(args.shard)
+        except ValueError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        cells = shard_cells(cells, *shard)
+        tag = f"{tag}-shard{shard[0]}of{shard[1]}"
+        if not cells:
+            print("error: shard is empty (more shards than cells?)",
+                  file=sys.stderr)
+            return 2
+
+    resume = getattr(args, "resume", None)
+    if resume is not None and getattr(args, "no_cache", False):
+        print("--resume and --no-cache are contradictory (resume replays "
+              "the cell cache)", file=sys.stderr)
+        return 2
+    cache = None
+    if not getattr(args, "no_cache", False):
+        # Fresh cells always land in --out's cache (that is what a later
+        # `--resume` on this directory resumes from); reads happen only
+        # under --resume, additionally consulting an explicit DIR without
+        # ever writing into it.
+        out_cells = Path(args.out) / "cells"
+        extra = []
+        if resume:  # explicit DIR (bare --resume means DIR == --out)
+            resume_cells = Path(resume) / "cells"
+            if resume_cells.resolve() != out_cells.resolve():
+                extra = [resume_cells]
+        cache = CellCache(out_cells, read=resume is not None, also_read=extra)
+
+    shard_note = f" [shard {shard[0]}/{shard[1]}]" if shard else ""
+    print(f"{banner}: {len(cells)} cells"
+          + (" (smoke)" if args.smoke else "") + shard_note)
+    records = _sweep_records(
+        cells,
+        args.workers,
+        args.processes,
+        backend=getattr(args, "backend", None),
+        chunk_size=getattr(args, "chunk_size", None),
+        cache=cache,
+    )
+    store = ArtifactStore(args.out)
     meta = {
         "scenario": scenario.name,
         "scale": args.scale,
         "smoke": args.smoke,
         "argv": args.repro_argv,
     }
+    if shard:
+        meta["shard"] = f"{shard[0]}/{shard[1]}"
     json_path, csv_path = store.save(tag, records, meta)
     print(f"\nartifacts: {json_path}  {csv_path}")
     print()
     print(render_records(records, scenario.name))
-    return 1 if failed(records) else 0
+    bad = failed(records)
+    if bad:
+        print(f"\n{len(bad)} of {len(records)} cell(s) FAILED", file=sys.stderr)
+        return 1
+    return 0
+
+
+def cmd_diff(args: argparse.Namespace) -> int:
+    """Compare two artifacts' canonical records; exit 1 on any difference."""
+    store = ArtifactStore(".")
+    try:
+        _, a_records = store.load(args.a)
+        _, b_records = store.load(args.b)
+    except (OSError, ValueError, KeyError, TypeError) as exc:
+        print(f"error: {exc!r}", file=sys.stderr)
+        return 2
+    # A JSON without records is a wrong file, not an empty comparison —
+    # "identical: 0 cells" must never green-light a merge gate.
+    for path, records in ((args.a, a_records), (args.b, b_records)):
+        if not records:
+            print(f"error: {path} contains no run records "
+                  "(not a sweep artifact?)", file=sys.stderr)
+            return 2
+    a_map = {r.cell_id: r.canonical() for r in a_records}
+    b_map = {r.cell_id: r.canonical() for r in b_records}
+    problems = []
+    for cid in sorted(a_map.keys() | b_map.keys()):
+        if cid not in a_map:
+            problems.append(f"only in {args.b}: {cid}")
+        elif cid not in b_map:
+            problems.append(f"only in {args.a}: {cid}")
+        elif a_map[cid] != b_map[cid]:
+            keys = [k for k in a_map[cid] if a_map[cid][k] != b_map[cid].get(k)]
+            problems.append(f"differs: {cid} (fields: {', '.join(keys)})")
+    if problems:
+        for p in problems:
+            print(p)
+        print(f"\n{len(problems)} difference(s)", file=sys.stderr)
+        return 1
+    print(f"identical: {len(a_map)} cells (modulo wall_seconds)")
+    return 0
 
 
 def cmd_bench(args: argparse.Namespace) -> int:

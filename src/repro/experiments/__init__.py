@@ -15,7 +15,14 @@ The ``repro`` console script (:mod:`repro.cli`) is a thin shell over these
 three modules; the benches and examples build on them too.
 """
 
-from repro.experiments.artifacts import ArtifactStore, RunRecord, failed
+from repro.experiments.artifacts import (
+    ArtifactStore,
+    CellCache,
+    RunRecord,
+    cell_key,
+    failed,
+    version_key,
+)
 from repro.experiments.registry import (
     SCENARIOS,
     Scenario,
@@ -29,12 +36,26 @@ from repro.experiments.registry import (
     resolve,
     scaled_iterations,
 )
-from repro.experiments.sweeps import run_cell, run_sweep
+from repro.experiments.sweeps import (
+    BACKENDS,
+    ChunkedBackend,
+    ProcessPoolBackend,
+    SerialBackend,
+    SweepBackend,
+    make_backend,
+    parse_shard,
+    run_cell,
+    run_sweep,
+    shard_cells,
+)
 
 __all__ = [
     "ArtifactStore",
+    "CellCache",
     "RunRecord",
+    "cell_key",
     "failed",
+    "version_key",
     "SCENARIOS",
     "Scenario",
     "StrategyGrid",
@@ -46,6 +67,14 @@ __all__ = [
     "list_scenarios",
     "resolve",
     "scaled_iterations",
+    "BACKENDS",
+    "ChunkedBackend",
+    "ProcessPoolBackend",
+    "SerialBackend",
+    "SweepBackend",
+    "make_backend",
+    "parse_shard",
     "run_cell",
     "run_sweep",
+    "shard_cells",
 ]

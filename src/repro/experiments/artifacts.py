@@ -13,19 +13,62 @@ Records are **canonical** modulo wall-clock: :meth:`RunRecord.canonical`
 drops the host-dependent ``wall_seconds`` so serial and process-pool runs
 of the same cells compare equal byte-for-byte (the determinism contract
 pinned by the tests).
+
+Cell cache (resume)
+-------------------
+:class:`CellCache` is a content-addressed store of completed cells: each
+successful :class:`RunRecord` is filed under :func:`cell_key` — a stable
+hash of ``(spec, strategy, params, version_key)`` — as
+``<root>/<key>.json``.  Because every cell is a pure function of exactly
+those inputs, a cache hit is **bit-identical** to a fresh run (modulo
+``wall_seconds``), which is what makes ``repro sweep --resume`` and
+sharded runs merge to the same artifact as an unsharded run.  The key
+deliberately excludes the scenario and cell id (presentation labels, not
+result inputs); :meth:`CellCache.get` re-labels a hit for the requesting
+cell.  :func:`version_key` folds the package version plus a result-schema
+tag into every key, so numerics-changing releases can never replay stale
+records.  Failed records are never cached — resume always re-runs them.
 """
 
 from __future__ import annotations
 
 import csv
 import json
+import os
 from dataclasses import asdict, dataclass
 from pathlib import Path
-from typing import Any, Iterable, Sequence
+from typing import TYPE_CHECKING, Any, Iterable, Sequence
 
 from repro.parallel.runners import ParallelOutcome
+from repro.utils.hashing import stable_hash
 
-__all__ = ["RunRecord", "ArtifactStore", "CSV_COLUMNS", "failed"]
+if TYPE_CHECKING:  # import cycle guard: registry imports nothing from here
+    from repro.experiments.registry import SweepCell
+
+__all__ = [
+    "RunRecord",
+    "ArtifactStore",
+    "CellCache",
+    "CSV_COLUMNS",
+    "cell_key",
+    "version_key",
+    "failed",
+]
+
+#: Bump when the meaning/encoding of cached results changes without a
+#: package version bump (e.g. a RunRecord schema change).
+RESULT_SCHEMA = "cell-v1"
+
+
+def version_key() -> str:
+    """The code-version component of every cache key.
+
+    Combines the package version with :data:`RESULT_SCHEMA`; cached
+    records from any other version are simply never looked up.
+    """
+    import repro  # deferred: repro/__init__ imports this module
+
+    return f"{repro.__version__}/{RESULT_SCHEMA}"
 
 #: Flat columns written to the CSV summary, in order.
 CSV_COLUMNS = (
@@ -158,3 +201,96 @@ class ArtifactStore:
 def failed(records: Iterable[RunRecord]) -> list[RunRecord]:
     """The subset of records whose cells raised."""
     return [r for r in records if not r.ok]
+
+
+def cell_key(cell: "SweepCell", version: str | None = None) -> str:
+    """Content hash identifying a cell's *result*, not its labels.
+
+    Covers the spec, the strategy, the runner parameters and the code
+    version — everything the deterministic runners consume — and nothing
+    else: two cells with different scenario names or cell ids but the same
+    physics share one key.
+    """
+    return stable_hash({
+        "version": version or version_key(),
+        "strategy": cell.strategy,
+        "spec": cell.spec.to_dict(),
+        "params": dict(cell.params),
+    })
+
+
+class CellCache:
+    """Content-addressed store of completed cell records (one file each).
+
+    ``read=False`` makes :meth:`get` always miss (write-through mode: a
+    fresh sweep records its cells for a later ``--resume`` without reusing
+    anything); ``write=False`` makes :meth:`put` a no-op.  ``also_read``
+    lists extra directories consulted (after ``root``) on lookup — how
+    ``--resume DIR`` replays another run's cache while still filing fresh
+    cells under its own output directory.  Writes are atomic (tmp file +
+    ``os.replace``), so concurrent shard processes filling one cache
+    directory cannot tear each other's entries.
+    """
+
+    def __init__(
+        self,
+        root: str | Path,
+        read: bool = True,
+        write: bool = True,
+        also_read: Sequence[str | Path] = (),
+    ):
+        self.root = Path(root)
+        self.read = read
+        self.write = write
+        self.also_read = [Path(p) for p in also_read]
+
+    def path_for(self, cell: "SweepCell") -> Path:
+        return self.root / f"{cell_key(cell)}.json"
+
+    def get(self, cell: "SweepCell") -> RunRecord | None:
+        """The cached record for ``cell``, re-labelled to its ids, or None.
+
+        Corrupt entries (interrupted writers predating atomic replace,
+        disk trouble) read as misses, never as errors — resume re-runs.
+        """
+        if not self.read:
+            return None
+        name = f"{cell_key(cell)}.json"
+        for root in [self.root, *self.also_read]:
+            try:
+                payload = json.loads((root / name).read_text())
+                record = RunRecord.from_dict(payload["record"])
+            except (OSError, ValueError, KeyError, TypeError):
+                continue
+            if not record.ok:
+                continue
+            # The key excludes presentation labels; adopt the caller's.
+            record.scenario = cell.scenario
+            record.cell_id = cell.cell_id
+            if root is not self.root:
+                # Promote fallback hits into the primary root so this
+                # cache directory ends up self-contained (a later resume
+                # against it alone replays everything).
+                self.put(cell, record)
+            return record
+        return None
+
+    def put(self, cell: "SweepCell", record: RunRecord) -> Path | None:
+        """File a successful record under the cell's key (failures skip)."""
+        if not self.write or not record.ok:
+            return None
+        self.root.mkdir(parents=True, exist_ok=True)
+        path = self.path_for(cell)
+        tmp = path.with_suffix(f".tmp{os.getpid()}")
+        tmp.write_text(json.dumps(
+            {"key": path.stem, "version": version_key(),
+             "record": record.to_dict()},
+            indent=2, sort_keys=True,
+        ))
+        os.replace(tmp, path)
+        return path
+
+    def __len__(self) -> int:
+        if not self.root.exists():
+            return 0
+        return sum(1 for _ in self.root.glob("*.json"))

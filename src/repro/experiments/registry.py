@@ -34,13 +34,12 @@ via ``numpy.random.SeedSequence``, the same discipline as
 from __future__ import annotations
 
 import itertools
-import warnings
 from dataclasses import dataclass, fields, replace
 from typing import Any, Iterable, Mapping
 
 import numpy as np
 
-from repro.netlist.suite import list_paper_circuits
+from repro.netlist.suite import list_all_circuits, list_paper_circuits
 from repro.parallel.runners import ExperimentSpec
 
 __all__ = [
@@ -128,6 +127,11 @@ class Scenario:
     min_iterations: int = 20
     smoke_circuits: tuple[str, ...] = ("s1196",)
     table: int | None = None
+    #: Cells the scenario builder excluded, as ``(cell, reason)`` pairs —
+    #: e.g. ``("type3[p=2]", "type3 needs p >= 3")``.  Recorded
+    #: structurally (instead of a warning that leaks into test output) so
+    #: the CLI can surface the drops next to the scenario.
+    dropped_cells: tuple[tuple[str, str], ...] = ()
 
 
 @dataclass(frozen=True)
@@ -296,6 +300,95 @@ _register(Scenario(
     ),
 ))
 
+# --- beyond the paper's tables: diversity families -------------------------
+
+#: β (OWA and-ness) grid of the ``knobs`` scenario.
+_BETA_GRID = (0.3, 0.7, 1.0)
+#: Fixed selection biases of the ``knobs`` scenario (0.0 = the paper's
+#: biasless scheme; ±0.1 brackets it).
+_BIAS_GRID = (-0.1, 0.0, 0.1)
+#: The ``retry`` scenario's densified Table-4 axis (Table 4 itself uses
+#: 0.02–0.08): halving below and doubling above the paper's range.
+_RETRY_STUDY_FRACS = (0.01, 0.02, 0.04, 0.08, 0.16)
+
+_register(Scenario(
+    name="scaling",
+    title="Scaling ladder — model-time and quality vs circuit size",
+    description=(
+        "Serial vs Type II (random, p=4) across synthetic circuits of "
+        "doubling size (250 to 2000 movable cells, spanning beyond the "
+        "paper's 540-1561 range); charts how model-time and converged "
+        "quality scale with the netlist."
+    ),
+    objectives=("wirelength", "power"),
+    paper_iterations=PAPER_ITERS_T2_WP,
+    circuits=("synth250", "synth500", "synth1000", "synth2000"),
+    grids=(
+        StrategyGrid("serial"),
+        StrategyGrid("type2", (("pattern", ("random",)), ("p", (4,)))),
+    ),
+    smoke_circuits=("synth250",),
+))
+
+_register(Scenario(
+    name="knobs",
+    title="Knob grid — fuzzy β × selection bias (config-space study)",
+    description=(
+        "Serial SimE on s1196 over the OWA and-ness β and the selection "
+        "bias B, plus the adaptive-bias scheme at each β — an SMAC3-style "
+        "configuration space locating the paper's (β=0.7, biasless) "
+        "choice inside its neighbourhood."
+    ),
+    objectives=("wirelength", "power"),
+    paper_iterations=PAPER_ITERS_T2_WP,
+    circuits=("s1196",),
+    grids=(
+        StrategyGrid("serial", (("beta", _BETA_GRID), ("bias", _BIAS_GRID))),
+        StrategyGrid("serial", (("beta", _BETA_GRID),
+                                ("adaptive_bias", (True,)))),
+    ),
+))
+
+_register(Scenario(
+    name="retry",
+    title="Retry-threshold study — Type III and diversified Type III",
+    description=(
+        "Table 4's retry-threshold axis at double resolution (1-16% of "
+        "the budget) with the diversified type3x variant alongside plain "
+        "type3, both at p=4; where does extra retry patience stop paying?"
+    ),
+    objectives=("wirelength", "power"),
+    paper_iterations=PAPER_ITERS_T4,
+    circuits=("s1494", "s1238"),
+    grids=(
+        StrategyGrid("serial"),
+        StrategyGrid("type3", (("retry_frac", _RETRY_STUDY_FRACS), ("p", (4,)))),
+        StrategyGrid("type3x", (("retry_frac", _RETRY_STUDY_FRACS), ("p", (4,)))),
+    ),
+    smoke_circuits=("s1238",),
+))
+
+_register(Scenario(
+    name="shootout",
+    title="Cross-strategy shootout — every strategy head-to-head at p=4",
+    description=(
+        "Serial, Type I, Type II (both patterns), Type III and "
+        "diversified Type III on the same circuits at a fixed processor "
+        "count: quality-vs-model-time per strategy, the one-table answer "
+        "to 'which parallelization should I use?'."
+    ),
+    objectives=("wirelength", "power"),
+    paper_iterations=PAPER_ITERS_T2_WP,
+    circuits=("s1196", "s1238"),
+    grids=(
+        StrategyGrid("serial"),
+        StrategyGrid("type1", (("p", (4,)),)),
+        StrategyGrid("type2", (("pattern", _PATTERNS), ("p", (4,)))),
+        StrategyGrid("type3", (("retry_frac", (0.04,)), ("p", (4,)))),
+        StrategyGrid("type3x", (("retry_frac", (0.04,)), ("p", (4,)))),
+    ),
+))
+
 _register(Scenario(
     name="smoke",
     title="Smoke — one cheap cell per strategy",
@@ -344,9 +437,13 @@ def custom_sweep(
     """Build an open-ended ``circuit × strategy × p × pattern`` scenario.
 
     This is the CLI's ``repro sweep --circuits ... --strategies ...`` path:
-    anything the registry's named tables don't cover.
+    anything the registry's named tables don't cover.  Requested grid
+    points a strategy cannot run (e.g. type3 at p=2) are excluded and
+    recorded on ``Scenario.dropped_cells`` with their reasons — the CLI
+    surfaces them; nothing is silently lost and nothing warns.
     """
     grids = []
+    dropped_cells: list[tuple[str, str]] = []
     for strategy in strategies:
         axes: list[tuple[str, tuple]] = []
         if strategy in ("type1", "type2", "type3", "type3x"):
@@ -356,12 +453,11 @@ def custom_sweep(
                 raise ValueError(
                     f"{strategy} needs p >= {min_p}; got {tuple(p_values)}"
                 )
-            dropped = tuple(p for p in p_values if p < min_p)
-            if dropped:
-                warnings.warn(
-                    f"{strategy}: dropping p={list(dropped)} (needs p >= {min_p})",
-                    stacklevel=2,
-                )
+            dropped_cells.extend(
+                (f"{strategy}[p={p}]", f"{strategy} needs p >= {min_p}")
+                for p in p_values
+                if p < min_p
+            )
             axes.append(("p", ps))
         if strategy == "type2":
             axes.insert(0, ("pattern", tuple(patterns)))
@@ -377,6 +473,7 @@ def custom_sweep(
         circuits=tuple(circuits),
         grids=tuple(grids),
         seeds=tuple(seeds),
+        dropped_cells=tuple(dropped_cells),
     )
 
 
@@ -422,7 +519,7 @@ def resolve(
             scenario.paper_iterations, scale, scenario.min_iterations
         )
         circ_list = list(circuits) if circuits is not None else list(scenario.circuits)
-    known = set(list_paper_circuits())
+    known = set(list_all_circuits())
     for c in circ_list:
         if c not in known:
             raise KeyError(f"unknown circuit {c!r}; known: {sorted(known)}")

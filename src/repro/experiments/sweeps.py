@@ -1,27 +1,49 @@
-"""Multiprocess sweep execution with failure isolation.
+"""Pluggable sweep execution: backends, shards, and the resume cache.
 
 Takes the :class:`~repro.experiments.registry.SweepCell` lists the registry
-resolves and runs them — serially in-process, or fanned out over a
-:class:`concurrent.futures.ProcessPoolExecutor`.  Each cell is a pure
-function of its spec and parameters (all randomness flows from
-``spec.seed`` through :mod:`repro.utils.rng` streams), so serial and
-pooled execution produce **identical** artifacts; the determinism test in
-``tests/experiments`` pins that.
+resolves and runs them through a :class:`SweepBackend`:
+
+* :class:`SerialBackend` — in-process, one cell at a time;
+* :class:`ProcessPoolBackend` — one cell per :class:`ProcessPoolExecutor`
+  task (maximum parallelism, per-task pickling/setup overhead);
+* :class:`ChunkedBackend` — cells batched into contiguous chunks, one
+  chunk per pool task.  Cells of one scenario arrive grouped by circuit
+  (the registry's resolution order), so a chunk's cells share the worker
+  process's single-flight circuit/grid/initial-placement caches — the
+  per-process setup that dominates small cells is paid once per chunk
+  instead of once per cell.
+
+Each cell is a pure function of its spec and parameters (all randomness
+flows from ``spec.seed`` through :mod:`repro.utils.rng` streams), so every
+backend produces **identical** records modulo the host-dependent
+``wall_seconds``; the determinism tests in ``tests/experiments`` pin that.
+That purity is also what makes two orthogonal features safe:
+
+* **sharding** — :func:`shard_cells` deterministically partitions a cell
+  list into ``count`` disjoint, covering shards (``repro sweep --shard
+  i/N``) that independent hosts can run and later merge;
+* **resume** — an optional :class:`~repro.experiments.artifacts.CellCache`
+  lets :func:`run_sweep` skip cells whose results are already on disk and
+  run only the missing/failed ones, with cache hits bit-identical to
+  fresh runs.
 
 A failing cell (bad circuit, runner error) never takes the sweep down: it
 yields a :class:`~repro.experiments.artifacts.RunRecord` with ``ok=False``
-and the traceback, and the remaining cells proceed.
+and the traceback, and the remaining cells proceed.  Pool-level failures
+(a worker dying mid-task) are charged the wall time observed between
+submission and the failure, not zero.
 """
 
 from __future__ import annotations
 
+import os
 import time
 import traceback
 from concurrent.futures import ProcessPoolExecutor, as_completed
-from typing import Callable, Sequence
+from typing import Callable, Protocol, Sequence
 
 from repro.analysis.profiling import profile_serial_run
-from repro.experiments.artifacts import RunRecord
+from repro.experiments.artifacts import CellCache, RunRecord
 from repro.experiments.registry import SweepCell
 from repro.parallel.runners import ParallelOutcome, run_serial
 from repro.parallel.type1 import run_type1
@@ -29,7 +51,19 @@ from repro.parallel.type2 import run_type2
 from repro.parallel.type3 import run_type3
 from repro.parallel.type3x import run_type3_diversified
 
-__all__ = ["run_cell", "run_sweep", "ProgressFn"]
+__all__ = [
+    "run_cell",
+    "run_sweep",
+    "ProgressFn",
+    "SweepBackend",
+    "SerialBackend",
+    "ProcessPoolBackend",
+    "ChunkedBackend",
+    "BACKENDS",
+    "make_backend",
+    "parse_shard",
+    "shard_cells",
+]
 
 #: Called after each cell completes: ``progress(done, total, record)``.
 ProgressFn = Callable[[int, int, RunRecord], None]
@@ -113,48 +147,287 @@ def run_cell(cell: SweepCell) -> RunRecord:
     )
 
 
+def _run_chunk(cells: list[SweepCell]) -> list[RunRecord]:
+    """Worker-side body of :class:`ChunkedBackend`: one pool task, n cells."""
+    return [run_cell(cell) for cell in cells]
+
+
+# ---------------------------------------------------------------------------
+# Backends
+# ---------------------------------------------------------------------------
+
+
+class SweepBackend(Protocol):
+    """Executes a cell list into records, preserving input order.
+
+    Implementations must return one record per input cell, in input order,
+    with every field except ``wall_seconds`` identical to what
+    :class:`SerialBackend` would produce, and must fire ``progress`` once
+    per completed cell (completion order is theirs to choose).
+    """
+
+    name: str
+
+    def run(
+        self, cells: Sequence[SweepCell], progress: ProgressFn | None = None
+    ) -> list[RunRecord]:
+        ...
+
+
+class SerialBackend:
+    """In-process execution, cells in order — the reference backend."""
+
+    name = "serial"
+
+    def __init__(self, workers: int | None = None, chunk_size: int | None = None):
+        pass  # accepts the shared knobs for interface uniformity
+
+    def run(
+        self, cells: Sequence[SweepCell], progress: ProgressFn | None = None
+    ) -> list[RunRecord]:
+        records = []
+        for i, cell in enumerate(cells):
+            record = run_cell(cell)
+            records.append(record)
+            if progress:
+                progress(i + 1, len(cells), record)
+        return records
+
+
+class ProcessPoolBackend:
+    """One pool task per cell: maximal fan-out, per-cell setup cost."""
+
+    name = "process"
+
+    def __init__(self, workers: int | None = None, chunk_size: int | None = None):
+        self.workers = workers
+
+    def run(
+        self, cells: Sequence[SweepCell], progress: ProgressFn | None = None
+    ) -> list[RunRecord]:
+        total = len(cells)
+        if not total:
+            return []
+        slots: list[RunRecord | None] = [None] * total
+        done = 0
+        with ProcessPoolExecutor(max_workers=self.workers) as pool:
+            last_event = time.perf_counter()
+            futures = {pool.submit(run_cell, c): i for i, c in enumerate(cells)}
+            # Report completions as they happen (a slow head cell must not
+            # make the whole sweep look hung) while keeping result order.
+            for future in as_completed(futures):
+                i = futures[future]
+                now = time.perf_counter()
+                try:
+                    record = future.result()
+                except Exception as exc:  # noqa: BLE001 - e.g. broken pool
+                    # Charge the wall time observed since the previous
+                    # pool event — the best available bound on how long
+                    # this failure occupied the sweep.  0.0 would
+                    # undercount it; time-since-pool-start would charge a
+                    # late failure the whole sweep so far.
+                    record = _failure_record(
+                        cells[i], f"{type(exc).__name__}: {exc}",
+                        now - last_event,
+                    )
+                last_event = now
+                slots[i] = record
+                done += 1
+                if progress:
+                    progress(done, total, record)
+        return [r for r in slots if r is not None]
+
+
+class ChunkedBackend:
+    """Contiguous chunks of cells per pool task (amortized worker setup)."""
+
+    name = "chunked"
+
+    #: Target tasks per worker when ``chunk_size`` is unset — enough slack
+    #: for load balancing without giving up the amortization.
+    OVERSUBSCRIBE = 4
+
+    def __init__(self, workers: int | None = None, chunk_size: int | None = None):
+        self.workers = workers
+        self.chunk_size = chunk_size
+
+    def _resolve_chunk_size(self, n_cells: int) -> int:
+        if self.chunk_size is not None:
+            if self.chunk_size < 1:
+                raise ValueError(f"chunk_size must be >= 1, got {self.chunk_size}")
+            return self.chunk_size
+        workers = self.workers or os.cpu_count() or 1
+        return max(1, -(-n_cells // (workers * self.OVERSUBSCRIBE)))
+
+    def run(
+        self, cells: Sequence[SweepCell], progress: ProgressFn | None = None
+    ) -> list[RunRecord]:
+        total = len(cells)
+        if not total:
+            return []
+        size = self._resolve_chunk_size(total)
+        chunks = [list(cells[i:i + size]) for i in range(0, total, size)]
+        starts = [i * size for i in range(len(chunks))]
+        slots: list[RunRecord | None] = [None] * total
+        done = 0
+        with ProcessPoolExecutor(max_workers=self.workers) as pool:
+            last_event = time.perf_counter()
+            futures = {
+                pool.submit(_run_chunk, chunk): k for k, chunk in enumerate(chunks)
+            }
+            for future in as_completed(futures):
+                k = futures[future]
+                now = time.perf_counter()
+                try:
+                    records = future.result()
+                except Exception as exc:  # noqa: BLE001 - e.g. broken pool
+                    # Same accounting as ProcessPoolBackend: the chunk is
+                    # charged the observed time since the last pool event,
+                    # split evenly over its cells (not duplicated onto
+                    # each — summed wall time must stay meaningful).
+                    elapsed = (now - last_event) / max(1, len(chunks[k]))
+                    records = [
+                        _failure_record(c, f"{type(exc).__name__}: {exc}", elapsed)
+                        for c in chunks[k]
+                    ]
+                last_event = now
+                for j, record in enumerate(records):
+                    slots[starts[k] + j] = record
+                    done += 1
+                    if progress:
+                        progress(done, total, record)
+        return [r for r in slots if r is not None]
+
+
+BACKENDS: dict[str, type] = {
+    "serial": SerialBackend,
+    "process": ProcessPoolBackend,
+    "chunked": ChunkedBackend,
+}
+
+
+def make_backend(
+    name: str, workers: int | None = None, chunk_size: int | None = None
+) -> SweepBackend:
+    """Instantiate a named backend (``serial`` / ``process`` / ``chunked``)."""
+    try:
+        cls = BACKENDS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown backend {name!r}; expected one of {sorted(BACKENDS)}"
+        ) from None
+    return cls(workers=workers, chunk_size=chunk_size)
+
+
+# ---------------------------------------------------------------------------
+# Sharding
+# ---------------------------------------------------------------------------
+
+
+def parse_shard(text: str) -> tuple[int, int]:
+    """Parse ``"i/N"`` into a validated ``(index, count)`` pair (1-based)."""
+    try:
+        index_s, count_s = text.split("/", 1)
+        index, count = int(index_s), int(count_s)
+    except ValueError:
+        raise ValueError(f"shard must look like 'i/N', got {text!r}") from None
+    if count < 1 or not 1 <= index <= count:
+        raise ValueError(f"shard index out of range: {index}/{count}")
+    return index, count
+
+
+def shard_cells(
+    cells: Sequence[SweepCell], index: int, count: int
+) -> list[SweepCell]:
+    """Deterministic shard ``index`` of ``count`` (1-based, round-robin).
+
+    The ``count`` shards are disjoint and cover the input; round-robin
+    (``cells[index-1::count]``) balances grids whose cost grows along an
+    axis (e.g. p, circuit size) far better than contiguous splitting.
+    """
+    if count < 1 or not 1 <= index <= count:
+        raise ValueError(f"shard index out of range: {index}/{count}")
+    return list(cells[index - 1::count])
+
+
+# ---------------------------------------------------------------------------
+# The front door
+# ---------------------------------------------------------------------------
+
+
 def run_sweep(
     cells: Sequence[SweepCell],
     workers: int | None = None,
     processes: bool = False,
     progress: ProgressFn | None = None,
+    backend: str | SweepBackend | None = None,
+    chunk_size: int | None = None,
+    cache: CellCache | None = None,
 ) -> list[RunRecord]:
     """Run every cell; return records in the input order.
 
-    ``processes=True`` fans out over a :class:`ProcessPoolExecutor` with
-    ``workers`` processes (default: executor's choice).  Results are
-    returned in submission order either way, and every field except the
-    host-dependent ``wall_seconds`` is identical across execution modes
-    (compare via :meth:`RunRecord.canonical`).  ``progress`` fires in
-    completion order under the pool, submission order serially.
-    """
-    total = len(cells)
-    records: list[RunRecord] = []
-    if not processes:
-        for i, cell in enumerate(cells):
-            record = run_cell(cell)
-            records.append(record)
-            if progress:
-                progress(i + 1, total, record)
-        return records
+    ``backend`` selects the execution engine by name or instance; when
+    unset, ``processes=True`` (or a ``workers`` count) picks the process
+    pool and plain calls stay serial — the pre-backend API unchanged.
+    Every field except the host-dependent ``wall_seconds`` is identical
+    across backends (compare via :meth:`RunRecord.canonical`).
 
-    with ProcessPoolExecutor(max_workers=workers) as pool:
-        futures = {pool.submit(run_cell, cell): i for i, cell in enumerate(cells)}
-        slots: list[RunRecord | None] = [None] * total
-        done = 0
-        # Report completions as they happen (a slow head cell must not
-        # make the whole sweep look hung) while keeping result order.
-        for future in as_completed(futures):
-            i = futures[future]
-            try:
-                record = future.result()
-            except Exception as exc:  # noqa: BLE001 - e.g. broken pool
-                record = _failure_record(
-                    cells[i], f"{type(exc).__name__}: {exc}", 0.0
-                )
-            slots[i] = record
+    ``cache`` short-circuits cells whose results it already holds (their
+    records count toward ``progress`` immediately) and files every fresh
+    successful record, which is all ``repro sweep --resume`` is.
+    ``progress`` fires once per cell; completion order is the backend's.
+    """
+    if backend is None:
+        backend = "process" if (processes or workers is not None) else "serial"
+    if isinstance(backend, str):
+        backend = make_backend(backend, workers=workers, chunk_size=chunk_size)
+
+    if cache is None:
+        return backend.run(cells, progress)
+
+    total = len(cells)
+    slots: list[RunRecord | None] = [None] * total
+    pending: list[SweepCell] = []
+    pending_idx: list[int] = []
+    done = 0
+    for i, cell in enumerate(cells):
+        hit = cache.get(cell)
+        if hit is not None:
+            slots[i] = hit
             done += 1
             if progress:
+                progress(done, total, hit)
+        else:
+            pending.append(cell)
+            pending_idx.append(i)
+
+    if pending:
+        # Cache cells as they complete, not after the whole run: an
+        # interrupted sweep must leave everything it finished on disk for
+        # --resume.  Completion hands us records, not cells, so pair them
+        # by cell_id — unless ids collide (possible for hand-built lists;
+        # never for registry output), in which case defer to the
+        # positional pairing after the run.
+        by_id: dict[str, SweepCell] = {}
+        ids_unique = True
+        for cell in pending:
+            if cell.cell_id in by_id:
+                ids_unique = False
+            by_id[cell.cell_id] = cell
+
+        def _shifted(_done: int, _total: int, record: RunRecord) -> None:
+            nonlocal done
+            done += 1
+            if ids_unique:
+                cell = by_id.get(record.cell_id)
+                if cell is not None:
+                    cache.put(cell, record)
+            if progress:
                 progress(done, total, record)
-    records = [r for r in slots if r is not None]
-    return records
+
+        fresh = backend.run(pending, _shifted)
+        for i, cell, record in zip(pending_idx, pending, fresh):
+            if not ids_unique:
+                cache.put(cell, record)
+            slots[i] = record
+    return [r for r in slots if r is not None]

@@ -62,8 +62,8 @@ def parse_bench_text(text: str, name: str = "bench") -> Netlist:
         definitions, or structural problems caught by ``freeze()``.
     """
     netlist = Netlist(name)
-    outputs: list[str] = []
-    gates: list[tuple[str, GateKind, list[str]]] = []
+    outputs: list[tuple[str, int]] = []  # (signal, declaring line)
+    gates: list[tuple[str, GateKind, list[str], int]] = []
     defined: set[str] = set()
 
     for lineno, raw in enumerate(text.splitlines(), start=1):
@@ -79,7 +79,7 @@ def parse_bench_text(text: str, name: str = "bench") -> Netlist:
                 netlist.add_cell(sig, GateKind.INPUT)
                 defined.add(sig)
             else:
-                outputs.append(sig)
+                outputs.append((sig, lineno))
             continue
         m = _ASSIGN_RE.match(line)
         if m:
@@ -96,7 +96,7 @@ def parse_bench_text(text: str, name: str = "bench") -> Netlist:
                 raise NetlistError(
                     f"line {lineno}: {kind.value} takes exactly 1 input, got {len(args)}"
                 )
-            gates.append((sig, kind, args))
+            gates.append((sig, kind, args, lineno))
             netlist.add_cell(sig, kind)
             defined.add(sig)
             continue
@@ -104,26 +104,42 @@ def parse_bench_text(text: str, name: str = "bench") -> Netlist:
 
     # Output pads: one cell per OUTPUT declaration.
     po_names: dict[str, str] = {}
-    for sig in outputs:
+    for sig, lineno in outputs:
         pad_name = f"{sig}__po"
         if pad_name in defined:
-            raise NetlistError(f"duplicate output pad for signal {sig!r}")
+            raise NetlistError(
+                f"line {lineno}: duplicate output pad for signal {sig!r}"
+            )
         netlist.add_cell(pad_name, GateKind.OUTPUT)
         defined.add(pad_name)
         po_names[pad_name] = sig
 
-    # Build signal -> sink cells map.
+    # Build signal -> sink cells map, remembering where each signal was
+    # first consumed so a dangling (never-driven) sink names its line.
+    # "First" is by line number, whichever of a gate input or an OUTPUT
+    # declaration came earlier in the file.
     sinks: dict[str, list[str]] = {}
-    for sig, _kind, args in gates:
+    first_use: dict[str, int] = {}
+
+    def note_use(sig: str, lineno: int) -> None:
+        first_use[sig] = min(first_use.get(sig, lineno), lineno)
+
+    for sig, _kind, args, lineno in gates:
         for a in args:
             sinks.setdefault(a, []).append(sig)
+            note_use(a, lineno)
     for pad_name, sig in po_names.items():
         sinks.setdefault(sig, []).append(pad_name)
+    for sig, lineno in outputs:
+        note_use(sig, lineno)
 
     # One net per signal with at least one consumer.
     for sig, consumers in sinks.items():
         if sig not in defined:
-            raise NetlistError(f"signal {sig!r} is used but never defined")
+            raise NetlistError(
+                f"line {first_use[sig]}: signal {sig!r} is used but "
+                "never defined (dangling sink)"
+            )
         netlist.add_net(sig, sig, consumers)
 
     return netlist.freeze()

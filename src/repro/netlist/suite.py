@@ -25,7 +25,15 @@ from repro.netlist.core import Netlist
 from repro.netlist.generator import CircuitSpec, generate_circuit
 from repro.utils.rng import RngStream
 
-__all__ = ["PAPER_CIRCUITS", "paper_circuit", "list_paper_circuits"]
+__all__ = [
+    "PAPER_CIRCUITS",
+    "SCALING_CIRCUITS",
+    "paper_circuit",
+    "list_paper_circuits",
+    "list_scaling_circuits",
+    "list_all_circuits",
+    "circuit_cell_count",
+]
 
 #: name -> (spec, seed).  Cell counts are the paper's Table 1 "Cells"
 #: column; I/O and flip-flop statistics follow the published ISCAS-89
@@ -61,19 +69,70 @@ PAPER_CIRCUITS: dict[str, tuple[CircuitSpec, int]] = {
 }
 
 
+#: The scaling-ladder stand-ins: synthetic profiles of doubling movable-cell
+#: count (well below and above the paper's 540–1561 range) used by the
+#: ``scaling`` scenario to chart model-time and quality against circuit
+#: size.  Interface statistics grow with the Rent-like sqrt of the gate
+#: count; seeds are fixed so every rung is bit-reproducible.
+SCALING_CIRCUITS: dict[str, tuple[CircuitSpec, int]] = {
+    "synth250": (
+        CircuitSpec("synth250", n_gates=250, n_inputs=10, n_outputs=10,
+                    frac_dff=0.05, depth=12),
+        40250,
+    ),
+    "synth500": (
+        CircuitSpec("synth500", n_gates=500, n_inputs=14, n_outputs=14,
+                    frac_dff=0.05, depth=14),
+        40500,
+    ),
+    "synth1000": (
+        CircuitSpec("synth1000", n_gates=1000, n_inputs=20, n_outputs=20,
+                    frac_dff=0.06, depth=16),
+        41000,
+    ),
+    "synth2000": (
+        CircuitSpec("synth2000", n_gates=2000, n_inputs=28, n_outputs=28,
+                    frac_dff=0.07, depth=18),
+        42000,
+    ),
+}
+
+
 def list_paper_circuits() -> list[str]:
     """Names of the available paper stand-ins, in the paper's table order."""
     return list(PAPER_CIRCUITS)
 
 
+def list_scaling_circuits() -> list[str]:
+    """Names of the scaling-ladder stand-ins, smallest first."""
+    return list(SCALING_CIRCUITS)
+
+
+def list_all_circuits() -> list[str]:
+    """Every runnable circuit name: paper suite first, then the ladder."""
+    return list(PAPER_CIRCUITS) + [
+        n for n in SCALING_CIRCUITS if n not in PAPER_CIRCUITS
+    ]
+
+
+def circuit_cell_count(name: str) -> int:
+    """Movable-cell count of a registered circuit, without building it."""
+    for registry in (PAPER_CIRCUITS, SCALING_CIRCUITS):
+        if name in registry:
+            return registry[name][0].n_gates
+    raise KeyError(
+        f"unknown circuit {name!r}; available: {list_all_circuits()}"
+    )
+
+
 @lru_cache(maxsize=None)
 def _paper_circuit_cached(name: str) -> Netlist:
-    try:
-        spec, seed = PAPER_CIRCUITS[name]
-    except KeyError:
+    entry = PAPER_CIRCUITS.get(name) or SCALING_CIRCUITS.get(name)
+    if entry is None:
         raise KeyError(
-            f"unknown paper circuit {name!r}; available: {list_paper_circuits()}"
-        ) from None
+            f"unknown circuit {name!r}; available: {list_all_circuits()}"
+        )
+    spec, seed = entry
     return generate_circuit(spec, RngStream(seed, name=f"suite:{name}"))
 
 

@@ -28,6 +28,7 @@ from typing import Any
 import numpy as np
 
 from repro.cost.engine import CostEngine
+from repro.cost.fuzzy import FuzzyAggregator, GoalVector
 from repro.cost.workmeter import WorkMeter, WorkModel
 from repro.layout.grid import RowGrid
 from repro.layout.initial import random_placement
@@ -92,11 +93,18 @@ class ExperimentSpec:
     sort_descending: bool = False
     num_rows: int | None = None
     critical_paths: int = 64
+    #: OWA and-ness β of the fuzzy aggregation (see :mod:`repro.cost.fuzzy`);
+    #: the default matches the engine's historical ``FuzzyAggregator()``.
+    beta: float = 0.7
+    #: Goal multiples ``g_j`` per objective, ``(wirelength, power, delay)``
+    #: order; the default matches the engine's historical ``GoalVector()``.
+    goals: tuple[float, float, float] = (3.0, 3.0, 3.0)
 
     def to_dict(self) -> dict[str, Any]:
         """JSON-ready form (tuples become lists) for artifacts and dispatch."""
         d = asdict(self)
         d["objectives"] = list(self.objectives)
+        d["goals"] = list(self.goals)
         return d
 
     @classmethod
@@ -106,6 +114,8 @@ class ExperimentSpec:
         kwargs = {k: v for k, v in d.items() if k in known}
         if "objectives" in kwargs:
             kwargs["objectives"] = tuple(kwargs["objectives"])
+        if "goals" in kwargs:
+            kwargs["goals"] = tuple(kwargs["goals"])
         return cls(**kwargs)
 
 
@@ -271,6 +281,8 @@ def build_problem(spec: ExperimentSpec, meter: WorkMeter | None = None) -> Probl
         objectives=spec.objectives,
         meter=meter,
         critical_paths=spec.critical_paths,
+        aggregator=FuzzyAggregator(beta=spec.beta),
+        goals=GoalVector(*spec.goals),
     )
     return Problem(
         netlist=netlist,

@@ -1,5 +1,6 @@
-"""Shared utilities: seeded RNG streams, timing, logging, validation."""
+"""Shared utilities: seeded RNG streams, timing, hashing, validation."""
 
+from repro.utils.hashing import canonical_json, stable_hash
 from repro.utils.rng import RngStream, spawn_streams
 from repro.utils.timing import Stopwatch
 from repro.utils.validation import check_positive, check_probability, check_in_range
@@ -8,6 +9,8 @@ __all__ = [
     "RngStream",
     "spawn_streams",
     "Stopwatch",
+    "canonical_json",
+    "stable_hash",
     "check_positive",
     "check_probability",
     "check_in_range",

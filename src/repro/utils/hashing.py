@@ -1,0 +1,61 @@
+"""Stable content hashing for cache keys and artifact identity.
+
+The sweep engine's resume cache (:mod:`repro.experiments.artifacts`) is
+content-addressed: a cell's result is filed under a hash of everything
+that determines it — the spec, the strategy, the runner parameters and a
+version key.  That only works if the hash is **stable**: independent of
+dict insertion order, of tuple-vs-list container choice, and of the
+Python process (``hash()`` is salted per process and useless here).
+
+:func:`canonical_json` therefore serializes to JSON with sorted keys and
+no whitespace, coercing tuples to lists and numpy scalars to their Python
+equivalents; :func:`stable_hash` is its SHA-256.  Anything that cannot be
+canonically serialized raises ``TypeError`` — a cache key silently built
+from a lossy representation would alias distinct experiments.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from typing import Any
+
+import numpy as np
+
+__all__ = ["canonical_json", "stable_hash"]
+
+
+def _coerce(value: Any) -> Any:
+    if isinstance(value, np.integer):
+        return int(value)
+    if isinstance(value, np.floating):
+        return float(value)
+    if isinstance(value, np.ndarray):
+        return value.tolist()
+    if isinstance(value, (set, frozenset)):
+        return sorted(value)
+    raise TypeError(f"not canonically serializable: {type(value).__name__}")
+
+
+def canonical_json(obj: Any) -> str:
+    """Deterministic JSON text for ``obj`` (sorted keys, no whitespace).
+
+    Tuples serialize as arrays (indistinguishable from lists — fine, since
+    everything hashed here round-trips through JSON artifacts anyway);
+    numpy scalars/arrays coerce to their Python forms; sets are sorted.
+    Raises ``TypeError`` for anything else non-JSON.
+    """
+    return json.dumps(
+        obj, sort_keys=True, separators=(",", ":"), ensure_ascii=True,
+        default=_coerce,
+    )
+
+
+def stable_hash(obj: Any, length: int = 16) -> str:
+    """Hex SHA-256 prefix of :func:`canonical_json`, ``length`` chars.
+
+    The default 16 hex chars (64 bits) keeps filenames short while making
+    accidental collisions implausible at any realistic sweep size.
+    """
+    digest = hashlib.sha256(canonical_json(obj).encode("ascii")).hexdigest()
+    return digest[: max(8, length)]

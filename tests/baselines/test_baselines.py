@@ -1,8 +1,11 @@
 """ESP and SA baselines."""
 
+from dataclasses import fields
+
 import pytest
 
-from repro.baselines.esp import run_esp
+from repro.baselines import esp as esp_module
+from repro.baselines.esp import derive_esp_spec, run_esp
 from repro.baselines.sa import SAConfig, run_sa
 from repro.netlist.generator import CircuitSpec
 from repro.netlist.suite import PAPER_CIRCUITS, paper_circuit
@@ -41,6 +44,52 @@ def test_esp_improves_wirelength():
 def test_esp_bias_recorded():
     out = run_esp(SPEC, bias=0.25)
     assert out.extras["bias"] == 0.25
+
+
+def test_esp_spec_roundtrips_non_default_fields():
+    # Regression: run_esp used to rebuild the spec field by field and
+    # silently reset adaptive_bias / sort_descending / num_rows /
+    # critical_paths (and any future field) to their defaults.  Only the
+    # two intended overrides may differ.
+    spec = ExperimentSpec(
+        circuit="_base100",
+        objectives=("wirelength", "power", "delay"),
+        iterations=7,
+        seed=11,
+        bias=0.0,
+        adaptive_bias=True,
+        row_window=3,
+        slot_window=4,
+        sort_descending=True,
+        num_rows=6,
+        critical_paths=16,
+        beta=0.4,
+        goals=(2.0, 2.5, 4.0),
+    )
+    derived = derive_esp_spec(spec, bias=0.2)
+    overridden = {"objectives": ("wirelength",), "bias": 0.2}
+    for f in fields(ExperimentSpec):
+        expected = overridden.get(f.name, getattr(spec, f.name))
+        assert getattr(derived, f.name) == expected, f.name
+
+
+def test_run_esp_builds_problem_from_derived_spec(monkeypatch):
+    # The spec handed to build_problem must be the round-tripped one —
+    # non-default layout knobs (num_rows) reach the problem builder.
+    spec = ExperimentSpec(circuit="_base100", iterations=5, seed=4, num_rows=6)
+    seen = {}
+    real_build = esp_module.build_problem
+
+    def capture(s, meter=None):
+        seen["spec"] = s
+        return real_build(s, meter)
+
+    monkeypatch.setattr(esp_module, "build_problem", capture)
+    run_esp(spec, bias=0.15)
+    assert seen["spec"].num_rows == 6
+    assert seen["spec"].objectives == ("wirelength",)
+    assert seen["spec"].bias == 0.15
+    assert seen["spec"].seed == 4
 
 
 def test_sa_runs_and_reports():

@@ -126,3 +126,182 @@ def test_sweep_without_target_errors(capsys):
 def test_run_rejects_unknown_circuit():
     with pytest.raises(SystemExit):
         main(["run", "--circuit", "bogus"])
+
+
+def test_run_failed_cell_exits_nonzero(capsys):
+    # type3 requires p >= 3; the cell fails and the exit code must say so.
+    code = main([
+        "run", "--circuit", "s1196", "--strategy", "type3", "--p", "2",
+        "--iterations", "4",
+    ])
+    assert code == 1
+    assert "FAILED" in capsys.readouterr().err
+
+
+def test_sweep_failed_cells_exit_nonzero(tmp_path, capsys, monkeypatch):
+    import repro.experiments.sweeps as sweeps_mod
+
+    def boom(spec, **params):
+        raise RuntimeError("type1 exploded")
+
+    monkeypatch.setattr(sweeps_mod, "run_type1", boom)
+    code = main(["sweep", "--smoke", "--out", str(tmp_path), "--no-cache"])
+    assert code == 1
+    err = capsys.readouterr().err
+    assert "cell(s) FAILED" in err
+    # The artifact still records the failure (isolation, not abortion).
+    payload = json.loads((tmp_path / "smoke.json").read_text())
+    bad = [r for r in payload["records"] if not r["ok"]]
+    assert len(bad) == 1 and "type1 exploded" in bad[0]["error"]
+
+
+def test_sweep_custom_grid_surfaces_dropped_cells(tmp_path, capsys):
+    code = main([
+        "sweep", "--circuits", "s1196", "--strategies", "serial,type3",
+        "--p-values", "2,4", "--smoke", "--out", str(tmp_path), "--no-cache",
+    ])
+    assert code == 0
+    assert "dropped type3[p=2]" in capsys.readouterr().err
+
+
+def test_sweep_shard_resume_merges_to_fresh_run(tmp_path, capsys):
+    fresh, sharded = tmp_path / "fresh", tmp_path / "sharded"
+    assert main(["sweep", "--smoke", "--out", str(fresh), "--no-cache"]) == 0
+    for i in (1, 2):
+        assert main([
+            "sweep", "--smoke", "--out", str(sharded), "--shard", f"{i}/2",
+        ]) == 0
+        assert (sharded / f"smoke-shard{i}of2.json").exists()
+    # Merge: resume replays both shards' cells from the cache.
+    assert main(["sweep", "--smoke", "--out", str(sharded), "--resume"]) == 0
+    capsys.readouterr()
+    code = main(["diff", str(sharded / "smoke.json"), str(fresh / "smoke.json")])
+    assert code == 0
+    assert "identical" in capsys.readouterr().out
+
+
+def test_sweep_resume_from_explicit_dir(tmp_path, capsys):
+    first = tmp_path / "first"
+    assert main(["sweep", "--smoke", "--out", str(first)]) == 0
+    out = tmp_path / "second"
+    assert main([
+        "sweep", "--smoke", "--out", str(out), "--resume", str(first),
+    ]) == 0
+    capsys.readouterr()
+    assert main(["diff", str(first / "smoke.json"),
+                 str(out / "smoke.json")]) == 0
+
+
+def test_sweep_resume_explicit_dir_caches_fresh_cells_under_out(tmp_path):
+    # Seed a *partial* source dir (one shard), then resume into a new
+    # --out: the freshly-run cells must land in out/cells (so a later
+    # bare --resume on out works) and the source dir must not grow.
+    src, out = tmp_path / "src", tmp_path / "out"
+    assert main(["sweep", "--smoke", "--out", str(src), "--shard", "1/2"]) == 0
+    src_cells_before = sorted(p.name for p in (src / "cells").glob("*.json"))
+    assert main([
+        "sweep", "--smoke", "--out", str(out), "--resume", str(src),
+    ]) == 0
+    src_cells_after = sorted(p.name for p in (src / "cells").glob("*.json"))
+    assert src_cells_after == src_cells_before  # source never mutated
+    # out/cells is self-contained: promoted shard hits + fresh cells.
+    out_cells = {p.name for p in (out / "cells").glob("*.json")}
+    assert set(src_cells_before) < out_cells
+    # The advertised follow-up: bare --resume on out replays everything.
+    assert main(["sweep", "--smoke", "--out", str(out), "--resume"]) == 0
+
+
+def test_sweep_bad_shard_errors(capsys):
+    assert main(["sweep", "--smoke", "--shard", "3/2"]) == 2
+    assert "shard" in capsys.readouterr().err
+
+
+def test_sweep_resume_with_no_cache_is_a_usage_error(capsys):
+    assert main(["sweep", "--smoke", "--resume", "--no-cache"]) == 2
+    assert "contradictory" in capsys.readouterr().err
+
+
+def test_diff_reports_differences(tmp_path, capsys):
+    a = {"meta": {}, "records": [{
+        "scenario": "t", "cell_id": "x", "strategy": "serial", "spec": {},
+        "params": {}, "ok": True, "error": None,
+        "outcome": {"best_mu": 0.5}, "wall_seconds": 1.0,
+    }]}
+    import copy
+
+    b = copy.deepcopy(a)
+    b["records"][0]["outcome"]["best_mu"] = 0.6
+    (tmp_path / "a.json").write_text(json.dumps(a))
+    (tmp_path / "b.json").write_text(json.dumps(b))
+    code = main(["diff", str(tmp_path / "a.json"), str(tmp_path / "b.json")])
+    assert code == 1
+    assert "differs: x" in capsys.readouterr().out
+    # wall_seconds alone never counts as a difference.
+    c = copy.deepcopy(a)
+    c["records"][0]["wall_seconds"] = 99.0
+    (tmp_path / "c.json").write_text(json.dumps(c))
+    assert main(["diff", str(tmp_path / "a.json"), str(tmp_path / "c.json")]) == 0
+
+
+def test_diff_rejects_recordless_json(tmp_path, capsys):
+    # A JSON without records is a wrong file, not an empty comparison —
+    # "identical: 0 cells" must never green-light a merge gate.
+    (tmp_path / "bench.json").write_text(json.dumps({"cells": [1, 2]}))
+    (tmp_path / "bench2.json").write_text(json.dumps({"cells": [1, 2]}))
+    code = main(["diff", str(tmp_path / "bench.json"),
+                 str(tmp_path / "bench2.json")])
+    assert code == 2
+    assert "no run records" in capsys.readouterr().err
+    # Malformed records error cleanly (exit 2), never traceback.
+    (tmp_path / "bad.json").write_text(json.dumps({"records": [{"spec": {}}]}))
+    assert main(["diff", str(tmp_path / "bad.json"),
+                 str(tmp_path / "bad.json")]) == 2
+
+
+def test_tables_renders_new_scenarios_smoke(tmp_path, capsys):
+    # The acceptance bar: the new families render via `repro tables`.
+    code = main([
+        "tables", "--scenario", "knobs", "--smoke", "--out", str(tmp_path),
+    ])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "Knob grid" in out and "adaptive" in out
+
+    code = main([
+        "tables", "--scenario", "shootout", "--smoke", "--out", str(tmp_path),
+    ])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "Shootout" in out and "type2/random" in out
+
+
+def test_tables_scenario_scaling_and_retry_render(tmp_path, capsys):
+    code = main([
+        "tables", "--scenario", "scaling", "--smoke", "--out", str(tmp_path),
+    ])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "Scaling ladder" in out and "synth250" in out and "250" in out
+
+    code = main([
+        "tables", "--scenario", "retry", "--smoke", "--out", str(tmp_path),
+    ])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "Retry study" in out and "type3x" in out
+
+
+def test_tables_requires_exactly_one_target(capsys):
+    assert main(["tables"]) == 2
+    assert main(["tables", "--table", "1", "--scenario", "smoke"]) == 2
+    assert main(["tables", "--scenario", "nope"]) == 2
+
+
+def test_list_shows_new_scenarios_and_ladder(capsys):
+    assert main(["list"]) == 0
+    out = capsys.readouterr().out
+    for name in ("scaling", "knobs", "retry", "shootout"):
+        assert name in out
+    assert main(["list", "--circuits"]) == 0
+    out = capsys.readouterr().out
+    assert "synth2000" in out and "s1196" in out

@@ -15,7 +15,7 @@ from repro.experiments.registry import (
     resolve,
     scaled_iterations,
 )
-from repro.netlist.suite import list_paper_circuits
+from repro.netlist.suite import list_all_circuits, list_paper_circuits
 from repro.parallel.runners import ExperimentSpec
 
 _MIN_P = {"serial": 1, "profile": 1, "type1": 2, "type2": 2, "type3": 3, "type3x": 3}
@@ -25,7 +25,7 @@ _MIN_P = {"serial": 1, "profile": 1, "type1": 2, "type2": 2, "type3": 3, "type3x
 def test_every_scenario_resolves_to_valid_cells(name):
     cells = resolve(name, scale=100)
     assert cells, name
-    known_circuits = set(list_paper_circuits())
+    known_circuits = set(list_all_circuits())
     ids = [c.cell_id for c in cells]
     assert len(ids) == len(set(ids)), "cell ids must be unique"
     for cell in cells:
@@ -116,11 +116,20 @@ def test_custom_sweep_grid():
         custom_sweep(circuits=["s1196"], strategies=["type3"], p_values=[2])
 
 
-def test_custom_sweep_warns_on_dropped_p_values():
-    with pytest.warns(UserWarning, match="type3: dropping p="):
-        custom_sweep(
-            circuits=["s1196"], strategies=["type3"], p_values=[2, 4]
-        )
+def test_custom_sweep_records_dropped_p_values_structurally():
+    # No warning leaks (filterwarnings=error would fail this test if one
+    # did); the drop is recorded on the scenario with its reason.
+    scenario = custom_sweep(
+        circuits=["s1196"], strategies=["type3"], p_values=[2, 4]
+    )
+    assert scenario.dropped_cells == (("type3[p=2]", "type3 needs p >= 3"),)
+    # Dropped points are really excluded from resolution.
+    assert {c.params_dict()["p"] for c in resolve(scenario)} == {4}
+
+
+def test_custom_sweep_clean_grid_drops_nothing():
+    scenario = custom_sweep(circuits=["s1196"], strategies=["serial", "type2"])
+    assert scenario.dropped_cells == ()
 
 
 def test_derive_seeds_deterministic_and_distinct():
@@ -150,6 +159,58 @@ def test_spec_serialization_roundtrip():
     # Unknown keys (forward compatibility) are ignored.
     d["future_field"] = True
     assert ExperimentSpec.from_dict(d) == spec
+
+
+def test_scaling_scenario_walks_the_ladder():
+    cells = resolve("scaling", scale=100)
+    circuits = [c.spec.circuit for c in cells if c.strategy == "serial"]
+    assert circuits == ["synth250", "synth500", "synth1000", "synth2000"]
+    assert {c.strategy for c in cells} == {"serial", "type2"}
+    # Smoke keeps only the cheapest rung.
+    assert {c.spec.circuit for c in resolve("scaling", smoke=True)} == {"synth250"}
+
+
+def test_knobs_scenario_folds_knobs_into_specs():
+    cells = resolve("knobs", scale=100)
+    betas = {c.spec.beta for c in cells}
+    assert betas == {0.3, 0.7, 1.0}
+    biases = {c.spec.bias for c in cells if not c.spec.adaptive_bias}
+    assert biases == {-0.1, 0.0, 0.1}
+    assert any(c.spec.adaptive_bias for c in cells)
+    # Knob overrides are spec fields, not runner params.
+    assert all("beta" not in c.params_dict() for c in cells)
+
+
+def test_retry_scenario_pairs_type3_with_type3x():
+    cells = resolve("retry", scale=1)
+    by_strategy: dict[str, set] = {}
+    for c in cells:
+        if c.strategy in ("type3", "type3x"):
+            by_strategy.setdefault(c.strategy, set()).add(
+                c.params_dict()["retry_threshold"]
+            )
+    assert by_strategy["type3"] == by_strategy["type3x"]
+    assert len(by_strategy["type3"]) == 5  # densified Table-4 axis
+
+
+def test_shootout_scenario_covers_every_parallel_strategy():
+    cells = resolve("shootout", scale=100)
+    assert {c.strategy for c in cells} == {
+        "serial", "type1", "type2", "type3", "type3x",
+    }
+    ps = {c.params_dict().get("p") for c in cells if c.strategy != "serial"}
+    assert ps == {4}
+
+
+def test_spec_carries_fuzzy_knobs_roundtrip():
+    spec = ExperimentSpec(
+        circuit="s1196", beta=0.4, goals=(2.0, 2.5, 4.0), bias=0.05
+    )
+    d = spec.to_dict()
+    assert d["beta"] == 0.4 and d["goals"] == [2.0, 2.5, 4.0]
+    back = ExperimentSpec.from_dict(d)
+    assert back == spec
+    assert isinstance(back.goals, tuple)
 
 
 def test_listing_order_matches_paper():

@@ -78,8 +78,54 @@ def test_undefined_signal_rejected():
 
 
 def test_duplicate_signal_rejected():
-    with pytest.raises(NetlistError, match="duplicate signal"):
+    with pytest.raises(NetlistError, match=r"line 2: duplicate signal"):
         parse_bench_text("INPUT(a)\nINPUT(a)\n")
+
+
+def test_duplicate_gate_definition_rejected():
+    with pytest.raises(NetlistError, match=r"line 4: duplicate signal 'x'"):
+        parse_bench_text("INPUT(a)\nINPUT(b)\nx = NOT(a)\nx = NOT(b)\n")
+
+
+def test_signal_both_input_and_gate_driven_rejected():
+    # INPUT first, gate second ...
+    with pytest.raises(NetlistError, match=r"line 2: duplicate signal 'a'"):
+        parse_bench_text("INPUT(a)\na = NOT(a)\n")
+    # ... and gate first, INPUT second.
+    with pytest.raises(NetlistError, match=r"line 3: duplicate signal 'x'"):
+        parse_bench_text("INPUT(a)\nx = NOT(a)\nINPUT(x)\n")
+
+
+def test_dangling_sink_names_first_use_line():
+    # `ghost` is consumed by the gate on line 3 but never driven.
+    with pytest.raises(
+        NetlistError, match=r"line 3: signal 'ghost' .* never defined"
+    ):
+        parse_bench_text("INPUT(a)\nOUTPUT(x)\nx = AND(a, ghost)\n")
+
+
+def test_dangling_sink_prefers_earliest_use_line():
+    # OUTPUT(ghost) on line 2 consumes ghost before the gate on line 3
+    # does; the error must point at the earliest use.
+    with pytest.raises(
+        NetlistError, match=r"line 2: signal 'ghost' .* never defined"
+    ):
+        parse_bench_text("INPUT(a)\nOUTPUT(ghost)\nx = AND(a, ghost)\nOUTPUT(x)\n")
+
+
+def test_dangling_output_sink_names_declaring_line():
+    # OUTPUT(ghost) on line 2 sinks a signal nothing ever drives.
+    with pytest.raises(
+        NetlistError, match=r"line 2: signal 'ghost' .* never defined"
+    ):
+        parse_bench_text("INPUT(a)\nOUTPUT(ghost)\nx = NOT(a)\nOUTPUT(x)\n")
+
+
+def test_duplicate_output_declaration_names_line():
+    with pytest.raises(
+        NetlistError, match=r"line 4: duplicate output pad for signal 'x'"
+    ):
+        parse_bench_text("INPUT(a)\nOUTPUT(x)\nx = NOT(a)\nOUTPUT(x)\n")
 
 
 def test_dff_arity_enforced():
@@ -104,6 +150,28 @@ def test_generated_circuit_round_trips():
     nl2 = parse_bench_text(text)
     assert nl2.num_movable == nl1.num_movable
     assert nl2.num_nets == nl1.num_nets
+
+
+def test_round_trip_shared_gate_and_output_sink():
+    # x drives both a gate and an output pad — one net, two sinks — and
+    # the unused input `b` survives the writer (INPUT line, no net).
+    text = "INPUT(a)\nINPUT(b)\nOUTPUT(x)\nx = NOT(a)\ny = BUFF(x)\nOUTPUT(y)\n"
+    nl1 = parse_bench_text(text, "rt-edge")
+    assert len(nl1.net("x").sinks) == 2
+    rt = parse_bench_text(write_bench_text(nl1), "rt-edge")
+    assert rt.num_cells == nl1.num_cells
+    assert rt.num_nets == nl1.num_nets
+    assert len(rt.net("x").sinks) == 2
+    assert rt.cell("b").kind is GateKind.INPUT
+
+
+def test_round_trip_text_is_reparseable_fixed_point():
+    # write(parse(write(parse(text)))) stabilizes: the second emission is
+    # byte-identical to the first.
+    nl1 = parse_bench_text(SAMPLE, "fp")
+    once = write_bench_text(nl1)
+    twice = write_bench_text(parse_bench_text(once, "fp"))
+    assert once == twice
 
 
 def test_parse_bench_from_file(tmp_path):

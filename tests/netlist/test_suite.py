@@ -3,7 +3,15 @@
 import pytest
 
 from repro.netlist.stats import netlist_stats
-from repro.netlist.suite import PAPER_CIRCUITS, list_paper_circuits, paper_circuit
+from repro.netlist.suite import (
+    PAPER_CIRCUITS,
+    SCALING_CIRCUITS,
+    circuit_cell_count,
+    list_all_circuits,
+    list_paper_circuits,
+    list_scaling_circuits,
+    paper_circuit,
+)
 
 #: Cell counts from the paper's Table 1.
 PAPER_CELLS = {"s1196": 561, "s1488": 667, "s1494": 661, "s1238": 540, "s3330": 1561}
@@ -25,8 +33,29 @@ def test_caching_returns_same_object():
 
 
 def test_unknown_circuit_raises():
-    with pytest.raises(KeyError, match="unknown paper circuit"):
+    with pytest.raises(KeyError, match="unknown circuit"):
         paper_circuit("s9999")
+    with pytest.raises(KeyError, match="unknown circuit"):
+        circuit_cell_count("s9999")
+
+
+def test_scaling_ladder_registered_and_ordered():
+    names = list_scaling_circuits()
+    sizes = [circuit_cell_count(n) for n in names]
+    assert sizes == sorted(sizes)  # ladder ascends
+    # The ladder spans below and beyond the paper suite's 540–1561 range.
+    paper_sizes = [circuit_cell_count(n) for n in list_paper_circuits()]
+    assert sizes[0] < min(paper_sizes)
+    assert sizes[-1] > max(paper_sizes)
+    # Paper listing is untouched; the union resolver sees both.
+    assert list_all_circuits() == list_paper_circuits() + names
+    for name in names:
+        assert SCALING_CIRCUITS[name][0].n_gates == circuit_cell_count(name)
+
+
+def test_scaling_rung_builds_to_spec():
+    nl = paper_circuit("synth250")
+    assert nl.num_movable == 250
 
 
 def test_specs_declare_paper_interfaces():
