@@ -32,6 +32,7 @@ __all__ = [
     "render_knob_records",
     "render_retry_records",
     "render_shootout_records",
+    "render_speedup_records",
     "render_generic_records",
 ]
 
@@ -398,6 +399,76 @@ def render_shootout_records(records: Sequence["RunRecord"], title: str | None = 
     )
 
 
+def _strategy_label(r: "RunRecord") -> str:
+    label = r.strategy
+    if r.params.get("pattern"):
+        label += f"/{r.params['pattern']}"
+    return label
+
+
+def render_speedup_records(records: Sequence["RunRecord"], title: str | None = None) -> str:
+    """Speedup-scenario layout: sim and mp backends side by side.
+
+    One row per (strategy, p); the sim columns are virtual model-seconds
+    against the sim serial baseline, the mp columns host wall-clock
+    against the mp serial baseline — the two clock domains never mix
+    (Tables 2/3 report exactly this wall-clock view for the real
+    cluster).
+    """
+    from repro.analysis.speedup import backend_speedup
+
+    ok = _ok_records(records)
+    groups = _group_order(ok)
+    multi_seed = len({g[1] for g in groups}) > 1
+
+    def cluster_of(r: "RunRecord") -> str:
+        return r.params.get("cluster", "sim")
+
+    def cell_cols(row: dict, r: "RunRecord" | None, domain: str,
+                  base: float | None) -> None:
+        o = (r.outcome or {}) if r is not None else {}
+        t = o.get("runtime") if r is not None else None
+        x = backend_speedup(base, t)
+        row[f"{domain} t"] = format_seconds(t) if t is not None else "-"
+        row[f"{domain} ×"] = f"{x:.2f}" if x is not None else "-"
+        row[f"{domain} µ"] = (
+            f"{o.get('best_mu', 0.0):.3f}" if r is not None else "-"
+        )
+
+    rows = []
+    for g in groups:
+        in_group = [r for r in ok if _group_of(r) == g]
+        serials = {
+            cluster_of(r): r for r in in_group if r.strategy == "serial"
+        }
+        base = {
+            k: (r.outcome or {}).get("runtime") for k, r in serials.items()
+        }
+        row: dict[str, Any] = {**_label(g, multi_seed), "strategy": "serial", "p": 1}
+        for domain in ("sim", "mp"):
+            cell_cols(row, serials.get(domain), domain, base.get(domain))
+        rows.append(row)
+        keyed: dict[tuple[str, int], dict[str, "RunRecord"]] = {}
+        for r in in_group:
+            if r.strategy == "serial":
+                continue
+            key = (_strategy_label(r), r.params.get("p", 0))
+            keyed.setdefault(key, {})[cluster_of(r)] = r
+        for label_p in sorted(keyed):
+            label, p = label_p
+            row = {**_label(g, multi_seed), "strategy": label, "p": p}
+            for domain in ("sim", "mp"):
+                cell_cols(row, keyed[label_p].get(domain), domain,
+                          base.get(domain))
+            rows.append(row)
+    return render_table(
+        rows,
+        title=title
+        or "Speedup — sim (model-seconds, × vs sim serial) | "
+           "mp (wall-seconds, × vs mp serial)",
+    )
+
+
 def render_generic_records(records: Sequence["RunRecord"], title: str | None = None) -> str:
     """Fallback flat layout for custom sweeps (one row per cell)."""
     rows = []
@@ -430,6 +501,7 @@ _RENDERERS = {
     "knobs": (render_knob_records, None),
     "retry": (render_retry_records, None),
     "shootout": (render_shootout_records, None),
+    "speedup": (render_speedup_records, None),
 }
 
 

@@ -5,6 +5,14 @@ cases where the parallel algorithm failed to achieve the highest serial
 quality, the time shown is for the percentage of serial quality indicated
 in brackets".  :func:`quality_bracket` reproduces that convention from a
 run's quality-vs-time history.
+
+The ``speedup`` scenario compares the two execution backends, and a
+speed-up is only meaningful **within** one clock domain: a virtual
+(model-second) parallel time divides a virtual serial baseline, a
+wall-clock mp time divides the mp serial baseline.
+:func:`backend_speedup` is the None-tolerant ratio the report assembly
+uses — a missing or failed baseline yields ``None``, never a mixed-domain
+number.
 """
 
 from __future__ import annotations
@@ -13,7 +21,13 @@ from dataclasses import dataclass
 
 from repro.parallel.runners import ParallelOutcome
 
-__all__ = ["speedup", "efficiency", "quality_bracket", "BracketResult"]
+__all__ = [
+    "speedup",
+    "efficiency",
+    "backend_speedup",
+    "quality_bracket",
+    "BracketResult",
+]
 
 
 def speedup(serial_time: float, parallel_time: float) -> float:
@@ -28,6 +42,21 @@ def efficiency(serial_time: float, parallel_time: float, p: int) -> float:
     if p < 1:
         raise ValueError("p must be >= 1")
     return speedup(serial_time, parallel_time) / p
+
+
+def backend_speedup(
+    serial_time: float | None, parallel_time: float | None
+) -> float | None:
+    """Same-clock-domain speed-up, ``None`` when either side is missing.
+
+    Report assembly helper: one backend of a sim/mp pair may have failed
+    or not run (e.g. a sharded sweep), and a table cell built from half a
+    pair must render as absent rather than raise or divide clocks from
+    different domains.
+    """
+    if serial_time is None or parallel_time is None or parallel_time <= 0:
+        return None
+    return speedup(serial_time, parallel_time)
 
 
 @dataclass(frozen=True)

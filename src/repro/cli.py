@@ -42,10 +42,12 @@ from typing import Any, Sequence
 from repro.analysis.reporting import render_records, render_table
 from repro.experiments.artifacts import ArtifactStore, CellCache, RunRecord, failed
 from repro.experiments.registry import (
+    CLUSTERS,
     base_spec,
     custom_sweep,
     get_scenario,
     list_scenarios,
+    override_cluster,
     resolve,
 )
 from repro.experiments.sweeps import (
@@ -87,7 +89,10 @@ def build_parser() -> argparse.ArgumentParser:
     p_list.set_defaults(func=cmd_list)
 
     p_run = sub.add_parser("run", help="run a single experiment cell")
-    p_run.add_argument("--circuit", required=True, choices=list_all_circuits())
+    p_run.add_argument("--circuit", default=None, choices=list_all_circuits())
+    p_run.add_argument("--scenario", default=None,
+                       help="run every cell of a registered scenario "
+                            "in-process instead of one --circuit cell")
     p_run.add_argument("--strategy", default="serial",
                        choices=["serial", "type1", "type2", "type3", "type3x", "profile"])
     p_run.add_argument("--objectives", type=_csv_list,
@@ -103,6 +108,10 @@ def build_parser() -> argparse.ArgumentParser:
                        help="Type II row-allocation pattern")
     p_run.add_argument("--retry-threshold", type=int, default=None,
                        help="Type III retry threshold (default ~4%% of budget)")
+    p_run.add_argument("--cluster", default="sim", choices=list(CLUSTERS),
+                       help="execution backend: deterministic simulated "
+                            "cluster (model-seconds) or real OS processes "
+                            "(wall-clock)")
     p_run.add_argument("--out", default=None,
                        help="artifact directory (also writes JSON/CSV)")
     p_run.add_argument("--json", action="store_true",
@@ -126,6 +135,10 @@ def build_parser() -> argparse.ArgumentParser:
                          help="divide paper iteration budgets by this")
     p_sweep.add_argument("--smoke", action="store_true",
                          help="tiny budgets/circuits (CI); default scenario: smoke")
+    p_sweep.add_argument("--cluster", default=None, choices=list(CLUSTERS),
+                         help="force every cell onto one cluster backend "
+                              "(sim: deterministic model-seconds; mp: real "
+                              "processes, wall-clock)")
     p_sweep.add_argument("--workers", type=int, default=None,
                          help="process-pool size (implies --backend process)")
     p_sweep.add_argument("--processes", action="store_true",
@@ -159,6 +172,8 @@ def build_parser() -> argparse.ArgumentParser:
                           help="any registered scenario name instead of "
                                "a table number (see `repro list`)")
     p_tables.add_argument("--circuits", type=_csv_list, default=None)
+    p_tables.add_argument("--cluster", default=None, choices=list(CLUSTERS),
+                          help="force every cell onto one cluster backend")
     p_tables.add_argument("--scale", type=int, default=100)
     p_tables.add_argument("--smoke", action="store_true",
                           help="one cheap circuit, minimal iterations")
@@ -247,6 +262,12 @@ def cmd_list(args: argparse.Namespace) -> int:
 def cmd_run(args: argparse.Namespace) -> int:
     from repro.experiments.registry import SweepCell
 
+    if (args.scenario is None) == (args.circuit is None):
+        print("need exactly one of --circuit CKT or --scenario NAME",
+              file=sys.stderr)
+        return 2
+    if args.scenario is not None:
+        return _run_scenario_inline(args)
     spec = base_spec(
         args.circuit,
         objectives=tuple(args.objectives),
@@ -265,6 +286,12 @@ def cmd_run(args: argparse.Namespace) -> int:
             if args.retry_threshold is not None
             else max(1, args.iterations // 25)
         )
+    if args.cluster != "sim":
+        if args.strategy == "profile":
+            print("--cluster mp does not apply to the in-process profile "
+                  "pseudo-strategy", file=sys.stderr)
+            return 2
+        params["cluster"] = args.cluster
     param_tail = ",".join(f"{k}={v}" for k, v in sorted(params.items()))
     cell = SweepCell(
         scenario="cli-run",
@@ -282,8 +309,14 @@ def cmd_run(args: argparse.Namespace) -> int:
         print(json.dumps(record.to_dict(), indent=2, sort_keys=True))
     else:
         out = record.outcome or {}
+        # The mp backend's runtime is wall-clock, not model-seconds.
+        label = (
+            "wall-time"
+            if (out.get("extras") or {}).get("cluster") == "mp"
+            else "model-time"
+        )
         print(f"{record.cell_id}: µ(s)={out.get('best_mu', 0.0):.4f}  "
-              f"model-time={out.get('runtime', 0.0):.2f}s  "
+              f"{label}={out.get('runtime', 0.0):.2f}s  "
               f"iterations={out.get('iterations')}  "
               f"wall={record.wall_seconds:.1f}s")
         for k, v in (out.get("best_costs") or {}).items():
@@ -295,6 +328,41 @@ def cmd_run(args: argparse.Namespace) -> int:
         tag = record.cell_id.replace("/", "-")
         json_path, csv_path = store.save(tag, [record])
         print(f"artifact: {json_path}")
+    return 0
+
+
+def _run_scenario_inline(args: argparse.Namespace) -> int:
+    """``repro run --scenario NAME``: every cell, in-process, in order.
+
+    A convenience front end over the same cells ``repro sweep`` resolves
+    — no pool, no cache, artifacts only with ``--out``.  ``--cluster mp``
+    forces the whole scenario onto the real-process backend.
+    """
+    try:
+        scenario = get_scenario(args.scenario)
+        cells = resolve(scenario, scale=100)
+    except KeyError as exc:
+        print(f"error: {exc.args[0]}", file=sys.stderr)
+        return 2
+    if args.cluster != "sim":
+        cells = override_cluster(cells, args.cluster)
+    print(f"run {scenario.name}: {len(cells)} cells")
+    records = []
+    for i, cell in enumerate(cells):
+        record = run_cell(cell)
+        records.append(record)
+        _progress(i + 1, len(cells), record)
+    if args.out:
+        store = ArtifactStore(args.out)
+        tag = scenario.name if args.cluster == "sim" else f"{scenario.name}-{args.cluster}"
+        json_path, _csv_path = store.save(tag, records)
+        print(f"artifact: {json_path}")
+    print()
+    print(render_records(records, scenario.name))
+    bad = failed(records)
+    if bad:
+        print(f"\n{len(bad)} of {len(records)} cell(s) FAILED", file=sys.stderr)
+        return 1
     return 0
 
 
@@ -396,12 +464,18 @@ def _execute_sweep(
     if not cells:
         print("error: resolved 0 cells (empty circuit/seed set?)", file=sys.stderr)
         return 2
+    forced_cluster = getattr(args, "cluster", None)
+    if forced_cluster:
+        cells = override_cluster(cells, forced_cluster)
 
     # Smoke runs get their own artifact name so they never clobber a
     # full-scale run of the same scenario; shards get a slice suffix.
     tag = getattr(args, "tag", None) or scenario.name
     if args.smoke and not getattr(args, "tag", None) and not tag.endswith("smoke"):
         tag = f"{scenario.name}-smoke"
+    if forced_cluster and not getattr(args, "tag", None):
+        # A forced-backend run must never clobber the default artifact.
+        tag = f"{tag}-{forced_cluster}"
     shard = None
     if getattr(args, "shard", None):
         try:

@@ -82,6 +82,7 @@ CSV_COLUMNS = (
     "p",
     "pattern",
     "retry_threshold",
+    "cluster",
     "ok",
     "runtime",
     "best_mu",
@@ -145,6 +146,7 @@ class RunRecord:
             "p": self.params.get("p", out.get("p", 1)),
             "pattern": self.params.get("pattern", ""),
             "retry_threshold": self.params.get("retry_threshold", ""),
+            "cluster": self.params.get("cluster", "sim"),
             "ok": int(self.ok),
             "runtime": out.get("runtime", ""),
             "best_mu": out.get("best_mu", ""),

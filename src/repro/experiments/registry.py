@@ -34,12 +34,14 @@ via ``numpy.random.SeedSequence``, the same discipline as
 from __future__ import annotations
 
 import itertools
+import re
 from dataclasses import dataclass, fields, replace
 from typing import Any, Iterable, Mapping
 
 import numpy as np
 
 from repro.netlist.suite import list_all_circuits, list_paper_circuits
+from repro.parallel.mpi.backend import CLUSTERS, validate_cluster
 from repro.parallel.runners import ExperimentSpec
 
 __all__ = [
@@ -48,6 +50,7 @@ __all__ = [
     "SweepCell",
     "SCENARIOS",
     "STRATEGIES",
+    "CLUSTERS",
     "PAPER_ITERS_T2_WP",
     "PAPER_ITERS_T3_WPD",
     "PAPER_ITERS_T4",
@@ -55,6 +58,7 @@ __all__ = [
     "get_scenario",
     "resolve",
     "custom_sweep",
+    "override_cluster",
     "base_spec",
     "scaled_iterations",
     "derive_seeds",
@@ -389,6 +393,51 @@ _register(Scenario(
     ),
 ))
 
+#: Processor axis of the ``speedup`` scenario (the paper's cluster had 8
+#: nodes; p = 1 is the serial row).  Type III needs a rank for the
+#: central store, so its axis starts at 4.
+_SPEEDUP_P = (2, 4, 8)
+_SPEEDUP_P_T3 = (4, 8)
+
+_register(Scenario(
+    name="speedup",
+    title="Speedup — sim vs mp backend, all strategies, p ∈ {1,2,4,8}",
+    description=(
+        "The paper's Tables 2/3 speed-up protocol run on *both* execution "
+        "backends: every strategy at p up to the paper's 8 nodes, once on "
+        "the deterministic simulated cluster (virtual model-seconds) and "
+        "once on the real multiprocessing backend (host wall-clock), with "
+        "the serial baseline measured the same two ways; the report shows "
+        "virtual and real speed-ups side by side."
+    ),
+    objectives=("wirelength", "power"),
+    paper_iterations=PAPER_ITERS_T2_WP,
+    circuits=("s1196",),
+    grids=(
+        StrategyGrid("serial", (("cluster", CLUSTERS),)),
+        StrategyGrid("type1", (("cluster", CLUSTERS), ("p", _SPEEDUP_P))),
+        StrategyGrid("type2", (
+            ("pattern", ("random",)),
+            ("cluster", CLUSTERS),
+            ("p", _SPEEDUP_P),
+        )),
+        StrategyGrid("type3", (
+            ("retry_frac", (0.04,)),
+            ("cluster", CLUSTERS),
+            ("p", _SPEEDUP_P_T3),
+        )),
+        StrategyGrid("type3x", (
+            ("retry_frac", (0.04,)),
+            ("cluster", CLUSTERS),
+            ("p", _SPEEDUP_P_T3),
+        )),
+    ),
+    dropped_cells=(
+        ("type3[p=2]", "type3 needs p >= 3 (one rank is the central store)"),
+        ("type3x[p=2]", "type3x needs p >= 3 (one rank is the central store)"),
+    ),
+))
+
 _register(Scenario(
     name="smoke",
     title="Smoke — one cheap cell per strategy",
@@ -571,3 +620,48 @@ def _validate(strategy: str, params: Mapping[str, Any]) -> None:
         "fixed", "random", "contiguous"
     ):
         raise ValueError(f"unknown row pattern {params.get('pattern')!r}")
+    validate_cluster(params.get("cluster", "sim"))
+    if strategy == "profile" and "cluster" in params:
+        raise ValueError("the profile pseudo-strategy runs in-process only")
+
+
+_CLUSTER_IN_ID = re.compile(r"cluster=\w+")
+
+
+def override_cluster(cells: Iterable[SweepCell], cluster: str) -> list[SweepCell]:
+    """Force every cell onto one cluster backend (``repro sweep --cluster``).
+
+    Rewrites each cell's params and cell id so that sim and mp runs of
+    the same grid never collide in artifacts or the resume cache (the
+    cache keys on params, so the two backends cache independently).
+    ``profile`` cells run in-process and pass through untouched.  Cells
+    with no ``cluster`` param already run on ``sim``, so forcing ``sim``
+    leaves them (and their ids/cache keys) alone; a scenario that pins
+    both backends per point (``speedup``) collapses to one cell per
+    point — the rewrite never emits duplicate cell ids.
+    """
+    validate_cluster(cluster)
+    out: list[SweepCell] = []
+    seen: set[str] = set()
+    for cell in cells:
+        params = cell.params_dict()
+        if cell.strategy == "profile" or params.get("cluster", "sim") == cluster:
+            if cell.cell_id not in seen:
+                seen.add(cell.cell_id)
+                out.append(cell)
+            continue
+        params["cluster"] = cluster
+        cid = cell.cell_id
+        if _CLUSTER_IN_ID.search(cid):
+            cid = _CLUSTER_IN_ID.sub(f"cluster={cluster}", cid)
+        elif cid.endswith("]"):
+            cid = f"{cid[:-1]},cluster={cluster}]"
+        else:
+            cid = f"{cid}[cluster={cluster}]"
+        if cid in seen:
+            continue  # its own-backend twin is already in the list
+        seen.add(cid)
+        out.append(replace(
+            cell, cell_id=cid, params=tuple(sorted(params.items()))
+        ))
+    return out

@@ -91,7 +91,7 @@ def _run_profile(cell: SweepCell) -> ParallelOutcome:
 def _dispatch(cell: SweepCell) -> ParallelOutcome:
     params = cell.params_dict()
     if cell.strategy == "serial":
-        return run_serial(cell.spec)
+        return run_serial(cell.spec, **params)
     if cell.strategy == "profile":
         return _run_profile(cell)
     if cell.strategy == "type1":

@@ -19,7 +19,9 @@ from repro.parallel.mpi.comm import Communicator, ANY_SOURCE, CommError, Deadloc
 from repro.parallel.mpi.message import Message
 from repro.parallel.mpi.netmodel import NetworkModel
 from repro.parallel.mpi.simcluster import SimCluster
+from repro.parallel.mpi.mp_backend import MpCluster
 from repro.parallel.mpi.loopback import LoopbackComm
+from repro.parallel.mpi.backend import CLUSTERS, ClusterBackend, make_cluster
 from repro.parallel.mpi.calibration import (
     calibrated_work_model,
     calibrated_network_model,
@@ -33,7 +35,11 @@ __all__ = [
     "Message",
     "NetworkModel",
     "SimCluster",
+    "MpCluster",
     "LoopbackComm",
+    "CLUSTERS",
+    "ClusterBackend",
+    "make_cluster",
     "calibrated_work_model",
     "calibrated_network_model",
 ]

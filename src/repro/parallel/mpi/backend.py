@@ -1,0 +1,118 @@
+"""The cluster-backend protocol: one SPMD contract, two executions.
+
+Every parallel strategy is written once against
+:class:`~repro.parallel.mpi.comm.Communicator` and executed through a
+:class:`ClusterBackend` — either the deterministic simulated cluster
+(virtual clocks, model-seconds, bit-reproducible) or the real
+multiprocessing cluster (OS processes, wall-clock).  :func:`make_cluster`
+is the single construction point the strategy runners, the experiment
+registry and the CLI's ``--cluster sim|mp`` flag all share.
+
+The contract:
+
+* ``run(fn, args, kwargs, per_rank_kwargs)`` executes ``fn(comm, ...)``
+  on every rank and returns a result exposing ``results`` (one per rank),
+  ``clocks`` (per-rank elapsed in the backend's clock domain), ``meters``
+  (per-rank work meters) and ``makespan`` (the run's span in that domain);
+* ``clock`` names the domain: ``"model"`` (virtual, deterministic) or
+  ``"wall"`` (host wall-clock);
+* any rank failure raises :class:`~repro.parallel.mpi.comm.CommError`
+  (or the rank's own exception on the simulated backend) after every
+  process/thread has been reaped — callers never leak ranks.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Protocol, Sequence, runtime_checkable
+
+from repro.cost.workmeter import WorkMeter, WorkModel
+from repro.parallel.mpi.calibration import (
+    calibrated_network_model,
+    calibrated_work_model,
+)
+from repro.parallel.mpi.mp_backend import MpCluster
+from repro.parallel.mpi.netmodel import NetworkModel
+from repro.parallel.mpi.simcluster import SimCluster
+
+__all__ = [
+    "ClusterBackend",
+    "ClusterRunResult",
+    "CLUSTERS",
+    "make_cluster",
+    "validate_cluster",
+]
+
+#: Registered backend names, in preference order.
+CLUSTERS = ("sim", "mp")
+
+
+def validate_cluster(kind: str) -> str:
+    """Check a backend name (the one shared validation everywhere uses)."""
+    if kind not in CLUSTERS:
+        raise ValueError(
+            f"unknown cluster backend {kind!r}; expected one of {CLUSTERS}"
+        )
+    return kind
+
+
+@runtime_checkable
+class ClusterRunResult(Protocol):
+    """What every backend's ``run`` returns (duck-typed)."""
+
+    results: list[Any]
+    clocks: list[float]
+    meters: list[WorkMeter]
+
+    @property
+    def makespan(self) -> float:
+        """The run's span in the backend's clock domain."""
+        ...
+
+
+@runtime_checkable
+class ClusterBackend(Protocol):
+    """SPMD execution over ``size`` ranks (see module docstring)."""
+
+    size: int
+    #: ``"model"`` (virtual clocks) or ``"wall"`` (host wall-clock).
+    clock: str
+
+    def run(
+        self,
+        fn: Callable[..., Any],
+        args: Sequence[Any] = (),
+        kwargs: dict[str, Any] | None = None,
+        per_rank_kwargs: Sequence[dict[str, Any]] | None = None,
+    ) -> ClusterRunResult:
+        ...
+
+
+def make_cluster(
+    kind: str,
+    p: int,
+    network: NetworkModel | None = None,
+    work_model: WorkModel | None = None,
+    timeout: float | None = None,
+) -> ClusterBackend:
+    """Build a ``p``-rank cluster backend by name.
+
+    ``network`` applies to the simulated backend only (the mp backend's
+    communication costs are real); ``work_model`` defaults to the
+    calibrated model on both, so the mp backend's meters report
+    comparable model-seconds.  ``timeout`` overrides the mp backend's
+    run deadline (ignored by the simulated backend, which detects
+    deadlock structurally instead).
+    """
+    validate_cluster(kind)
+    if kind == "sim":
+        return SimCluster(
+            p,
+            network=network or calibrated_network_model(),
+            work_model=work_model or calibrated_work_model(),
+        )
+    mp_kwargs: dict[str, Any] = {
+        "work_model": work_model or calibrated_work_model(),
+    }
+    if timeout is not None:
+        mp_kwargs["timeout"] = timeout
+    return MpCluster(p, **mp_kwargs)

@@ -1,59 +1,130 @@
 """Real multiprocessing backend: OS processes over pipes.
 
 The simulated cluster answers the paper's *model* questions; this backend
-demonstrates genuine parallel execution on the host — useful for the Type
-II wall-clock speed-up example and as evidence that the SPMD strategy code
-is backend-agnostic.  Differences from :class:`SimCluster`:
+runs the same SPMD strategy code on genuine OS processes — the execution
+path behind ``--cluster mp`` and the wall-clock half of the ``speedup``
+scenario.  Differences from :class:`SimCluster`:
 
 * ``elapsed()`` is wall-clock (``time.perf_counter`` since rank start);
-* there are no virtual clocks: the work meter still counts units (for
-  profiling) but does not drive time;
+* there are no virtual clocks: the work meter still counts units (priced
+  by ``work_model`` into model-seconds for the calibration fit) but does
+  not drive time;
 * ANY_SOURCE receives use :func:`multiprocessing.connection.wait`, so
   their order reflects real arrival order — *not* deterministic.  Results
   that depend on message arrival order (Type III) will vary run to run,
   exactly as they did on the paper's real cluster.
 
-Topology: a full mesh of duplex pipes (p ≤ ~16 is the intended range).
-Collectives are root-sequenced over the mesh: simple, correct, and fine
-for the message sizes involved (a few KB per iteration).
+Topology: a full mesh of duplex pipes.  The mesh is O(p²) in file
+descriptors, which bounds the backend at ``size <= MAX_MESH_SIZE`` (16) —
+construction validates the bound up front instead of failing with an
+opaque OS error mid-mesh.  Collectives are root-sequenced over the mesh:
+simple, correct, and fine for the message sizes involved (a few KB per
+iteration).
 
-The SPMD function and its arguments must be picklable (module-level
-functions; specs are plain dataclasses).
+Liveness
+--------
+A rank that dies before shipping its result (OOM kill, ``os._exit``,
+uncaught SIGKILL) must never hang the parent.  Three mechanisms ensure
+it:
+
+* after every child has started, the parent closes its own copies of all
+  mesh and result pipe ends (and, under ``fork``, each child closes the
+  ends it inherited but does not own) — a dead rank therefore produces a
+  genuine EOF at its peers and at the parent;
+* the parent collects results with :func:`multiprocessing.connection.wait`
+  under a run deadline (``timeout``); an EOF on a result pipe is reported
+  as "rank N died without result", surviving ranks are terminated, and
+  :class:`CommError` is raised;
+* inside a rank, an EOF from a dead peer surfaces as :class:`CommError`
+  (an ANY_SOURCE receive simply drops the dead peer from its wait set
+  while live peers remain).
+
+Start method: ``fork`` where it is safe and available (Linux), ``spawn``
+otherwise (Windows has no fork; macOS forks unsafely by default).  The
+SPMD function and its arguments must be picklable either way
+(module-level functions; specs are plain dataclasses).
 """
 
 from __future__ import annotations
 
 import multiprocessing as mp
+import sys
 import time
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from multiprocessing.connection import Connection, wait
 from typing import Any, Callable, Sequence
 
-from repro.cost.workmeter import WorkMeter
+from repro.cost.workmeter import WorkMeter, WorkModel
 from repro.parallel.mpi.comm import ANY_SOURCE, CommError, Communicator
 
-__all__ = ["MpCluster", "MpRunResult"]
+__all__ = ["MpCluster", "MpRunResult", "MAX_MESH_SIZE", "pick_start_method"]
+
+#: Largest supported rank count: the full mesh needs p·(p−1)/2 duplex
+#: pipes (two fds each) plus a result pipe per rank, so beyond ~16 ranks
+#: construction starts brushing against default fd limits.
+MAX_MESH_SIZE = 16
+
+#: Default run deadline (seconds): generous for real workloads, finite so
+#: a hung backend can never stall a caller (CI enforces a tighter one).
+DEFAULT_TIMEOUT = 600.0
+
+#: Parent poll interval while waiting on result pipes.
+_POLL_SECONDS = 0.2
+
+
+def pick_start_method() -> str:
+    """``fork`` where safe and available, else ``spawn``.
+
+    macOS can fork but CoreFoundation makes it unsafe-by-default (Python
+    3.8+ defaults the platform to spawn for the same reason); Windows has
+    no fork at all.
+    """
+    if sys.platform != "darwin" and "fork" in mp.get_all_start_methods():
+        return "fork"
+    return "spawn"
 
 
 @dataclass
 class MpRunResult:
-    """Outcome of one multiprocessing SPMD run."""
+    """Outcome of one multiprocessing SPMD run.
+
+    ``wall_seconds`` is the parent-observed span (includes process spawn);
+    ``clocks`` are the per-rank in-child elapsed times; ``meters`` carry
+    each rank's work-unit counts back to the parent (model-seconds for
+    the wall-clock calibration fit).
+    """
 
     results: list[Any]
     wall_seconds: float
+    clocks: list[float] = field(default_factory=list)
+    meters: list[WorkMeter] = field(default_factory=list)
+
+    @property
+    def makespan(self) -> float:
+        """Wall-clock of the whole run (the mp analogue of the sim makespan)."""
+        return self.wall_seconds
 
 
 class _MpComm(Communicator):
     """Per-process endpoint over the pipe mesh."""
 
-    def __init__(self, rank: int, size: int, pipes: dict[int, Connection]):
+    def __init__(
+        self,
+        rank: int,
+        size: int,
+        pipes: dict[int, Connection],
+        work_model: WorkModel | None = None,
+    ):
         self._rank = rank
         self._size = size
         self._pipes = pipes  # peer rank -> connection
         self._t0 = time.perf_counter()
-        self.meter = WorkMeter()
+        self.meter = WorkMeter(work_model)
         # Messages read from a pipe while waiting for another source.
         self._stash: list[tuple[int, int, Any]] = []  # (src, tag, obj)
+        # Peers whose pipe has hit EOF (process exited).  A dead peer is
+        # only an error when a receive actually needs it.
+        self._dead: set[int] = set()
 
     @property
     def rank(self) -> int:
@@ -69,7 +140,25 @@ class _MpComm(Communicator):
         if dest == self._rank:
             self._stash.append((self._rank, tag, obj))
             return
-        self._pipes[dest].send((self._rank, tag, obj))
+        try:
+            self._pipes[dest].send((self._rank, tag, obj))
+        except (BrokenPipeError, OSError) as exc:
+            self._dead.add(dest)
+            raise CommError(
+                f"rank {self._rank}: send to rank {dest} failed — peer died "
+                f"({exc})"
+            ) from None
+
+    def _recv_from(self, source: int) -> tuple[int, int, Any]:
+        """One blocking pipe read from ``source``; EOF becomes CommError."""
+        try:
+            return self._pipes[source].recv()
+        except EOFError:
+            self._dead.add(source)
+            raise CommError(
+                f"rank {self._rank}: rank {source} died (EOF on pipe) "
+                "before sending"
+            ) from None
 
     def recv(self, source: int = ANY_SOURCE, tag: int = 0) -> tuple[int, Any]:
         self._check_rank(source, allow_any=True)
@@ -79,19 +168,46 @@ class _MpComm(Communicator):
                     del self._stash[i]
                     return src, obj
             if source == ANY_SOURCE:
-                conns = list(self._pipes.values())
-                for conn in wait(conns):
-                    src, t, obj = conn.recv()
-                    self._stash.append((src, t, obj))
+                alive = {
+                    peer: conn
+                    for peer, conn in self._pipes.items()
+                    if peer not in self._dead
+                }
+                if not alive:
+                    raise CommError(
+                        f"rank {self._rank}: recv(ANY_SOURCE, tag={tag}) "
+                        "with no live peers and no matching stashed message"
+                    )
+                for conn in wait(list(alive.values())):
+                    peer = next(p for p, c in alive.items() if c is conn)
+                    try:
+                        self._stash.append(conn.recv())
+                    except EOFError:
+                        # The peer exited; anything it sent was already
+                        # drained (pipes deliver buffered data before
+                        # EOF).  Drop it from the wait set and keep
+                        # listening to the survivors.
+                        self._dead.add(peer)
             else:
-                src, t, obj = self._pipes[source].recv()
-                self._stash.append((src, t, obj))
+                if source in self._dead:
+                    raise CommError(
+                        f"rank {self._rank}: rank {source} died before "
+                        f"sending tag={tag}"
+                    )
+                self._stash.append(self._recv_from(source))
 
     # -- collectives ------------------------------------------------------
     _COLL_TAG = -7  # reserved tag for collective plumbing
 
     def _coll_send(self, obj: Any, dest: int) -> None:
-        self._pipes[dest].send((self._rank, self._COLL_TAG, obj))
+        try:
+            self._pipes[dest].send((self._rank, self._COLL_TAG, obj))
+        except (BrokenPipeError, OSError) as exc:
+            self._dead.add(dest)
+            raise CommError(
+                f"rank {self._rank}: collective send to dead rank {dest} "
+                f"({exc})"
+            ) from None
 
     def _coll_recv(self, source: int) -> Any:
         # Collective traffic may interleave with stashed p2p messages.
@@ -100,7 +216,7 @@ class _MpComm(Communicator):
                 del self._stash[i]
                 return obj
         while True:
-            src, t, obj = self._pipes[source].recv()
+            src, t, obj = self._recv_from(source)
             if t == self._COLL_TAG and src == source:
                 return obj
             self._stash.append((src, t, obj))
@@ -152,41 +268,99 @@ def _worker(
     rank: int,
     size: int,
     conns: dict[int, Connection],
+    extra_close: Sequence[Connection],
+    work_model: WorkModel | None,
     fn: Callable[..., Any],
     args: tuple,
     kwargs: dict,
     result_conn: Connection,
 ) -> None:
-    comm = _MpComm(rank, size, conns)
+    # Under fork this child inherited *every* pipe end the parent had
+    # open; close the ones it does not own so a peer's death can reach
+    # the remaining readers as EOF (under spawn the list is empty).
+    for conn in extra_close:
+        try:
+            conn.close()
+        except OSError:  # pragma: no cover - double close is harmless
+            pass
+    comm = _MpComm(rank, size, conns, work_model)
     try:
         result = fn(comm, *args, **kwargs)
-        result_conn.send(("ok", result))
+        status = ("ok", result, comm.elapsed(), comm.meter.snapshot())
     except BaseException as exc:  # noqa: BLE001 - shipped to the parent
-        result_conn.send(("error", repr(exc)))
+        status = ("error", repr(exc), comm.elapsed(), comm.meter.snapshot())
+    try:
+        result_conn.send(status)
+    except (BrokenPipeError, OSError, TypeError, ValueError):
+        # Unpicklable result or a parent already gone: exiting without a
+        # status surfaces at the parent as "died without result".
+        pass
     finally:
         result_conn.close()
 
 
 class MpCluster:
-    """Real-process SPMD execution (see module docstring)."""
+    """Real-process SPMD execution (see module docstring).
 
-    def __init__(self, size: int):
+    Parameters
+    ----------
+    size:
+        Number of ranks, ``1 <= size <= MAX_MESH_SIZE``.
+    work_model:
+        Seconds-per-unit model for each rank's work meter (profiling and
+        the wall-clock calibration fit; does not affect execution).
+    timeout:
+        Run deadline in seconds (``None`` disables it).  On expiry the
+        surviving ranks are terminated and :class:`CommError` is raised.
+    start_method:
+        ``"fork"`` / ``"spawn"`` / ``"forkserver"`` override; defaults to
+        :func:`pick_start_method`.
+    """
+
+    #: Clock domain reported by ``elapsed()``/results (vs ``"model"``).
+    clock = "wall"
+
+    def __init__(
+        self,
+        size: int,
+        work_model: WorkModel | None = None,
+        timeout: float | None = DEFAULT_TIMEOUT,
+        start_method: str | None = None,
+    ):
         if size < 1:
             raise ValueError(f"size must be >= 1, got {size}")
+        if size > MAX_MESH_SIZE:
+            raise ValueError(
+                f"size {size} exceeds the supported mesh range (p <= "
+                f"{MAX_MESH_SIZE}): the full pipe mesh needs "
+                f"{size * (size - 1)} one-way ends plus a result pipe per "
+                "rank, which exhausts OS file descriptors; use the "
+                "simulated backend for larger p"
+            )
         self.size = size
+        self.work_model = work_model
+        self.timeout = timeout
+        self.start_method = start_method or pick_start_method()
 
     def run(
         self,
         fn: Callable[..., Any],
         args: Sequence[Any] = (),
         kwargs: dict[str, Any] | None = None,
+        per_rank_kwargs: Sequence[dict[str, Any]] | None = None,
     ) -> MpRunResult:
-        """Execute ``fn(comm, *args, **kwargs)`` on every rank.
+        """Execute ``fn(comm, *args, **kwargs, **per_rank_kwargs[rank])``.
 
-        Raises :class:`CommError` if any rank fails (with its repr'd
-        exception), after all processes have been reaped.
+        Raises :class:`CommError` if any rank fails — with its repr'd
+        exception when the rank shipped one, or "died without result"
+        when it vanished — after all processes have been reaped.  A run
+        that outlives ``timeout`` is terminated and raises
+        :class:`CommError` too: a dead or hung rank can never block the
+        parent forever.
         """
-        ctx = mp.get_context("fork")
+        if per_rank_kwargs is not None and len(per_rank_kwargs) != self.size:
+            raise ValueError("per_rank_kwargs must have one entry per rank")
+        ctx = mp.get_context(self.start_method)
         # Full mesh of duplex pipes.
         mesh: dict[tuple[int, int], Connection] = {}
         for a in range(self.size):
@@ -197,20 +371,36 @@ class MpCluster:
         result_pipes = [ctx.Pipe(duplex=False) for _ in range(self.size)]
 
         t0 = time.perf_counter()
-        procs = []
+        procs: list[Any] = []
         for rank in range(self.size):
             conns = {
                 peer: mesh[(rank, peer)] for peer in range(self.size) if peer != rank
             }
+            if self.start_method == "fork":
+                # Everything this child inherits but does not own.
+                extra_close = [
+                    c for (owner, _peer), c in mesh.items() if owner != rank
+                ] + [
+                    end
+                    for r, (recv_end, send_end) in enumerate(result_pipes)
+                    for end in ((recv_end,) if r == rank else (recv_end, send_end))
+                ]
+            else:
+                extra_close = []
+            kw = dict(kwargs or {})
+            if per_rank_kwargs is not None:
+                kw.update(per_rank_kwargs[rank])
             proc = ctx.Process(
                 target=_worker,
                 args=(
                     rank,
                     self.size,
                     conns,
+                    extra_close,
+                    self.work_model,
                     fn,
                     tuple(args),
-                    dict(kwargs or {}),
+                    kw,
                     result_pipes[rank][1],
                 ),
                 name=f"mprank-{rank}",
@@ -218,22 +408,78 @@ class MpCluster:
             proc.start()
             procs.append(proc)
 
-        statuses: list[tuple[str, Any]] = []
+        # The parent's copies of every child-held pipe end must close so
+        # a dead rank's pipes actually hit EOF at their remaining readers
+        # (with them open, a killed rank would hang everyone forever).
+        for conn in mesh.values():
+            conn.close()
+        for _recv_end, send_end in result_pipes:
+            send_end.close()
+
+        deadline = None if self.timeout is None else t0 + self.timeout
+        statuses: list[tuple[str, Any, float, dict] | None] = [None] * self.size
+        pending: dict[int, Connection] = {
+            rank: result_pipes[rank][0] for rank in range(self.size)
+        }
+        deaths: list[int] = []
         try:
-            for rank in range(self.size):
-                statuses.append(result_pipes[rank][0].recv())
+            while pending:
+                now = time.perf_counter()
+                if deadline is not None and now >= deadline:
+                    raise CommError(
+                        f"mp run exceeded its {self.timeout:.0f}s deadline; "
+                        f"still waiting for ranks {sorted(pending)}"
+                    )
+                poll = _POLL_SECONDS
+                if deadline is not None:
+                    poll = min(poll, max(0.0, deadline - now))
+                for conn in wait(list(pending.values()), timeout=poll):
+                    rank = next(r for r, c in pending.items() if c is conn)
+                    try:
+                        statuses[rank] = conn.recv()
+                    except EOFError:
+                        deaths.append(rank)
+                    del pending[rank]
+                if deaths:
+                    codes = {r: procs[r].exitcode for r in deaths}
+                    raise CommError(
+                        "rank(s) died without result: "
+                        + ", ".join(
+                            f"rank {r} (exitcode {codes[r]})" for r in deaths
+                        )
+                    )
         finally:
             for proc in procs:
-                proc.join(timeout=30)
-                if proc.is_alive():  # pragma: no cover - hang safety net
-                    proc.terminate()
-                    proc.join()
+                if proc.is_alive():
+                    # Survivors of a death/timeout would block on the dead
+                    # rank (or on the deadline) forever — reap them now.
+                    if pending or deaths:
+                        proc.terminate()
+                    proc.join(timeout=30)
+                    if proc.is_alive():  # pragma: no cover - hang safety net
+                        proc.kill()
+                        proc.join()
+            for recv_end, _send_end in result_pipes:
+                recv_end.close()
         wall = time.perf_counter() - t0
 
-        failures = [(r, msg) for r, (st, msg) in enumerate(statuses) if st == "error"]
+        failures = [
+            (r, msg)
+            for r, st in enumerate(statuses)
+            if st is not None and st[0] == "error"
+            for msg in (st[1],)
+        ]
         if failures:
             raise CommError(f"rank failures: {failures}")
+        assert all(st is not None for st in statuses)
+        meters = []
+        for st in statuses:
+            meter = WorkMeter(self.work_model)
+            meter.units.update(st[3])  # type: ignore[index]
+            meters.append(meter)
         return MpRunResult(
-            results=[payload for _st, payload in statuses],
+            results=[st[1] for st in statuses],  # type: ignore[index]
             wall_seconds=wall,
+            clocks=[float(st[2]) for st in statuses],  # type: ignore[index]
+            meters=meters,
         )

@@ -152,6 +152,9 @@ class SimCluster:
         Seconds-per-unit model installed in every rank's work meter.
     """
 
+    #: Clock domain of ``elapsed()``/results: deterministic model-seconds.
+    clock = "model"
+
     def __init__(
         self,
         size: int,

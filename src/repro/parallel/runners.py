@@ -48,6 +48,7 @@ __all__ = [
     "make_config",
     "stream_for",
     "run_serial",
+    "serial_spmd",
     "INIT_STREAM",
     "SERIAL_STREAM",
     "PATTERN_STREAM",
@@ -292,10 +293,68 @@ def build_problem(spec: ExperimentSpec, meter: WorkMeter | None = None) -> Probl
     )
 
 
+def serial_spmd(comm: Any, spec: ExperimentSpec) -> dict[str, Any]:
+    """The serial SimE loop as a one-rank SPMD body.
+
+    Lets the serial baseline execute on any cluster backend — in
+    particular a one-rank real-process cluster, whose ``comm.elapsed()``
+    measures the wall-clock baseline of the mp speed-up tables.
+    Module-level (picklable) so the spawn start method can ship it.
+    """
+    problem = build_problem(spec, meter=comm.meter)
+    rng = stream_for(spec.seed, SERIAL_STREAM, "serial-sel")
+    sime = SimulatedEvolution(problem.engine, make_config(spec), rng)
+    result = sime.run(problem.initial_placement())
+    return {
+        "best_mu": result.best_mu,
+        "best_costs": result.best_costs,
+        "iterations": result.iterations,
+        "model_seconds": result.model_seconds,
+        "work_units": result.work_units,
+        "history": [(r.iteration, r.mu, r.model_seconds) for r in result.history],
+        "elapsed": comm.elapsed(),
+    }
+
+
 def run_serial(
-    spec: ExperimentSpec, work_model: WorkModel | None = None
+    spec: ExperimentSpec,
+    work_model: WorkModel | None = None,
+    cluster: str = "sim",
 ) -> ParallelOutcome:
-    """The serial SimE baseline every parallel strategy is compared to."""
+    """The serial SimE baseline every parallel strategy is compared to.
+
+    ``cluster="sim"`` (default) runs in-process and reports deterministic
+    model-seconds, bit-identical to every earlier release.
+    ``cluster="mp"`` runs the same loop in one real child process and
+    reports its wall-clock — the serial baseline the mp backend's
+    speed-ups are computed against (model-seconds ride along in
+    ``extras``).
+    """
+    if cluster != "sim":
+        from repro.parallel.mpi.backend import make_cluster
+
+        # make_cluster validates the name (raising on unknown backends).
+        res = make_cluster(cluster, 1, work_model=work_model).run(
+            serial_spmd, kwargs={"spec": spec}
+        )
+        r0 = res.results[0]
+        return ParallelOutcome(
+            strategy="serial",
+            circuit=spec.circuit,
+            objectives=spec.objectives,
+            p=1,
+            iterations=r0["iterations"],
+            runtime=r0["elapsed"],
+            best_mu=r0["best_mu"],
+            best_costs=r0["best_costs"],
+            history=r0["history"],
+            extras={
+                "work_units": r0["work_units"],
+                "cluster": cluster,
+                "model_seconds": r0["model_seconds"],
+                "wall_seconds": res.makespan,
+            },
+        )
     meter = WorkMeter(work_model or calibrated_work_model())
     problem = build_problem(spec, meter)
     rng = stream_for(spec.seed, SERIAL_STREAM, "serial-sel")

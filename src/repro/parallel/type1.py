@@ -37,13 +37,9 @@ from dataclasses import dataclass
 from repro.cost.engine import CostEngine
 from repro.cost.workmeter import WorkModel
 from repro.layout.placement import Placement
-from repro.parallel.mpi.calibration import (
-    calibrated_network_model,
-    calibrated_work_model,
-)
+from repro.parallel.mpi.backend import make_cluster
 from repro.parallel.mpi.comm import Communicator
 from repro.parallel.mpi.netmodel import NetworkModel
-from repro.parallel.mpi.simcluster import SimCluster
 from repro.parallel.runners import (
     ExperimentSpec,
     ParallelOutcome,
@@ -201,22 +197,27 @@ def run_type1(
     network: NetworkModel | None = None,
     work_model: WorkModel | None = None,
     iterations: int | None = None,
+    cluster: str = "sim",
 ) -> ParallelOutcome:
-    """Run Type I parallel SimE on a simulated ``p``-rank cluster.
+    """Run Type I parallel SimE on a ``p``-rank cluster backend.
 
     ``iterations`` defaults to the spec's serial budget — Type I replays
     the serial search, so the paper compares equal-iteration runs.
+    ``cluster`` selects the backend: ``"sim"`` (deterministic virtual
+    clocks, the default — results bit-identical to earlier releases) or
+    ``"mp"`` (real processes; ``runtime`` becomes wall-clock).
     """
     if p < 2:
         raise ValueError("Type I needs at least 2 ranks (master + 1 slave)")
     iters = iterations if iterations is not None else spec.iterations
-    cluster = SimCluster(
-        p,
-        network=network or calibrated_network_model(),
-        work_model=work_model or calibrated_work_model(),
-    )
-    res = cluster.run(_spmd, kwargs={"spec": spec, "iterations": iters})
+    cl = make_cluster(cluster, p, network=network, work_model=work_model)
+    res = cl.run(_spmd, kwargs={"spec": spec, "iterations": iters})
     master = res.results[0]
+    extras = {"best_rows": master["best_rows"], "rank_clocks": res.clocks}
+    if cluster != "sim":
+        extras["cluster"] = cluster
+        extras["model_seconds"] = [m.seconds() for m in res.meters]
+        extras["wall_seconds"] = res.makespan
     return ParallelOutcome(
         strategy="type1",
         circuit=spec.circuit,
@@ -227,6 +228,5 @@ def run_type1(
         best_mu=master["best_mu"],
         best_costs=master["best_costs"],
         history=master["history"],
-        extras={
-            "best_rows": master["best_rows"],"rank_clocks": res.clocks},
+        extras=extras,
     )

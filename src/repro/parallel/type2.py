@@ -25,13 +25,9 @@ from __future__ import annotations
 
 from repro.cost.workmeter import WorkModel
 from repro.layout.placement import Placement
-from repro.parallel.mpi.calibration import (
-    calibrated_network_model,
-    calibrated_work_model,
-)
+from repro.parallel.mpi.backend import make_cluster
 from repro.parallel.mpi.comm import Communicator
 from repro.parallel.mpi.netmodel import NetworkModel
-from repro.parallel.mpi.simcluster import SimCluster
 from repro.parallel.partition import pattern_by_name
 from repro.parallel.runners import (
     ExperimentSpec,
@@ -183,12 +179,18 @@ def run_type2(
     iterations: int | None = None,
     base_factor: float = 8.0 / 7.0,
     per_proc_frac: float = 1.0 / 7.0,
+    cluster: str = "sim",
 ) -> ParallelOutcome:
-    """Run Type II parallel SimE on a simulated ``p``-rank cluster.
+    """Run Type II parallel SimE on a ``p``-rank cluster backend.
 
     ``pattern`` is ``"fixed"`` or ``"random"`` (Tables 2/3) or
     ``"contiguous"`` (mobility ablation).  ``iterations`` overrides the
-    paper-scaled budget from :func:`parallel_iterations`.
+    paper-scaled budget from :func:`parallel_iterations`.  ``cluster``
+    selects the backend: ``"sim"`` (deterministic, bit-identical to
+    earlier releases) or ``"mp"`` (real processes, wall-clock runtime;
+    the simulated ranks' shared-memory evaluation adoption does not
+    apply — each process evaluates the broadcast solution itself, as the
+    paper's real cluster did).
     """
     if p < 2:
         raise ValueError("Type II needs at least 2 ranks")
@@ -197,21 +199,27 @@ def run_type2(
         if iterations is not None
         else parallel_iterations(spec.iterations, p, base_factor, per_proc_frac)
     )
-    cluster = SimCluster(
-        p,
-        network=network or calibrated_network_model(),
-        work_model=work_model or calibrated_work_model(),
-    )
-    res = cluster.run(
+    cl = make_cluster(cluster, p, network=network, work_model=work_model)
+    res = cl.run(
         _spmd,
         kwargs={
             "spec": spec,
             "iterations": iters,
             "pattern": pattern,
-            "shared": {},
+            # Out-of-band cache sharing needs a shared address space.
+            "shared": {} if cluster == "sim" else None,
         },
     )
     master = res.results[0]
+    extras = {
+        "best_rows": master["best_rows"],
+        "pattern": pattern,
+        "rank_clocks": res.clocks,
+    }
+    if cluster != "sim":
+        extras["cluster"] = cluster
+        extras["model_seconds"] = [m.seconds() for m in res.meters]
+        extras["wall_seconds"] = res.makespan
     return ParallelOutcome(
         strategy=f"type2-{pattern}",
         circuit=spec.circuit,
@@ -222,6 +230,5 @@ def run_type2(
         best_mu=master["best_mu"],
         best_costs=master["best_costs"],
         history=master["history"],
-        extras={
-            "best_rows": master["best_rows"],"pattern": pattern, "rank_clocks": res.clocks},
+        extras=extras,
     )

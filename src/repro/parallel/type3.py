@@ -26,13 +26,9 @@ from __future__ import annotations
 
 from repro.cost.workmeter import WorkModel
 from repro.layout.placement import Placement
-from repro.parallel.mpi.calibration import (
-    calibrated_network_model,
-    calibrated_work_model,
-)
+from repro.parallel.mpi.backend import make_cluster
 from repro.parallel.mpi.comm import ANY_SOURCE, Communicator
 from repro.parallel.mpi.netmodel import NetworkModel
-from repro.parallel.mpi.simcluster import SimCluster
 from repro.parallel.runners import (
     ExperimentSpec,
     ParallelOutcome,
@@ -158,25 +154,25 @@ def run_type3(
     network: NetworkModel | None = None,
     work_model: WorkModel | None = None,
     iterations: int | None = None,
+    cluster: str = "sim",
 ) -> ParallelOutcome:
-    """Run Type III parallel SimE on a simulated ``p``-rank cluster.
+    """Run Type III parallel SimE on a ``p``-rank cluster backend.
 
     ``p`` counts the central store: Table 4's "p = 3" is one store plus
     two searching slaves.  Serial and parallel runs use the same iteration
     budget per processor (paper: "Both the serial and parallel algorithms
-    were run for 2500 iterations at each processor").
+    were run for 2500 iterations at each processor").  ``cluster="mp"``
+    runs on real processes — message arrival order (and hence the
+    cooperative search result) then varies run to run, exactly as it did
+    on the paper's cluster; ``"sim"`` stays deterministic.
     """
     if p < 3:
         raise ValueError("Type III needs at least 3 ranks (store + 2 searchers)")
     if retry_threshold < 1:
         raise ValueError("retry_threshold must be >= 1")
     iters = iterations if iterations is not None else spec.iterations
-    cluster = SimCluster(
-        p,
-        network=network or calibrated_network_model(),
-        work_model=work_model or calibrated_work_model(),
-    )
-    res = cluster.run(
+    cl = make_cluster(cluster, p, network=network, work_model=work_model)
+    res = cl.run(
         _spmd,
         kwargs={"spec": spec, "iterations": iters, "retry_threshold": retry_threshold},
     )
@@ -186,6 +182,17 @@ def run_type3(
     best_mu = max(master["best_mu"], best_slave["best_mu"])
     # Runtime: the searchers' makespan (the store idles by design).
     runtime = max(s["elapsed"] for s in slaves)
+    extras = {
+        "retry_threshold": retry_threshold,
+        "exchanges": master["exchanges"],
+        "adoptions": master["adoptions"],
+        "slave_mus": [s["best_mu"] for s in slaves],
+        "rank_clocks": res.clocks,
+    }
+    if cluster != "sim":
+        extras["cluster"] = cluster
+        extras["model_seconds"] = [m.seconds() for m in res.meters]
+        extras["wall_seconds"] = res.makespan
     return ParallelOutcome(
         strategy="type3",
         circuit=spec.circuit,
@@ -196,11 +203,5 @@ def run_type3(
         best_mu=best_mu,
         best_costs=best_slave["best_costs"],
         history=best_slave["history"],
-        extras={
-            "retry_threshold": retry_threshold,
-            "exchanges": master["exchanges"],
-            "adoptions": master["adoptions"],
-            "slave_mus": [s["best_mu"] for s in slaves],
-            "rank_clocks": res.clocks,
-        },
+        extras=extras,
     )

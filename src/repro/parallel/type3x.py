@@ -27,13 +27,9 @@ from repro.cost.engine import CostEngine
 from repro.cost.workmeter import WorkModel
 from repro.layout.grid import RowGrid
 from repro.layout.placement import Placement
-from repro.parallel.mpi.calibration import (
-    calibrated_network_model,
-    calibrated_work_model,
-)
+from repro.parallel.mpi.backend import make_cluster
 from repro.parallel.mpi.comm import Communicator
 from repro.parallel.mpi.netmodel import NetworkModel
-from repro.parallel.mpi.simcluster import SimCluster
 from repro.parallel.runners import (
     ExperimentSpec,
     ParallelOutcome,
@@ -195,17 +191,19 @@ def run_type3_diversified(
     network: NetworkModel | None = None,
     work_model: WorkModel | None = None,
     iterations: int | None = None,
+    cluster: str = "sim",
 ) -> ParallelOutcome:
-    """Run the diversified Type III variant (Section 7 future work)."""
+    """Run the diversified Type III variant (Section 7 future work).
+
+    ``cluster`` selects the backend — ``"sim"`` (deterministic, default)
+    or ``"mp"`` (real processes; arrival order and hence the cooperative
+    result vary run to run).
+    """
     if p < 3:
         raise ValueError("needs at least 3 ranks (store + 2 searchers)")
     iters = iterations if iterations is not None else spec.iterations
-    cluster = SimCluster(
-        p,
-        network=network or calibrated_network_model(),
-        work_model=work_model or calibrated_work_model(),
-    )
-    res = cluster.run(
+    cl = make_cluster(cluster, p, network=network, work_model=work_model)
+    res = cl.run(
         _spmd,
         kwargs={
             "spec": spec,
@@ -217,6 +215,16 @@ def run_type3_diversified(
     master = res.results[0]
     slaves = res.results[1:]
     best_slave = max(slaves, key=lambda s: s["best_mu"])
+    extras = {
+        "retry_threshold": retry_threshold,
+        "crossover": crossover,
+        "crossovers": sum(s["crossovers"] for s in slaves),
+        "slave_mus": [s["best_mu"] for s in slaves],
+    }
+    if cluster != "sim":
+        extras["cluster"] = cluster
+        extras["model_seconds"] = [m.seconds() for m in res.meters]
+        extras["wall_seconds"] = res.makespan
     return ParallelOutcome(
         strategy="type3x" if crossover else "type3-diverse",
         circuit=spec.circuit,
@@ -227,10 +235,5 @@ def run_type3_diversified(
         best_mu=max(master["best_mu"], best_slave["best_mu"]),
         best_costs=best_slave["best_costs"],
         history=best_slave["history"],
-        extras={
-            "retry_threshold": retry_threshold,
-            "crossover": crossover,
-            "crossovers": sum(s["crossovers"] for s in slaves),
-            "slave_mus": [s["best_mu"] for s in slaves],
-        },
+        extras=extras,
     )

@@ -115,3 +115,65 @@ def test_format_seconds():
     assert format_seconds(123.4) == "123"
     assert format_seconds(12.34) == "12.3"
     assert format_seconds(0.1234) == "0.123"
+
+
+# ------------------------------------------------------- backend speedups
+
+
+def _rec(strategy, cluster, runtime, mu, p=1, cell=None):
+    from repro.experiments.artifacts import RunRecord
+
+    params = {"cluster": cluster}
+    if p > 1:
+        params["p"] = p
+    return RunRecord(
+        scenario="speedup",
+        cell_id=cell or f"c1/seed1/{strategy}[cluster={cluster},p={p}]",
+        strategy=strategy,
+        spec={"circuit": "c1", "seed": 1},
+        params=params,
+        ok=True,
+        error=None,
+        outcome={"best_mu": mu, "runtime": runtime, "p": p},
+        wall_seconds=runtime,
+    )
+
+
+def test_backend_speedup_is_none_tolerant():
+    from repro.analysis.speedup import backend_speedup
+
+    assert backend_speedup(10.0, 2.0) == pytest.approx(5.0)
+    assert backend_speedup(None, 2.0) is None
+    assert backend_speedup(10.0, None) is None
+    assert backend_speedup(10.0, 0.0) is None
+
+
+def test_render_speedup_records_keeps_clock_domains_apart():
+    from repro.analysis.reporting import render_speedup_records
+
+    records = [
+        _rec("serial", "sim", 100.0, 0.60),
+        _rec("serial", "mp", 10.0, 0.60),
+        _rec("type2", "sim", 50.0, 0.58, p=4),
+        _rec("type2", "mp", 4.0, 0.59, p=4),
+    ]
+    out = render_speedup_records(records)
+    lines = out.splitlines()
+    assert "sim t" in lines[1] and "mp t" in lines[1]
+    t2_line = next(l for l in lines if "type2" in l)
+    # sim speedup = 100/50, mp speedup = 10/4 — never 100/4 or 10/50.
+    assert "2.00" in t2_line and "2.50" in t2_line
+    assert "25.0" not in t2_line and "0.20" not in t2_line
+
+
+def test_render_speedup_records_tolerates_missing_backend():
+    from repro.analysis.reporting import render_speedup_records
+
+    records = [
+        _rec("serial", "sim", 100.0, 0.60),
+        _rec("type1", "sim", 120.0, 0.60, p=2),
+    ]
+    out = render_speedup_records(records)
+    t1_line = next(l for l in out.splitlines() if "type1" in l)
+    assert "0.83" in t1_line  # sim slowdown still reported
+    assert "-" in t1_line     # mp columns absent, not crashing

@@ -305,3 +305,79 @@ def test_list_shows_new_scenarios_and_ladder(capsys):
     assert main(["list", "--circuits"]) == 0
     out = capsys.readouterr().out
     assert "synth2000" in out and "s1196" in out
+
+
+# ------------------------------------------------------- --cluster / speedup
+
+
+def test_run_on_mp_cluster(tmp_path, capsys):
+    code = main([
+        "run", "--circuit", "s1196", "--strategy", "type2", "--p", "2",
+        "--cluster", "mp", "--iterations", "4", "--json",
+        "--out", str(tmp_path),
+    ])
+    assert code == 0
+    out = capsys.readouterr().out
+    record = json.loads(out[: out.rindex("}") + 1])
+    assert record["ok"] is True
+    assert record["params"]["cluster"] == "mp"
+    assert record["outcome"]["extras"]["cluster"] == "mp"
+    assert record["outcome"]["extras"]["wall_seconds"] > 0
+
+
+def test_run_profile_rejects_mp_cluster(capsys):
+    code = main([
+        "run", "--circuit", "s1196", "--strategy", "profile",
+        "--cluster", "mp", "--iterations", "4",
+    ])
+    assert code == 2
+    assert "profile" in capsys.readouterr().err
+
+
+def test_sweep_smoke_on_mp_cluster(tmp_path, capsys):
+    """`repro sweep --smoke --cluster mp`: every strategy end to end on
+    real processes, artifacts tagged separately from the sim run."""
+    code = main([
+        "sweep", "--smoke", "--cluster", "mp", "--out", str(tmp_path),
+        "--no-cache",
+    ])
+    assert code == 0
+    payload = json.loads((tmp_path / "smoke-mp.json").read_text())
+    assert all(r["ok"] for r in payload["records"])
+    strategies = {r["strategy"] for r in payload["records"]}
+    assert strategies == {"serial", "type1", "type2", "type3", "type3x"}
+    for r in payload["records"]:
+        assert r["params"]["cluster"] == "mp"
+        assert "cluster=mp" in r["cell_id"]
+
+
+def test_tables_speedup_smoke_renders_side_by_side(tmp_path, capsys):
+    code = main([
+        "tables", "--scenario", "speedup", "--smoke", "--out", str(tmp_path),
+    ])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "Speedup" in out
+    assert "sim t" in out and "mp t" in out and "mp ×" in out
+    payload = json.loads((tmp_path / "speedup-smoke.json").read_text())
+    clusters = {r["params"].get("cluster") for r in payload["records"]}
+    assert clusters == {"sim", "mp"}
+    assert all(r["ok"] for r in payload["records"])
+
+
+def test_run_scenario_inline(tmp_path, capsys):
+    code = main(["run", "--scenario", "smoke", "--out", str(tmp_path)])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "run smoke: 5 cells" in out
+    payload = json.loads((tmp_path / "smoke.json").read_text())
+    assert {r["strategy"] for r in payload["records"]} == {
+        "serial", "type1", "type2", "type3", "type3x"
+    }
+
+
+def test_run_requires_circuit_xor_scenario(capsys):
+    assert main(["run"]) == 2
+    assert "exactly one" in capsys.readouterr().err
+    assert main(["run", "--circuit", "s1196", "--scenario", "smoke"]) == 2
+    assert main(["run", "--scenario", "nope"]) == 2

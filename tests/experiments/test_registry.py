@@ -219,3 +219,85 @@ def test_listing_order_matches_paper():
     # Scenario circuit tuples follow the suite's paper-table order
     # (pinned in tests/netlist/test_suite.py).
     assert get_scenario("table1").circuits == tuple(list_paper_circuits())
+
+
+# ----------------------------------------------------- speedup / backends
+
+
+def test_speedup_scenario_covers_both_backends_and_all_strategies():
+    cells = resolve("speedup", scale=100)
+    strategies = {c.strategy for c in cells}
+    assert strategies == {"serial", "type1", "type2", "type3", "type3x"}
+    clusters = {c.params_dict().get("cluster") for c in cells}
+    assert clusters == {"sim", "mp"}
+    # Every (strategy, p) point exists on both backends symmetrically.
+    by_point = {}
+    for c in cells:
+        params = c.params_dict()
+        key = (c.strategy, params.get("p", 1))
+        by_point.setdefault(key, set()).add(params["cluster"])
+    for key, both in by_point.items():
+        assert both == {"sim", "mp"}, key
+    # The p axis reaches the paper's 8 nodes; type3 starts at 4 (store).
+    ps = {p for (s, p) in by_point if s in ("type1", "type2")}
+    assert ps == {2, 4, 8}
+    assert {p for (s, p) in by_point if s == "type3"} == {4, 8}
+    # p=1 is the serial pair.
+    assert ("serial", 1) in by_point
+    # mp cells stay inside the backend's validated mesh range.
+    assert max(p for (_s, p) in by_point) <= 16
+
+
+def test_validate_rejects_bad_cluster():
+    from repro.experiments.registry import _validate
+
+    with pytest.raises(ValueError, match="unknown cluster backend"):
+        _validate("type2", {"p": 2, "cluster": "mpi"})
+    with pytest.raises(ValueError, match="in-process only"):
+        _validate("profile", {"cluster": "mp"})
+    _validate("serial", {"cluster": "mp"})  # fine
+
+
+def test_override_cluster_rewrites_params_and_ids():
+    from repro.experiments.registry import override_cluster
+
+    cells = resolve("smoke", smoke=True)
+    forced = override_cluster(cells, "mp")
+    assert len(forced) == len(cells)
+    for before, after in zip(cells, forced):
+        assert after.params_dict()["cluster"] == "mp"
+        assert "cluster=mp" in after.cell_id
+        assert after.spec == before.spec
+    # Forcing sim on cells with no cluster param (they already run on
+    # sim) is a complete no-op: ids and cache keys stay untouched.
+    assert override_cluster(cells, "sim") == cells
+    speedup_cells = resolve("speedup", scale=100)
+    sim_pinned = [
+        c for c in speedup_cells if c.params_dict().get("cluster") == "sim"
+    ]
+    assert override_cluster(sim_pinned, "sim") == sim_pinned
+    # A scenario pinning both backends per point collapses to one cell
+    # per point — rewritten twins dedupe, ids stay unique.
+    mp_forced = override_cluster(speedup_cells, "mp")
+    assert len(mp_forced) == len(speedup_cells) // 2
+    assert len({c.cell_id for c in mp_forced}) == len(mp_forced)
+    for c in mp_forced:
+        assert c.cell_id.count("cluster=") == 1
+        assert c.params_dict().get("cluster") == "mp" or c.strategy == "profile"
+    with pytest.raises(ValueError, match="unknown cluster backend"):
+        override_cluster(cells, "slurm")
+
+
+def test_override_cluster_leaves_profile_cells_alone():
+    from repro.experiments.registry import override_cluster
+
+    cells = resolve("profile", scale=100)
+    forced = override_cluster(cells, "mp")
+    assert forced == cells
+
+
+def test_speedup_cell_ids_distinguish_backends():
+    ids = [c.cell_id for c in resolve("speedup", scale=100)]
+    assert len(ids) == len(set(ids))
+    assert any("cluster=sim" in i for i in ids)
+    assert any("cluster=mp" in i for i in ids)

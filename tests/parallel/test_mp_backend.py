@@ -1,9 +1,17 @@
-"""Real multiprocessing backend."""
+"""Real multiprocessing backend: semantics, liveness, and hardening."""
+
+import os
+import time
 
 import pytest
 
+from repro.cost.workmeter import WorkModel
 from repro.parallel.mpi.comm import ANY_SOURCE, CommError
-from repro.parallel.mpi.mp_backend import MpCluster
+from repro.parallel.mpi.mp_backend import (
+    MAX_MESH_SIZE,
+    MpCluster,
+    pick_start_method,
+)
 
 
 def _collectives(comm):
@@ -72,3 +80,177 @@ def test_elapsed_positive():
 def test_size_one():
     res = MpCluster(1).run(_collectives)
     assert res.results[0] == [1]
+
+
+# ------------------------------------------------------------------ hardening
+
+
+def test_size_validated_against_mesh_range():
+    with pytest.raises(ValueError, match="p <= 16"):
+        MpCluster(MAX_MESH_SIZE + 1)
+    with pytest.raises(ValueError, match=">= 1"):
+        MpCluster(0)
+    # The bound itself is constructible (no pipes until run()).
+    assert MpCluster(MAX_MESH_SIZE).size == MAX_MESH_SIZE
+
+
+def test_start_method_is_available():
+    method = pick_start_method()
+    import multiprocessing as mp
+
+    assert method in mp.get_all_start_methods()
+    # Explicit override is honoured.
+    assert MpCluster(2, start_method="spawn").start_method == "spawn"
+
+
+def _die_without_result(comm):
+    if comm.rank == 1:
+        os._exit(17)  # OOM-kill stand-in: no result, no cleanup
+    # Without EOF propagation + the parent deadline this blocks forever.
+    return comm.recv(source=1)
+
+
+def test_crashed_rank_raises_within_deadline():
+    """Regression: a rank killed before sending must not hang the parent."""
+    t0 = time.perf_counter()
+    with pytest.raises(CommError, match=r"rank 1 .*(died|exitcode)"):
+        MpCluster(2, timeout=30).run(_die_without_result)
+    # Detection is EOF-driven, so it lands well before the 30 s deadline.
+    assert time.perf_counter() - t0 < 15
+
+
+def _sleep_forever(comm):
+    if comm.rank == 1:
+        time.sleep(600)
+    return comm.rank
+
+
+def test_deadline_terminates_hung_run():
+    t0 = time.perf_counter()
+    with pytest.raises(CommError, match="deadline"):
+        MpCluster(2, timeout=1.5).run(_sleep_forever)
+    assert time.perf_counter() - t0 < 20  # terminated, not slept out
+
+
+def _peer_death_seen_by_survivor(comm):
+    if comm.rank == 0:
+        os._exit(3)
+    try:
+        comm.recv(source=0, tag=5)
+    except CommError as exc:
+        return f"survivor saw: {exc}"
+    return "no error"
+
+
+def test_peer_eof_surfaces_as_commerror():
+    """A survivor blocked on a dead peer gets CommError, not a hang.
+
+    The parent may report either failure shape depending on which pipe
+    it drains first — both carry rank 0's death.
+    """
+    with pytest.raises(CommError, match="rank 0|survivor saw"):
+        MpCluster(2, timeout=30).run(_peer_death_seen_by_survivor)
+
+
+# ------------------------------------------------------- _MpComm semantics
+
+
+def _self_send(comm):
+    comm.send(("hello", comm.rank), comm.rank, tag=4)
+    comm.send("other-tag", comm.rank, tag=8)
+    src, obj = comm.recv(source=comm.rank, tag=4)
+    assert src == comm.rank
+    src8, obj8 = comm.recv(source=ANY_SOURCE, tag=8)
+    return (obj, obj8)
+
+
+def test_self_send_via_stash():
+    res = MpCluster(2).run(_self_send)
+    assert res.results == [(("hello", 0), "other-tag"), (("hello", 1), "other-tag")]
+
+
+def _tag_filtering(comm):
+    if comm.rank != 0:
+        # Send the decoy tag first: ANY_SOURCE recv on tag 2 must skip it.
+        comm.send(f"decoy-{comm.rank}", 0, tag=1)
+        comm.send(f"want-{comm.rank}", 0, tag=2)
+        return None
+    wanted = sorted(
+        comm.recv(source=ANY_SOURCE, tag=2)[1] for _ in range(comm.size - 1)
+    )
+    decoys = sorted(
+        comm.recv(source=ANY_SOURCE, tag=1)[1] for _ in range(comm.size - 1)
+    )
+    return wanted, decoys
+
+
+def test_any_source_recv_filters_by_tag():
+    res = MpCluster(3).run(_tag_filtering)
+    assert res.results[0] == (["want-1", "want-2"], ["decoy-1", "decoy-2"])
+
+
+def _coll_p2p_interleave(comm):
+    # Every rank ships a p2p message to the root *before* the collective:
+    # the root's _coll_recv must stash the p2p traffic it reads while
+    # hunting for the collective token, and recv() must find it later.
+    if comm.rank != 0:
+        comm.send(f"p2p-{comm.rank}", 0, tag=3)
+    token = comm.bcast("token" if comm.rank == 0 else None, root=0)
+    gathered = comm.gather(comm.rank * 10, root=0)
+    if comm.rank == 0:
+        p2p = sorted(
+            comm.recv(source=ANY_SOURCE, tag=3)[1] for _ in range(comm.size - 1)
+        )
+        return token, gathered, p2p
+    return token
+
+
+def test_collective_p2p_interleaving_stashes():
+    res = MpCluster(3).run(_coll_p2p_interleave)
+    assert res.results[0] == ("token", [0, 10, 20], ["p2p-1", "p2p-2"])
+    assert res.results[1:] == ["token", "token"]
+
+
+# ------------------------------------------------------- result plumbing
+
+
+def _charge_some_work(comm):
+    comm.meter.charge("allocation", 100.0)
+    comm.meter.charge("wirelength", 10.0)
+    return comm.rank
+
+
+def test_meters_and_clocks_ship_back():
+    model = WorkModel(seconds_per_unit={"allocation": 1e-3, "wirelength": 1e-4})
+    res = MpCluster(2, work_model=model).run(_charge_some_work)
+    assert res.results == [0, 1]
+    assert len(res.clocks) == 2 and all(c >= 0 for c in res.clocks)
+    assert len(res.meters) == 2
+    for meter in res.meters:
+        assert meter.snapshot() == {"allocation": 100.0, "wirelength": 10.0}
+        assert meter.seconds() == pytest.approx(0.101)
+    assert res.makespan == res.wall_seconds
+
+
+def _per_rank(comm, base, offset=0):
+    return base + offset
+
+
+def test_per_rank_kwargs():
+    res = MpCluster(3).run(
+        _per_rank,
+        kwargs={"base": 5},
+        per_rank_kwargs=[{"offset": 0}, {"offset": 10}, {"offset": 20}],
+    )
+    assert res.results == [5, 15, 25]
+    with pytest.raises(ValueError, match="one entry per rank"):
+        MpCluster(2).run(_per_rank, kwargs={"base": 1}, per_rank_kwargs=[{}])
+
+
+@pytest.mark.skipif(
+    "spawn" not in __import__("multiprocessing").get_all_start_methods(),
+    reason="spawn unavailable",
+)
+def test_spawn_start_method_runs():
+    res = MpCluster(2, start_method="spawn").run(_ring)
+    assert res.results == [1, 0]
