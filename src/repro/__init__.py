@@ -55,7 +55,7 @@ from repro.experiments import (
     run_sweep,
 )
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "Netlist",

@@ -48,8 +48,10 @@ from repro.experiments.registry import (
     get_scenario,
     list_scenarios,
     override_cluster,
+    override_eval_mode,
     resolve,
 )
+from repro.sime.config import EVAL_MODES
 from repro.experiments.sweeps import (
     BACKENDS,
     parse_shard,
@@ -112,6 +114,12 @@ def build_parser() -> argparse.ArgumentParser:
                        help="execution backend: deterministic simulated "
                             "cluster (model-seconds) or real OS processes "
                             "(wall-clock)")
+    p_run.add_argument("--eval-mode", default="scalar",
+                       choices=list(EVAL_MODES),
+                       help="allocation evaluation path: scalar (bit-exact "
+                            "default), batch (vectorized SoA kernel, ulp-"
+                            "budget equivalent), or check (scalar decisions "
+                            "+ batch re-scoring equivalence gate)")
     p_run.add_argument("--out", default=None,
                        help="artifact directory (also writes JSON/CSV)")
     p_run.add_argument("--json", action="store_true",
@@ -139,6 +147,10 @@ def build_parser() -> argparse.ArgumentParser:
                          help="force every cell onto one cluster backend "
                               "(sim: deterministic model-seconds; mp: real "
                               "processes, wall-clock)")
+    p_sweep.add_argument("--eval-mode", default=None,
+                         choices=list(EVAL_MODES),
+                         help="force every cell onto one allocation "
+                              "evaluation path (see `repro run`)")
     p_sweep.add_argument("--workers", type=int, default=None,
                          help="process-pool size (implies --backend process)")
     p_sweep.add_argument("--processes", action="store_true",
@@ -174,6 +186,10 @@ def build_parser() -> argparse.ArgumentParser:
     p_tables.add_argument("--circuits", type=_csv_list, default=None)
     p_tables.add_argument("--cluster", default=None, choices=list(CLUSTERS),
                           help="force every cell onto one cluster backend")
+    p_tables.add_argument("--eval-mode", default=None,
+                          choices=list(EVAL_MODES),
+                          help="force every cell onto one allocation "
+                               "evaluation path (see `repro run`)")
     p_tables.add_argument("--scale", type=int, default=100)
     p_tables.add_argument("--smoke", action="store_true",
                           help="one cheap circuit, minimal iterations")
@@ -196,6 +212,18 @@ def build_parser() -> argparse.ArgumentParser:
     p_bench.add_argument("--scenarios", type=_csv_list, default=None,
                          help="scenario names to bench at smoke size "
                               "(default: smoke,table2)")
+    p_bench.add_argument("--full", action="store_true",
+                         help="bench at full (non-smoke) scenario size; "
+                              "combine with --scale/--circuits to bound it")
+    p_bench.add_argument("--scale", type=int, default=100,
+                         help="iteration-budget divisor for --full benches")
+    p_bench.add_argument("--circuits", type=_csv_list, default=None,
+                         help="restrict benched scenarios to these circuits")
+    p_bench.add_argument("--eval-modes", type=_csv_list, default=None,
+                         metavar="MODES",
+                         help="comma-separated evaluation paths to bench "
+                              "per cell (e.g. scalar,batch); the report "
+                              "derives per-cell speedups vs scalar")
     p_bench.add_argument("--repeats", type=int, default=3,
                          help="timed runs per cell (min is reported)")
     p_bench.add_argument("--no-warmup", action="store_true",
@@ -273,6 +301,7 @@ def cmd_run(args: argparse.Namespace) -> int:
         objectives=tuple(args.objectives),
         iterations=args.iterations,
         seed=args.seed,
+        eval_mode=args.eval_mode,
     )
     params: dict[str, Any] = {}
     if args.strategy in ("type1", "type2", "type3", "type3x"):
@@ -292,7 +321,12 @@ def cmd_run(args: argparse.Namespace) -> int:
                   "pseudo-strategy", file=sys.stderr)
             return 2
         params["cluster"] = args.cluster
-    param_tail = ",".join(f"{k}={v}" for k, v in sorted(params.items()))
+    # eval_mode lives in the spec (not params — params are runner kwargs),
+    # but a non-default mode is still part of the cell's identity.
+    id_parts = dict(params)
+    if args.eval_mode != "scalar":
+        id_parts["eval_mode"] = args.eval_mode
+    param_tail = ",".join(f"{k}={v}" for k, v in sorted(id_parts.items()))
     cell = SweepCell(
         scenario="cli-run",
         cell_id=f"{args.circuit}/seed{args.seed}/{args.strategy}"
@@ -346,6 +380,8 @@ def _run_scenario_inline(args: argparse.Namespace) -> int:
         return 2
     if args.cluster != "sim":
         cells = override_cluster(cells, args.cluster)
+    if args.eval_mode != "scalar":
+        cells = override_eval_mode(cells, args.eval_mode)
     print(f"run {scenario.name}: {len(cells)} cells")
     records = []
     for i, cell in enumerate(cells):
@@ -467,6 +503,9 @@ def _execute_sweep(
     forced_cluster = getattr(args, "cluster", None)
     if forced_cluster:
         cells = override_cluster(cells, forced_cluster)
+    forced_mode = getattr(args, "eval_mode", None)
+    if forced_mode:
+        cells = override_eval_mode(cells, forced_mode)
 
     # Smoke runs get their own artifact name so they never clobber a
     # full-scale run of the same scenario; shards get a slice suffix.
@@ -476,6 +515,9 @@ def _execute_sweep(
     if forced_cluster and not getattr(args, "tag", None):
         # A forced-backend run must never clobber the default artifact.
         tag = f"{tag}-{forced_cluster}"
+    if forced_mode and forced_mode != "scalar" and not getattr(args, "tag", None):
+        # Same for a forced non-default evaluation path.
+        tag = f"{tag}-{forced_mode}"
     shard = None
     if getattr(args, "shard", None):
         try:
@@ -588,11 +630,21 @@ def cmd_bench(args: argparse.Namespace) -> int:
     )
 
     scenarios = args.scenarios or list(DEFAULT_SCENARIOS)
+    eval_modes = tuple(args.eval_modes) if args.eval_modes else ("scalar",)
+    for mode in eval_modes:
+        if mode not in EVAL_MODES:
+            print(f"error: unknown eval mode {mode!r} "
+                  f"(choose from {', '.join(EVAL_MODES)})", file=sys.stderr)
+            return 2
     try:
         report = run_bench(
             repeats=args.repeats,
             warmup=not args.no_warmup,
             scenarios=scenarios,
+            eval_modes=eval_modes,
+            smoke=not args.full,
+            scale=args.scale,
+            circuits=args.circuits,
         )
     except KeyError as exc:
         print(f"error: {exc.args[0]}", file=sys.stderr)

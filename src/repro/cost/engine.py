@@ -274,6 +274,10 @@ class CostEngine:
         #: every other net a commit only recomputes the x-span and reuses
         #: this term — bit-identical to a full evaluation.
         self._net_branch: list[float | None] = [None] * netlist.num_nets
+        #: Lazily-built SoA mirror for the batched evaluation path (see
+        #: :mod:`repro.cost.soa`); None until the first batch probe, so
+        #: scalar-mode runs never pay for keeping it in sync.
+        self._soa = None
         self._placement: Placement | None = None
         self.net_lengths: list[float] = []
         self.wirelength_total: float = 0.0
@@ -301,6 +305,8 @@ class CostEngine:
         self.net_lengths = lengths.tolist()
         self._net_branch = branch
         self._goodness_cache = [None] * self.netlist.num_cells
+        if self._soa is not None:
+            self._soa.mark_stale()
         self._finish_refresh(lengths)
 
     def share_state(self) -> tuple:
@@ -396,6 +402,8 @@ class CostEngine:
         self._placement = placement
         self._goodness_cache = [None] * self.netlist.num_cells
         self._net_branch = [None] * self.netlist.num_nets
+        if self._soa is not None:
+            self._soa.mark_stale()
 
     def _require_placement(self) -> Placement:
         if self._placement is None:
@@ -537,7 +545,7 @@ class CostEngine:
         # Cells at and after slot s shifted left; plus the removed cell's
         # nets lose a pin.
         changed = [cell] + p.rows[r][s:]
-        self._update_nets_of(changed, charge_to, moved=(cell,))
+        self._update_nets_of(changed, charge_to, moved=(cell,), rows=(r,))
         return r, s
 
     def remove_cells(self, cells: Sequence[int], charge_to: str = "allocation") -> None:
@@ -548,8 +556,11 @@ class CostEngine:
         removes its whole selection set through this.
         """
         p = self._require_placement()
+        row_of = p.row_of
+        touched_rows = {row_of[c] for c in cells}
         changed = p.remove_cells(cells)
-        self._update_nets_of(changed, charge_to, moved=cells)
+        self._update_nets_of(changed, charge_to, moved=cells,
+                             rows=touched_rows)
 
     def insert_cell(
         self, cell: int, row: int, slot: int, charge_to: str = "allocation"
@@ -559,7 +570,7 @@ class CostEngine:
         p.insert_cell(cell, row, slot)
         slot = p.slot_of[cell]
         changed = p.rows[row][slot:]
-        self._update_nets_of(changed, charge_to, moved=(cell,))
+        self._update_nets_of(changed, charge_to, moved=(cell,), rows=(row,))
 
     def move_cell(
         self, cell: int, row: int, slot: int, charge_to: str = "allocation"
@@ -580,13 +591,15 @@ class CostEngine:
             changed = set(p.rows[ra][sa:])
             changed.update(p.rows[rb][sb:])
         changed.update((a, b))
-        self._update_nets_of(list(changed), charge_to, moved=(a, b))
+        self._update_nets_of(list(changed), charge_to, moved=(a, b),
+                             rows=(ra, rb))
 
     def _update_nets_of(
         self,
         cells: Sequence[int],
         charge_to: str,
         moved: Sequence[int] | None = None,
+        rows: Sequence[int] | None = None,
     ) -> None:
         """Recompute the nets touching ``cells``; update all totals.
 
@@ -597,6 +610,10 @@ class CostEngine:
         to a full evaluation.  The iteration order over the net set is
         independent of the hint, so the floating-point delta accumulation
         is identical with or without it.
+
+        ``rows`` names the rows whose membership or packing changed, so
+        the SoA mirror can invalidate just their cached insertion
+        boundaries; ``None`` drops the whole row cache (conservative).
         """
         p = self.placement
         cell_nets = self._cell_nets
@@ -613,6 +630,12 @@ class CostEngine:
         has_power = self.has_power
         has_delay = self.has_delay
         x, y = p.x, p.y
+        soa = self._soa
+        if soa is not None:
+            # Keep the batch path's SoA mirror in sync: ``cells`` is
+            # exactly the coordinate-changed set (removed cells now NaN,
+            # packed neighbours shifted).
+            soa.update_cells(cells, x, y, rows)
         units = 0.0
         wl_delta = 0.0
         pw_delta = 0.0
@@ -709,6 +732,41 @@ class CostEngine:
             CostEngine._probe_cls = cls = ProbeContext
         return cls(self, cell)
 
+    #: Lazily-bound SoA classes (import deferred, same reason as above).
+    _soa_cls = None
+    _batch_cls = None
+
+    def soa_state(self):
+        """The engine's SoA placement mirror, created on first use.
+
+        Scalar-mode runs never call this, so they never pay the mirror's
+        sync cost; once created, the mutation funnel keeps it fresh.
+        """
+        soa = self._soa
+        if soa is None:
+            cls = CostEngine._soa_cls
+            if cls is None:
+                from repro.cost.soa import SoAState
+
+                CostEngine._soa_cls = cls = SoAState
+            soa = self._soa = cls(self)
+        return soa
+
+    def open_batch_probe(self, cell: int) -> "BatchProbeContext":
+        """Open the batched (vectorized) probe kernel for one cell.
+
+        The numpy counterpart of :meth:`open_probe`: ``scan_rows`` scores
+        every candidate of a probe round in one set of array operations,
+        within the documented ulp budget of the scalar kernel (see
+        :mod:`repro.cost.soa`).  Valid until the next structural mutation.
+        """
+        cls = CostEngine._batch_cls
+        if cls is None:
+            from repro.cost.soa import BatchProbeContext
+
+            CostEngine._batch_cls = cls = BatchProbeContext
+        return cls(self, cell)
+
     def trial_insertion(self, cell: int, row: int, slot: int) -> TrialResult:
         """Score inserting the (currently unplaced) ``cell`` at (row, slot).
 
@@ -751,6 +809,10 @@ class CostEngine:
             for j in crit:
                 c_d += dr[j] * (wc * new_lens[j] + sc[j])
         self.meter.charge("allocation", units)
+        # Throughput counter: one unit per candidate scored, zero-cost
+        # under every work model (not a paper category) — bench derives
+        # cells-probed-per-second from it.
+        self.meter.charge("probe", 1.0)
 
         o_wl = self._cell_o_wl[cell]
         ratios = [o_wl / c_wl if c_wl > o_wl else 1.0]

@@ -116,6 +116,7 @@ class ProbeContext:
         "_row_branch",
         "_row_fast",
         "_pending_units",
+        "_pending_probes",
     )
 
     def __init__(self, engine, cell: int):
@@ -212,6 +213,7 @@ class ProbeContext:
         else:
             self._crit = []
         self._pending_units = 0.0
+        self._pending_probes = 0.0
 
     # ------------------------------------------------------------------
     def _row_branches(self, row: int) -> list:
@@ -262,25 +264,28 @@ class ProbeContext:
         return boundary + self._w / 2.0, self._row_y(row)
 
     def _goodness_at(self, row: int, cx: float) -> float:
-        """Fuzzy goodness of the cell at x = ``cx`` in ``row``."""
-        branches = self._row_branches(row)
+        """Fuzzy goodness of the cell at x = ``cx`` in ``row``.
+
+        Runs on the same per-row fused records as :meth:`scan_row`, so
+        repeated probes into one row — ``probe_many`` in particular —
+        share one cached y-term computation per row instead of rebuilding
+        it per call.  Dropping m == 0 nets and reusing the records is
+        value-preserving (they contribute an exact 0.0 in the same
+        accumulation positions), so results stay bit-identical to
+        ``trial_insertion``.
+        """
         c_wl = 0.0
         c_pw = 0.0
         has_power = self._has_power
-        i = 0
-        for m, lo, hi, a in zip(self._m, self._lo, self._hi, self._act):
-            if m == 0:
-                i += 1
-                continue
+        for lo, hi, a, yt in self._row_fast_data(row):
             if cx < lo:
                 lo = cx
             elif cx > hi:
                 hi = cx
-            new_len = (hi - lo) + branches[i]
+            new_len = (hi - lo) + yt
             c_wl += new_len
             if has_power:
                 c_pw += a * new_len
-            i += 1
         o_wl = self._o_wl
         r0 = o_wl / c_wl if c_wl > o_wl else 1.0
         worst = r0
@@ -335,6 +340,7 @@ class ProbeContext:
         legal = p.row_width[row] + self._w <= self._max_legal + 1e-9
         goodness = self._goodness_at(row, cx)
         self.engine.meter.charge("allocation", self._units)
+        self.engine.meter.charge("probe", 1.0)
         return TrialResult(
             legal=legal, goodness=goodness, row=row, slot=slot, x=cx, y=cy
         )
@@ -406,6 +412,7 @@ class ProbeContext:
         # Deferred to one meter call per probe round (``flush_charges``):
         # unit counts are integer-valued, so the batched total is exact.
         self._pending_units += n_cand * self._units
+        self._pending_probes += float(n_cand)
         if not (p.row_width[row] + self._w <= self._max_legal + 1e-9):
             return best
         cells = p.rows[row]
@@ -471,5 +478,8 @@ class ProbeContext:
     def flush_charges(self) -> None:
         """Charge the accumulated ``scan_row`` work to the meter."""
         if self._pending_units:
-            self.engine.meter.charge("allocation", self._pending_units)
+            meter = self.engine.meter
+            meter.charge("allocation", self._pending_units)
+            meter.charge("probe", self._pending_probes)
             self._pending_units = 0.0
+            self._pending_probes = 0.0

@@ -1,0 +1,641 @@
+"""Batched SoA evaluation: vectorized candidate scans for the allocation loop.
+
+:class:`~repro.cost.probe.ProbeContext` (PR 3) removed the per-candidate
+pin re-walk but still scores candidates one at a time in Python — the
+per-candidate interpreter overhead is now the allocation hot loop's floor.
+This module removes that too: :class:`BatchProbeContext` scores **every
+candidate slot of a probe round in one set of numpy operations** over a
+struct-of-arrays snapshot of the placement (:class:`SoAState`).
+
+Data layout
+-----------
+``SoAState`` (one per engine, created lazily on first batch probe) mirrors
+the placement's plain-list coordinates as float64 arrays with one extra
+**sentinel slot** at index ``num_cells`` holding NaN: per-cell pin tables
+are padded rectangles of cell indices where padding points at the
+sentinel, so one fancy-index gather yields an (incident-nets × max-degree)
+coordinate matrix in which padding and unplaced cells are both NaN and a
+single ``isfinite`` mask separates placed pins.  The engine keeps the
+mirror in sync through its one mutation funnel
+(:meth:`~repro.cost.engine.CostEngine._update_nets_of` forwards exactly
+the coordinate-changed cells) and marks it stale on placement rebinds;
+scalar-mode runs never build it, so the default path pays nothing.
+
+On top of the coordinate mirror the state memoizes, per row, the array of
+candidate **insertion boundaries** (each resident cell's left edge in slot
+order).  Consecutive probe rounds differ by exactly one commit — one row's
+contents — so the engine's mutators invalidate just the rows they touch
+(:meth:`SoAState.invalidate_rows`) and a scan re-derives one row instead
+of all of them; any sync without row information conservatively drops the
+whole cache.
+
+Per probe round, ``BatchProbeContext`` gathers the fixed-pin matrices
+once, reduces them to per-net x extremes / sorted y columns, computes the
+estimator **y-term of every incident net for a whole row at once**
+(merged-median selection via ``take_along_axis``, replaying the scalar
+kernel's exact median choice), and then scores all candidates of all
+probed windows as one (candidates × nets) broadcast: x-spans, wirelength
+and power partials, the delay ratio over the critical columns, the fuzzy
+goodness combine, and the per-row width-legality mask.  The winner is the
+**first** best legal candidate in scan order — ``np.argmax`` returns the
+first maximum, matching the scalar loop's strict-``>`` tie-break.
+
+Equivalence contract (the ulp budget)
+-------------------------------------
+Per candidate, every *selection* (min/max extremes, medians, the merged
+median) and the candidate x coordinate are **bit-identical** to the scalar
+kernel; only the *sums* (branch terms, cost accumulations, the dot
+products) are re-associated by vectorization.  All summands are
+non-negative, so re-association cannot cancel — the result differs from
+the scalar kernel by at most a small relative error that grows with the
+number of terms.  The documented budget is :data:`BATCH_ULP_BUDGET` units
+in the last place on the final goodness value; ``eval_mode="check"`` runs
+(and the property tests) enforce it per candidate via :func:`ulp_diff`
+and raise :class:`EquivalenceError` past it.  Because an in-budget ulp
+flip can still swap an argmax, batch-mode *trajectories* may diverge from
+scalar ones; the bit-exact default stays ``eval_mode="scalar"``.
+
+Work charges are identical to the scalar paths: one ``allocation`` unit
+per candidate plus one per net-pin the scalar walk would visit, and one
+``probe`` unit per candidate (the zero-cost throughput counter the bench
+derives cells-probed-per-second from).  Unit counts are integer-valued,
+so the one batched charge per round is exact.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from typing import Sequence
+
+import numpy as np
+
+__all__ = [
+    "BATCH_ULP_BUDGET",
+    "EquivalenceError",
+    "SoAState",
+    "BatchProbeContext",
+    "ulp_diff",
+]
+
+#: Maximum tolerated ulp distance between a batch-scored goodness and the
+#: scalar kernel's value at the same candidate.  Budgeted for positive-sum
+#: re-association over a few hundred terms (pins × nets) plus the ratio
+#: divisions and the final OWA combine; measured divergence on the test
+#: circuits is far below it.
+BATCH_ULP_BUDGET = 128
+
+
+class EquivalenceError(AssertionError):
+    """Batch evaluation diverged from the scalar kernel past the budget."""
+
+
+def _float_key(values: np.ndarray) -> np.ndarray:
+    """Map float64 to uint64 monotonically (the radix-sort bit flip)."""
+    u = np.ascontiguousarray(values, dtype=np.float64).view(np.uint64)
+    return np.where(u >> np.uint64(63), ~u, u | np.uint64(1) << np.uint64(63))
+
+
+def ulp_diff(a, b) -> np.ndarray:
+    """Elementwise distance in units-in-the-last-place between ``a``, ``b``.
+
+    Computed on the monotone integer image of the float64 bit patterns,
+    so 0 means bit-identical (with −0.0 one ulp from +0.0) and adjacent
+    representable doubles are 1 apart.
+    """
+    ka = _float_key(np.atleast_1d(np.asarray(a, dtype=np.float64)))
+    kb = _float_key(np.atleast_1d(np.asarray(b, dtype=np.float64)))
+    return np.where(ka >= kb, ka - kb, kb - ka)
+
+
+class _CellStatic:
+    """Static (netlist-only) batch tables for one cell's incident nets."""
+
+    __slots__ = ("pins", "units", "act", "crit_cols", "crit_w", "crit_const",
+                 "o_wl", "o_pw", "o_d")
+
+    def __init__(self, engine, soa: "SoAState", cell: int):
+        nets = engine._cell_nets[cell]
+        net_pins = engine.evaluator.net_pins
+        others = [[c for c in net_pins[j] if c != cell] for j in nets]
+        d = max((len(o) for o in others), default=0)
+        pins = np.full((len(nets), d), soa.n, dtype=np.intp)
+        for i, o in enumerate(others):
+            pins[i, : len(o)] = o
+        self.pins = pins
+        self.units = 1.0 + float(sum(engine._degrees[j] for j in nets))
+        self.act = soa.act[np.asarray(nets, dtype=np.intp)] if nets else \
+            np.zeros(0)
+        self.o_wl = engine._cell_o_wl[cell]
+        self.o_pw = engine._cell_o_pw[cell]
+        self.o_d = engine._cell_o_d[cell]
+        crit = engine._cell_crit_nets[cell]
+        if crit:
+            pos_of = {j: i for i, j in enumerate(nets)}
+            self.crit_cols = np.asarray([pos_of[j] for j in crit],
+                                        dtype=np.intp)
+            dr = engine._drive_res
+            sc = engine._sink_caps
+            wc = engine._wire_cap
+            self.crit_w = np.asarray([dr[j] * wc for j in crit])
+            self.crit_const = float(sum(dr[j] * sc[j] for j in crit))
+        else:
+            self.crit_cols = np.zeros(0, dtype=np.intp)
+            self.crit_w = np.zeros(0)
+            self.crit_const = 0.0
+
+
+class SoAState:
+    """Struct-of-arrays mirror of one engine's placement (see module doc).
+
+    ``x``/``y`` have ``num_cells + 1`` entries; the last is a permanent
+    NaN sentinel that padded pin tables point at.  The mirror is updated
+    incrementally by the engine's mutation funnel and re-copied wholesale
+    (``ensure_fresh``) after a placement rebind or full refresh.
+    """
+
+    __slots__ = ("engine", "n", "xy", "x", "y", "widths", "act", "row_y",
+                 "_static", "_row_cache", "_stale", "_bound")
+
+    def __init__(self, engine):
+        self.engine = engine
+        self.n = engine.netlist.num_cells
+        # x and y are views of one (2, n+1) block so a probe context can
+        # fetch both coordinate matrices with a single fancy-index gather.
+        self.xy = np.full((2, self.n + 1), np.nan)
+        self.x = self.xy[0]
+        self.y = self.xy[1]
+        self.widths = np.zeros(self.n)
+        self.act = np.asarray(engine._act, dtype=np.float64)
+        # Fixed row geometry as an array: the y-term broadcast gathers row
+        # centers by fancy index instead of a per-scan method-call loop.
+        grid = engine.grid
+        self.row_y = np.asarray(
+            [grid.row_y(r) for r in range(grid.num_rows)]
+        )
+        self._static: dict[int, _CellStatic] = {}
+        #: row -> (cell indices, insertion boundaries) in slot order; see
+        #: the module docstring.  Entries are dropped by invalidate_rows.
+        self._row_cache: dict[int, tuple[np.ndarray, np.ndarray]] = {}
+        self._stale = True
+        self._bound = None
+
+    # ------------------------------------------------------------------
+    def mark_stale(self) -> None:
+        """The placement changed out from under the mirror (rebind)."""
+        self._stale = True
+        self._row_cache.clear()
+
+    def ensure_fresh(self, placement) -> None:
+        """Bulk-resync from the placement if stale or rebound."""
+        if not self._stale and self._bound is placement:
+            return
+        self.x[: self.n] = placement.x
+        self.y[: self.n] = placement.y
+        self.widths[:] = placement._widths
+        self._row_cache.clear()
+        self._bound = placement
+        self._stale = False
+
+    def update_cells(
+        self, cells: Sequence[int], x, y,
+        rows: Sequence[int] | None = None,
+    ) -> None:
+        """Incremental sync hook: copy the changed cells' coordinates.
+
+        ``x``/``y`` are the placement's plain lists; ``cells`` is exactly
+        the coordinate-changed set the engine's mutation funnel computed.
+        ``rows`` names the rows whose membership or packing changed — their
+        cached insertion boundaries are dropped; ``None`` (a sync of
+        unknown provenance) conservatively drops every row's cache.
+        """
+        if self._stale:
+            return  # the next ensure_fresh() re-copies everything anyway
+        sx, sy = self.x, self.y
+        for c in cells:
+            sx[c] = x[c]
+            sy[c] = y[c]
+        self.invalidate_rows(rows)
+
+    def invalidate_rows(self, rows: Sequence[int] | None) -> None:
+        """Drop cached insertion boundaries for ``rows`` (None: all)."""
+        if rows is None:
+            self._row_cache.clear()
+        else:
+            cache = self._row_cache
+            for r in rows:
+                cache.pop(r, None)
+
+    def row_bounds(self, row: int, cells: Sequence[int]) -> tuple:
+        """Cached ``(cell indices, insertion boundaries)`` of one row.
+
+        ``cells`` is the placement's current slot-ordered cell list for
+        ``row``; the boundary array holds each cell's left edge
+        (``x - width/2``) — the identical doubles the scalar kernel reads
+        per interior candidate.  Correctness rests on the engine's
+        mutators invalidating every row they touch (the equivalence tests
+        and the check-mode gate exercise exactly that).
+        """
+        ent = self._row_cache.get(row)
+        if ent is None:
+            mid = np.asarray(cells, dtype=np.intp)
+            ent = (mid, self.x[mid] - self.widths[mid] * 0.5)
+            self._row_cache[row] = ent
+        return ent
+
+    def cell_static(self, cell: int) -> _CellStatic:
+        st = self._static.get(cell)
+        if st is None:
+            st = self._static[cell] = _CellStatic(self.engine, self, cell)
+        return st
+
+
+class BatchProbeContext:
+    """One cell's probe round, scored with vectorized numpy.
+
+    Open via :meth:`repro.cost.engine.CostEngine.open_batch_probe`.  Like
+    the scalar :class:`~repro.cost.probe.ProbeContext`, a context is valid
+    until the next structural mutation; the allocator opens one per cell.
+    """
+
+    __slots__ = (
+        "engine", "cell", "_p", "_soa", "_st", "_w", "_max_legal", "_units",
+        "_steiner", "_has_power", "_has_delay", "_beta", "_n_obj",
+        "_mask", "_m", "_xlo", "_xhi", "_Y", "_ysort", "_ylo", "_yhi",
+        "_half", "_modd", "_net_off", "_pending_units", "_pending_probes",
+    )
+
+    def __init__(self, engine, cell: int):
+        p = engine._require_placement()
+        soa = engine.soa_state()
+        soa.ensure_fresh(p)
+        st = soa.cell_static(cell)
+        self.engine = engine
+        self.cell = cell
+        self._p = p
+        self._soa = soa
+        self._st = st
+        self._w = float(p._widths[cell])
+        self._max_legal = engine.grid.max_legal_width
+        self._units = st.units
+        self._steiner = engine.evaluator.estimator == "steiner"
+        self._has_power = engine.has_power
+        self._has_delay = engine.has_delay
+        self._beta = engine._beta
+        self._n_obj = 1 + int(self._has_power) + int(self._has_delay)
+
+        # One gather: fixed-pin coordinate matrices (nets × max degree);
+        # padding and unplaced pins are NaN, one mask covers both.
+        XY = soa.xy[:, st.pins]
+        X = XY[0]
+        Y = XY[1]
+        mask = np.isfinite(X)
+        self._mask = mask
+        self._m = mask.sum(axis=1)
+        if X.shape[1]:
+            self._xlo = np.where(mask, X, np.inf).min(axis=1)
+            self._xhi = np.where(mask, X, -np.inf).max(axis=1)
+        else:
+            self._xlo = np.full(X.shape[0], np.inf)
+            self._xhi = np.full(X.shape[0], -np.inf)
+        if self._steiner:
+            # Placed ys sorted ascending, +inf padding — the merged-median
+            # selection indexes below never reach the padding for m ≥ 1.
+            self._Y = np.where(mask, Y, np.nan)
+            self._ysort = np.sort(np.where(mask, Y, np.inf), axis=1)
+            self._ylo = self._yhi = None
+            # Row-independent pieces of the merged-median selection: the
+            # merged length is m + 1 per net, so the median indexes and
+            # the odd/even parity never change across probed rows.
+            self._half = (self._m + 1) // 2
+            self._modd = (self._m + 1) % 2 == 1
+            self._net_off = (
+                np.arange(mask.shape[0], dtype=np.intp) * mask.shape[1]
+            )
+        else:
+            self._Y = self._ysort = None
+            self._half = self._modd = self._net_off = None
+            if Y.shape[1]:
+                self._ylo = np.where(mask, Y, np.inf).min(axis=1)
+                self._yhi = np.where(mask, Y, -np.inf).max(axis=1)
+            else:
+                self._ylo = np.full(Y.shape[0], np.inf)
+                self._yhi = np.full(Y.shape[0], -np.inf)
+        self._pending_units = 0.0
+        self._pending_probes = 0.0
+
+    # ------------------------------------------------------------------
+    def _yterms(self, rows: Sequence[int]) -> np.ndarray:
+        """(rows × nets) estimator y-terms, every probed row in one shot.
+
+        For steiner the merged median per (row, net) replays the scalar
+        kernel's exact selection — the merged sequence is the sorted fixed
+        ys with the row's ``cy`` inserted at ``kins``, and the picks use
+        the same expressions (``srt[idx]`` below the insertion point,
+        ``cy`` at it, ``srt[idx-1]`` above), so every pick is the exact
+        same double.  Gathers are flat fancy indexes (``net_off + col``)
+        rather than ``take_along_axis`` — the wrapper overhead was the
+        batch path's single largest cost.
+        """
+        cy = self._soa.row_y[np.asarray(rows, dtype=np.intp)]
+        m = self._m
+        if not self._steiner:
+            yt = (np.maximum(self._yhi[None, :], cy[:, None])
+                  - np.minimum(self._ylo[None, :], cy[:, None]))
+        else:
+            srt = self._ysort
+            n_nets, d = srt.shape
+            cyc = cy[:, None]
+            if d:
+                kins = (srt[None, :, :] < cy[:, None, None]).sum(axis=2)
+                flat = srt.ravel()
+                off = self._net_off
+                half = self._half
+                lo_idx = half - 1
+                # The merged-position picks stay within 0..d-1 whenever
+                # they are used (idx ≤ m, and the below-insertion branch
+                # implies idx ≤ kins-1 ≤ d-1); only the idx == kins case
+                # can go negative, and its gather result is discarded by
+                # the ``where`` below — clamp at 0 and skip the upper clip.
+                take_hi = np.where(half < kins, half, half - 1)
+                take_lo = np.where(lo_idx < kins, lo_idx, half - 2)
+                v_hi = flat[off + np.maximum(take_hi, 0)]
+                v_lo = flat[off + np.maximum(take_lo, 0)]
+            else:
+                kins = np.zeros((len(rows), n_nets), dtype=np.intp)
+                half = self._half
+                lo_idx = half - 1
+                v_hi = np.zeros_like(kins, dtype=np.float64)
+                v_lo = np.zeros_like(kins, dtype=np.float64)
+            v_hi = np.where(half == kins, cyc, v_hi)
+            v_lo = np.where(lo_idx == kins, cyc, v_lo)
+            med = np.where(self._modd, v_hi, 0.5 * (v_lo + v_hi))
+            branch = np.where(
+                self._mask[None, :, :],
+                np.abs(self._Y[None, :, :] - med[:, :, None]),
+                0.0,
+            ).sum(axis=2)
+            yt = branch + np.abs(cyc - med)
+        return np.where(m[None, :] > 0, yt, 0.0)
+
+    # ------------------------------------------------------------------
+    def _gather(
+        self,
+        windows: Sequence[tuple[int, int, int]],
+        legal_only: bool = False,
+        charge: bool = False,
+    ) -> tuple:
+        """One Python pass over the windows: clamp, charge, build meta.
+
+        Returns ``(meta, chunks, app_pos, app_val, pos)``.  ``meta`` is
+        the compact per-window bookkeeping ``(rows_used, los, oks, ends)``:
+        the clamped window rows, their first slots, their width-legality,
+        and the cumulative candidate-count ends.  Per-candidate row/slot/
+        legal views are derived from it on demand (:meth:`_candidate_at`
+        for the single winner, :meth:`_expand_meta` for the equivalence
+        paths) — the hot path never builds per-candidate Python lists.
+        ``chunks`` holds each window's slice of the SoA per-row boundary
+        cache (:meth:`SoAState.row_bounds`) — consecutive scans touch one
+        row, so all but one slice comes straight from the cache.
+
+        ``charge`` books the scalar scan's exact accounting (one
+        candidate's units per unclamped slot, legal row or not);
+        ``legal_only`` then drops width-illegal rows from the gathered
+        set, replaying the scalar scan's early exit — their candidates
+        are charged but can never win, so they are never scored.
+        """
+        p = self._p
+        rows = p.rows
+        soa = self._soa
+        row_bounds = soa.row_bounds
+        w = self._w
+        units = self._units
+        row_width = p.row_width
+        max_ok = self._max_legal + 1e-9
+        rows_used: list[int] = []
+        los: list[int] = []
+        oks: list[bool] = []
+        ends: list[int] = []
+        counts: list[int] = []
+        chunks: list[np.ndarray] = []
+        app_pos: list[int] = []
+        app_val: list[float] = []
+        pos = 0
+        for row, lo, hi in windows:
+            if hi >= lo and charge:
+                self._pending_units += (hi - lo + 1) * units
+                self._pending_probes += float(hi - lo + 1)
+            width = row_width[row]
+            ok = width + w <= max_ok
+            if legal_only and not ok:
+                continue
+            cells = rows[row]
+            n_row = len(cells)
+            if lo < 0:
+                lo = 0
+            if hi > n_row:
+                hi = n_row
+            if hi < lo:
+                continue
+            rows_used.append(row)
+            los.append(lo)
+            oks.append(ok)
+            # Insertion boundaries: the next cell's left edge per interior
+            # slot, the packed row end for the append slot — the same
+            # doubles the scalar kernel computes (the cached per-row
+            # boundary array holds exactly those left edges).
+            n_int = min(hi, n_row - 1) - lo + 1
+            chunks.append(row_bounds(row, cells)[1][lo: lo + n_int])
+            if hi == n_row:
+                app_pos.append(pos + n_int)
+                app_val.append(width)
+            pos += hi - lo + 1
+            counts.append(hi - lo + 1)
+            ends.append(pos)
+        return ((rows_used, los, oks, ends), chunks, app_pos, app_val, pos,
+                counts)
+
+    def _score(self, gathered: tuple) -> tuple[np.ndarray, ...]:
+        """Score every gathered candidate with vectorized numpy.
+
+        Returns ``(goodness, cx, meta)`` over all candidates, concatenated
+        in scan order (windows in order, slots ascending) — the order the
+        argmax tie-break depends on.
+        """
+        meta, chunks, app_pos, app_val, pos, counts = gathered
+        if not pos:
+            empty_f = np.zeros(0)
+            return empty_f, empty_f, meta
+        half_w = 0.5 * self._w
+        rows_used = meta[0]
+
+        inner = chunks[0] if len(chunks) == 1 else np.concatenate(chunks)
+        if app_pos:
+            bounds = np.empty(pos)
+            keep = np.ones(pos, dtype=bool)
+            app = np.asarray(app_pos, dtype=np.intp)
+            keep[app] = False
+            bounds[keep] = inner
+            bounds[app] = app_val
+        else:
+            bounds = inner
+        cx = bounds + half_w
+        yt = self._yterms(rows_used)[
+            np.repeat(np.arange(len(counts), dtype=np.intp), counts)
+        ]
+        lens = (
+            np.maximum(self._xhi[None, :], cx[:, None])
+            - np.minimum(self._xlo[None, :], cx[:, None])
+            + yt
+        )
+        n_cand = cx.shape[0]
+        st = self._st
+        c_wl = lens.sum(axis=1)
+        r0 = np.divide(st.o_wl, c_wl, out=np.ones(n_cand),
+                       where=c_wl > st.o_wl)
+        worst = r0
+        total = r0.copy()
+        if self._has_power:
+            c_pw = lens @ st.act
+            r1 = np.divide(st.o_pw, c_pw, out=np.ones(n_cand),
+                           where=c_pw > st.o_pw)
+            worst = np.minimum(worst, r1)
+            total += r1
+        if self._has_delay:
+            if st.crit_cols.size:
+                c_d = lens[:, st.crit_cols] @ st.crit_w + st.crit_const
+                r2 = np.divide(st.o_d, c_d, out=np.ones(n_cand),
+                               where=c_d > st.o_d)
+                worst = np.minimum(worst, r2)
+                total += r2
+            else:
+                worst = np.minimum(worst, 1.0)
+                total += 1.0
+        g = self._beta * worst + (1.0 - self._beta) * (total / self._n_obj)
+        return g, cx, meta
+
+    @staticmethod
+    def _candidate_at(meta, i: int) -> tuple[int, int, bool]:
+        """(row, slot, legal) of flat candidate ``i`` from compact meta."""
+        rows_used, los, oks, ends = meta
+        w = bisect_right(ends, i)
+        start = ends[w - 1] if w else 0
+        return rows_used[w], los[w] + (i - start), oks[w]
+
+    @staticmethod
+    def _expand_meta(meta) -> tuple[list, list, np.ndarray]:
+        """Per-candidate ``(rows, slots, legal)`` views of compact meta."""
+        rows_used, los, oks, ends = meta
+        rows_list: list[int] = []
+        slots_list: list[int] = []
+        legal_list: list[bool] = []
+        start = 0
+        for row, lo, ok, end in zip(rows_used, los, oks, ends):
+            n = end - start
+            rows_list.extend([row] * n)
+            slots_list.extend(range(lo, lo + n))
+            legal_list.extend([ok] * n)
+            start = end
+        return rows_list, slots_list, np.asarray(legal_list, dtype=bool)
+
+    # ------------------------------------------------------------------
+    def score_windows(
+        self, windows: Sequence[tuple[int, int, int]], charge: bool = True
+    ) -> tuple[np.ndarray, ...]:
+        """Per-candidate ``(goodness, legal, rows, slots, cx)`` in scan order.
+
+        The equivalence-facing form: every candidate expanded, illegal
+        rows included and scored.  ``charge=False`` skips the meter
+        accounting — the check-mode gate scores the batch path *alongside*
+        an already-charged scalar scan.
+        """
+        g, cx, meta = self._score(self._gather(windows))
+        if charge:
+            n = g.shape[0]
+            self._pending_units += n * self._units
+            self._pending_probes += float(n)
+        rows_list, slots_list, legal = self._expand_meta(meta)
+        return g, legal, rows_list, slots_list, cx
+
+    def scan_rows(
+        self,
+        windows: Sequence[tuple[int, int, int]],
+        best: tuple[float, int, int] | None = None,
+    ) -> tuple[float, int, int] | None:
+        """Best legal candidate over all windows, batch-scored.
+
+        Returns ``(goodness, row, slot)`` with the scalar loop's
+        tie-breaking: the first best candidate in scan order wins
+        (``np.argmax`` returns the first maximum; a carried-in ``best``
+        is only displaced by a strictly better goodness).  Charges one
+        candidate's units per slot, legal row or not, exactly like the
+        scalar scan — and like the scalar scan's early exit, width-illegal
+        rows are charged but never scored (their candidates cannot win),
+        so the vectorized work tracks the legal windows only.
+        """
+        g, _cx, meta = self._score(
+            self._gather(windows, legal_only=True, charge=True)
+        )
+        if not g.shape[0]:
+            return best
+        i = int(np.argmax(g))
+        gi = float(g[i])
+        if best is None or gi > best[0]:
+            row, slot, _ok = self._candidate_at(meta, i)
+            return gi, row, slot
+        return best
+
+    def scan_row_batch(
+        self,
+        row: int,
+        lo_slot: int,
+        hi_slot: int,
+        best: tuple[float, int, int] | None = None,
+    ) -> tuple[float, int, int] | None:
+        """Single-window convenience form of :meth:`scan_rows`."""
+        return self.scan_rows([(row, lo_slot, hi_slot)], best)
+
+    def flush_charges(self) -> None:
+        """Charge the accumulated scan work to the meter."""
+        if self._pending_units:
+            meter = self.engine.meter
+            meter.charge("allocation", self._pending_units)
+            meter.charge("probe", self._pending_probes)
+            self._pending_units = 0.0
+            self._pending_probes = 0.0
+
+    # ------------------------------------------------------------------
+    def assert_matches_scalar(
+        self, scalar_ctx, windows: Sequence[tuple[int, int, int]]
+    ) -> None:
+        """The check-mode gate: batch vs scalar kernel, per candidate.
+
+        Scores the windows on the batch path (uncharged — the scalar scan
+        already paid) and asserts, for every candidate, identical width
+        legality and a goodness within :data:`BATCH_ULP_BUDGET` ulps of
+        the scalar kernel's charge-free evaluation.  Raises
+        :class:`EquivalenceError` on the first violation.
+        """
+        g, legal, rows_arr, slots_arr, cx = self.score_windows(
+            windows, charge=False
+        )
+        p = self._p
+        w = self._w
+        for i in range(g.shape[0]):
+            row = int(rows_arr[i])
+            slot = int(slots_arr[i])
+            s_legal = p.row_width[row] + w <= self._max_legal + 1e-9
+            if bool(legal[i]) != s_legal:
+                raise EquivalenceError(
+                    f"cell {self.cell} at ({row},{slot}): batch legality "
+                    f"{bool(legal[i])} != scalar {s_legal}"
+                )
+            s_cx, _ = scalar_ctx._coords(row, slot)
+            s_g = scalar_ctx._goodness_at(row, s_cx)
+            d = int(ulp_diff(float(g[i]), s_g)[0])
+            if d > BATCH_ULP_BUDGET:
+                raise EquivalenceError(
+                    f"cell {self.cell} at ({row},{slot}): goodness "
+                    f"{float(g[i])!r} vs scalar {s_g!r} differs by {d} ulp "
+                    f"(budget {BATCH_ULP_BUDGET}; cx {float(cx[i])!r} vs "
+                    f"{s_cx!r})"
+                )

@@ -57,7 +57,7 @@ __all__ = [
 
 #: Bump when the meaning/encoding of cached results changes without a
 #: package version bump (e.g. a RunRecord schema change).
-RESULT_SCHEMA = "cell-v1"
+RESULT_SCHEMA = "cell-v2"
 
 
 def version_key() -> str:

@@ -22,13 +22,16 @@ Two invariants ride along:
 from __future__ import annotations
 
 import json
+import os
 import platform
 import sys
 import time
 from pathlib import Path
 from typing import Any, Iterable, Sequence
 
-from repro.experiments.registry import SweepCell, resolve
+import numpy as np
+
+from repro.experiments.registry import SweepCell, override_eval_mode, resolve
 from repro.experiments.sweeps import run_cell
 
 __all__ = [
@@ -48,11 +51,22 @@ BENCH_SCHEMA = 1
 DEFAULT_SCENARIOS: tuple[str, ...] = ("smoke", "table2")
 
 
-def bench_cells(scenarios: Iterable[str] = DEFAULT_SCENARIOS) -> list[SweepCell]:
-    """The benchmark suite: every listed scenario resolved at smoke size."""
+def bench_cells(
+    scenarios: Iterable[str] = DEFAULT_SCENARIOS,
+    smoke: bool = True,
+    scale: int = 100,
+    circuits: Sequence[str] | None = None,
+) -> list[SweepCell]:
+    """The benchmark suite: every listed scenario resolved.
+
+    The default is smoke size (the committed-baseline suite);
+    ``smoke=False`` resolves at full size divided by ``scale`` — the
+    scaling-ladder benches (``BENCH_PR6.json``) use that with a circuit
+    filter.
+    """
     cells: list[SweepCell] = []
     for name in scenarios:
-        cells.extend(resolve(name, smoke=True))
+        cells.extend(resolve(name, scale=scale, circuits=circuits, smoke=smoke))
     return cells
 
 
@@ -65,6 +79,10 @@ def run_bench(
     repeats: int = 3,
     warmup: bool = True,
     scenarios: Iterable[str] = DEFAULT_SCENARIOS,
+    eval_modes: Sequence[str] = ("scalar",),
+    smoke: bool = True,
+    scale: int = 100,
+    circuits: Sequence[str] | None = None,
 ) -> dict[str, Any]:
     """Run the suite; return the JSON-ready report.
 
@@ -72,51 +90,91 @@ def run_bench(
     timed runs measure the algorithmic path), then ``repeats`` timed runs;
     the reported wall is the minimum (noise floor), and every repeat's
     canonical record must be identical (determinism self-check).
+
+    ``eval_modes`` benches every cell once per listed evaluation path
+    (``override_eval_mode`` per cell, so non-default modes get their own
+    cell ids); the report's ``eval_speedup`` block derives, per base
+    cell, the wall-clock speedup of each non-scalar mode over scalar.
+    Host provenance (python, numpy, platform, CPU count) is embedded so
+    fast-path numbers stay attributable across machines; serial cells
+    additionally report cells-probed-per-second throughput derived from
+    the work meter's ``probe`` counter — a kernel metric independent of
+    circuit size.
     """
     if cells is None:
-        cells = bench_cells(scenarios)
+        cells = bench_cells(scenarios, smoke=smoke, scale=scale,
+                            circuits=circuits)
     results: list[dict[str, Any]] = []
-    for cell in cells:
-        if warmup:
-            run_cell(cell)
-        walls: list[float] = []
-        canon: dict | None = None
-        record = None
-        deterministic = True
-        for _ in range(max(1, repeats)):
-            t0 = time.perf_counter()
-            record = run_cell(cell)
-            walls.append(time.perf_counter() - t0)
-            c = record.canonical()
-            if canon is None:
-                canon = c
-            elif c != canon:
-                deterministic = False
-        outcome = record.outcome or {}
-        results.append({
-            "id": _bench_id(cell),
-            "scenario": cell.scenario,
-            "cell_id": cell.cell_id,
-            "ok": record.ok and deterministic,
-            "deterministic": deterministic,
-            "wall_seconds": min(walls),
-            "wall_seconds_all": walls,
-            "model_seconds": outcome.get("runtime"),
-            "best_mu": outcome.get("best_mu"),
-            "error": record.error,
-        })
+    for base_cell in cells:
+        for mode in eval_modes:
+            # Per-cell override (not over the whole list at once): the
+            # passthrough/dedup in override_eval_mode must never shift
+            # the mode↔cell pairing.
+            cell = override_eval_mode([base_cell], mode)[0]
+            if warmup:
+                run_cell(cell)
+            walls: list[float] = []
+            canon: dict | None = None
+            record = None
+            deterministic = True
+            for _ in range(max(1, repeats)):
+                t0 = time.perf_counter()
+                record = run_cell(cell)
+                walls.append(time.perf_counter() - t0)
+                c = record.canonical()
+                if canon is None:
+                    canon = c
+                elif c != canon:
+                    deterministic = False
+            outcome = record.outcome or {}
+            work_units = (outcome.get("extras") or {}).get("work_units") or {}
+            probes = work_units.get("probe")
+            wall = min(walls)
+            results.append({
+                "id": _bench_id(cell),
+                "scenario": cell.scenario,
+                "cell_id": cell.cell_id,
+                "base_id": _bench_id(base_cell),
+                "eval_mode": mode,
+                "ok": record.ok and deterministic,
+                "deterministic": deterministic,
+                "wall_seconds": wall,
+                "wall_seconds_all": walls,
+                "model_seconds": outcome.get("runtime"),
+                "best_mu": outcome.get("best_mu"),
+                "cells_probed": probes,
+                "cells_probed_per_second": (
+                    probes / wall if probes and wall > 0 else None
+                ),
+                "error": record.error,
+            })
     scenario_wall: dict[str, float] = {}
     for r in results:
-        scenario_wall[r["scenario"]] = (
-            scenario_wall.get(r["scenario"], 0.0) + r["wall_seconds"]
-        )
+        # Non-default modes get their own scenario bucket so the scalar
+        # totals stay comparable across reports.
+        key = (r["scenario"] if r["eval_mode"] == "scalar"
+               else f"{r['scenario']}[{r['eval_mode']}]")
+        scenario_wall[key] = scenario_wall.get(key, 0.0) + r["wall_seconds"]
+    scalar_wall = {r["base_id"]: r["wall_seconds"] for r in results
+                   if r["eval_mode"] == "scalar"}
+    eval_speedup: dict[str, dict[str, float]] = {}
+    for r in results:
+        base = scalar_wall.get(r["base_id"])
+        if r["eval_mode"] != "scalar" and base and r["wall_seconds"] > 0:
+            eval_speedup.setdefault(r["base_id"], {})[r["eval_mode"]] = round(
+                base / r["wall_seconds"], 2
+            )
     return {
         "schema": BENCH_SCHEMA,
         "python": sys.version.split()[0],
+        "numpy": np.__version__,
         "platform": platform.platform(),
+        "cpu_count": os.cpu_count(),
         "repeats": repeats,
+        "eval_modes": list(eval_modes),
         "cells": results,
         "scenario_wall_seconds": scenario_wall,
+        "eval_speedup": eval_speedup,
     }
 
 
@@ -203,6 +261,9 @@ def render_bench(report: dict[str, Any]) -> str:
     lines.append("-" * 82)
     for name, wall in report["scenario_wall_seconds"].items():
         lines.append(f"{name + ' (scenario total)':55s} {wall:8.3f}")
+    for base, modes in (report.get("eval_speedup") or {}).items():
+        for mode, s in modes.items():
+            lines.append(f"{base}: {mode} speedup vs scalar {s:.2f}x")
     return "\n".join(lines)
 
 

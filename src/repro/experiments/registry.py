@@ -59,6 +59,7 @@ __all__ = [
     "resolve",
     "custom_sweep",
     "override_cluster",
+    "override_eval_mode",
     "base_spec",
     "scaled_iterations",
     "derive_seeds",
@@ -332,6 +333,34 @@ _register(Scenario(
         StrategyGrid("type2", (("pattern", ("random",)), ("p", (4,)))),
     ),
     smoke_circuits=("synth250",),
+))
+
+_register(Scenario(
+    name="scanbound",
+    title="Scan-bound ladder — exhaustive probe windows, all objectives",
+    description=(
+        "The scaling ladder's big rungs with probe windows widened to "
+        "cover every row and slot and the delay objective on: candidate "
+        "scans dominate the wall clock (the paper's ~98% allocation "
+        "profile, pushed to its limit), which is the regime the batched "
+        "SoA evaluation kernel targets — BENCH_PR6 runs this family "
+        "under both eval modes to record the batch speedup."
+    ),
+    objectives=("wirelength", "power", "delay"),
+    paper_iterations=PAPER_ITERS_T3_WPD,
+    circuits=("synth500", "synth1000", "synth2000"),
+    grids=(
+        # row_window 17 spans the widest ladder grid (35 rows); slot_window
+        # 80 exceeds every row's occupancy, so each probe scans every slot
+        # of every row (smaller rungs clamp — same exhaustive coverage).
+        # The synth500 rung sits below the batch kernel's break-even and
+        # charts the crossover.
+        StrategyGrid("serial", (
+            ("row_window", (17,)),
+            ("slot_window", (80,)),
+        )),
+    ),
+    smoke_circuits=("synth500",),
 ))
 
 _register(Scenario(
@@ -663,5 +692,46 @@ def override_cluster(cells: Iterable[SweepCell], cluster: str) -> list[SweepCell
         seen.add(cid)
         out.append(replace(
             cell, cell_id=cid, params=tuple(sorted(params.items()))
+        ))
+    return out
+
+
+_EVAL_IN_ID = re.compile(r"eval_mode=\w+")
+
+
+def override_eval_mode(cells: Iterable[SweepCell], mode: str) -> list[SweepCell]:
+    """Force every cell onto one evaluation path (``--eval-mode``).
+
+    Rewrites each cell's spec and cell id so scalar and batch runs of the
+    same grid never collide in artifacts or the resume cache (batch-mode
+    trajectories may legitimately diverge within the ulp budget, so the
+    two must cache independently).  Cells already on ``mode`` pass
+    through untouched — in particular forcing the default ``"scalar"``
+    leaves ids and cache keys alone.
+    """
+    from repro.sime.config import EVAL_MODES
+
+    if mode not in EVAL_MODES:
+        raise ValueError(f"eval_mode must be one of {EVAL_MODES}, got {mode!r}")
+    out: list[SweepCell] = []
+    seen: set[str] = set()
+    for cell in cells:
+        if cell.spec.eval_mode == mode:
+            if cell.cell_id not in seen:
+                seen.add(cell.cell_id)
+                out.append(cell)
+            continue
+        cid = cell.cell_id
+        if _EVAL_IN_ID.search(cid):
+            cid = _EVAL_IN_ID.sub(f"eval_mode={mode}", cid)
+        elif cid.endswith("]"):
+            cid = f"{cid[:-1]},eval_mode={mode}]"
+        else:
+            cid = f"{cid}[eval_mode={mode}]"
+        if cid in seen:
+            continue  # its own-mode twin is already in the list
+        seen.add(cid)
+        out.append(replace(
+            cell, cell_id=cid, spec=replace(cell.spec, eval_mode=mode)
         ))
     return out

@@ -100,6 +100,11 @@ class ExperimentSpec:
     #: Goal multiples ``g_j`` per objective, ``(wirelength, power, delay)``
     #: order; the default matches the engine's historical ``GoalVector()``.
     goals: tuple[float, float, float] = (3.0, 3.0, 3.0)
+    #: Allocation evaluation path (``"scalar"`` | ``"batch"`` | ``"check"``,
+    #: see :class:`repro.sime.config.SimEConfig`); part of the spec because
+    #: batch-mode trajectories may diverge within the ulp budget, so the
+    #: mode is provenance a cached result must be keyed on.
+    eval_mode: str = "scalar"
 
     def to_dict(self) -> dict[str, Any]:
         """JSON-ready form (tuples become lists) for artifacts and dispatch."""
@@ -232,6 +237,7 @@ def make_config(spec: ExperimentSpec, max_iterations: int | None = None) -> SimE
         row_window=spec.row_window,
         slot_window=spec.slot_window,
         sort_descending=spec.sort_descending,
+        eval_mode=spec.eval_mode,
     )
 
 

@@ -66,6 +66,7 @@ def allocator_profile(spec: ExperimentSpec, slave_index: int, iterations: int) -
         row_window=spec.row_window + (1 if wide else 0),
         slot_window=spec.slot_window + (2 if wide else 0),
         sort_descending=variant >= 2,
+        eval_mode=spec.eval_mode,
     )
 
 

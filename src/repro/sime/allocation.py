@@ -30,6 +30,14 @@ incident net's fixed-pin partial once per cell and scores candidates in
 O(incident nets) — bit-identical results and meter charges to the scalar
 ``trial_insertion`` loop, which is kept behind ``use_kernel=False`` as the
 reference implementation the equivalence tests pin.
+
+``SimEConfig.eval_mode`` selects the evaluation path on top of that:
+``"scalar"`` (default) keeps the bit-exact kernel above; ``"batch"``
+scores each cell's whole probe window in one vectorized pass over the
+engine's SoA mirror (:meth:`~repro.cost.engine.CostEngine.open_batch_probe`,
+equivalent within the documented ulp budget); ``"check"`` runs the scalar
+path — deciding and charging exactly — while re-scoring every candidate
+on the batch path and raising on any divergence past the budget.
 """
 
 from __future__ import annotations
@@ -162,6 +170,35 @@ class Allocator:
                 hi = mid
         return lo
 
+    def _windows(
+        self, cand_rows: Sequence[int], tx: float
+    ) -> list[tuple[int, int, int]]:
+        """Probe windows ``(row, lo_slot, hi_slot)`` centred on the target.
+
+        One shared window computation for every evaluation path, so the
+        scalar, batch and check scans see byte-for-byte the same candidate
+        set in the same scan order (tie-breaking depends on it).
+        """
+        cfg = self.config
+        p = self.engine.placement
+        sw = cfg.slot_window
+        out: list[tuple[int, int, int]] = []
+        for r in cand_rows:
+            n_row = len(p.rows[r])
+            if n_row <= sw:
+                # The window covers the whole row for every possible ideal
+                # slot (0 <= ideal <= n_row <= slot_window), so the clamped
+                # bounds are (0, n_row) no matter where the target lands —
+                # skip the boundary bisection.  Scan-heavy configurations
+                # (exhaustive row scans) hit this path on every row.
+                out.append((r, 0, n_row))
+                continue
+            ideal = self._ideal_slot(r, tx)
+            lo = max(0, ideal - sw)
+            hi = min(n_row, ideal + sw)
+            out.append((r, lo, hi))
+        return out
+
     def _best_fit(
         self,
         cell: int,
@@ -172,8 +209,8 @@ class Allocator:
 
         Ties break to the **first** best-goodness candidate in scan order
         (strict ``>``) — rows by distance to the target, slots ascending —
-        in both the kernel and the scalar reference path; the trajectory
-        depends on it.
+        in the kernel, the batch and the scalar reference paths; the
+        trajectory depends on it.
         """
         engine = self.engine
         cfg = self.config
@@ -188,22 +225,31 @@ class Allocator:
             if row_memo is not None:
                 row_memo[target_row] = cand_rows
         if self.use_kernel:
-            ctx = engine.open_probe(cell)
-            kbest: tuple[float, int, int] | None = None
-            for r in cand_rows:
-                ideal = self._ideal_slot(r, tx)
-                lo = max(0, ideal - cfg.slot_window)
-                hi = min(len(engine.placement.rows[r]), ideal + cfg.slot_window)
-                kbest = ctx.scan_row(r, lo, hi, kbest)
-            ctx.flush_charges()
+            windows = self._windows(cand_rows, tx)
+            if cfg.eval_mode == "batch":
+                bctx = engine.open_batch_probe(cell)
+                kbest = bctx.scan_rows(windows)
+                bctx.flush_charges()
+            else:
+                ctx = engine.open_probe(cell)
+                kbest = None
+                for r, lo, hi in windows:
+                    kbest = ctx.scan_row(r, lo, hi, kbest)
+                ctx.flush_charges()
+                if cfg.eval_mode == "check":
+                    # Equivalence gate: re-score every candidate on the
+                    # batch path (uncharged — the scalar scan paid) and
+                    # raise past the ulp budget.  The scalar decision is
+                    # always the one committed, so a checked run's
+                    # trajectory and charges equal a plain scalar run's.
+                    engine.open_batch_probe(cell).assert_matches_scalar(
+                        ctx, windows
+                    )
             if kbest is not None:
                 return kbest[1], kbest[2]
             return self._fallback(rows)
         best: TrialResult | None = None
-        for r in cand_rows:
-            ideal = self._ideal_slot(r, tx)
-            lo = max(0, ideal - cfg.slot_window)
-            hi = min(len(engine.placement.rows[r]), ideal + cfg.slot_window)
+        for r, lo, hi in self._windows(cand_rows, tx):
             for slot in range(lo, hi + 1):
                 t = engine.trial_insertion(cell, r, slot)
                 if not t.legal:

@@ -12,7 +12,10 @@ from dataclasses import dataclass
 
 from repro.utils.validation import check_in_range, check_positive
 
-__all__ = ["SimEConfig"]
+__all__ = ["SimEConfig", "EVAL_MODES"]
+
+#: Allocation candidate-evaluation paths (see ``SimEConfig.eval_mode``).
+EVAL_MODES: tuple[str, ...] = ("scalar", "batch", "check")
 
 
 @dataclass(frozen=True)
@@ -57,6 +60,17 @@ class SimEConfig:
         Debug knob: every this-many iterations, re-assert the incremental
         caches against a from-scratch evaluation
         (``CostEngine.assert_consistent``).  0 (default) never verifies.
+    eval_mode:
+        Allocation candidate-evaluation path.  ``"scalar"`` (default) is
+        the fused scalar probe kernel, bit-identical to the committed
+        baselines; ``"batch"`` scores whole probe windows with the
+        vectorized SoA kernel (:mod:`repro.cost.soa`), equivalent within
+        the documented ulp budget but allowed to diverge trajectories at
+        an argmax tie within that budget; ``"check"`` runs the scalar
+        path (deciding and charging exactly like ``"scalar"``) while
+        re-scoring every candidate on the batch path and raising
+        :class:`repro.cost.soa.EquivalenceError` past the budget — the
+        equivalence gate CI runs.
     """
 
     max_iterations: int = 100
@@ -68,6 +82,7 @@ class SimEConfig:
     stall_limit: int | None = None
     refresh_policy: str = "incremental"
     verify_every: int = 0
+    eval_mode: str = "scalar"
 
     def __post_init__(self) -> None:
         check_positive("max_iterations", self.max_iterations)
@@ -83,3 +98,8 @@ class SimEConfig:
             )
         if self.verify_every < 0:
             raise ValueError("verify_every must be >= 0")
+        if self.eval_mode not in EVAL_MODES:
+            raise ValueError(
+                f"eval_mode must be one of {EVAL_MODES}, "
+                f"got {self.eval_mode!r}"
+            )

@@ -1,0 +1,325 @@
+"""Batched SoA kernel: ulp-budget equivalence with the scalar reference.
+
+The batch path's contract is two-tiered (see :mod:`repro.cost.soa`): the
+scalar kernel stays bit-identical to ``trial_insertion`` (pinned in
+``test_probe.py``), while the vectorized batch kernel must match every
+candidate within ``BATCH_ULP_BUDGET`` ulps with identical legality and
+identical meter charges.  The property tests here randomize netlists,
+placements and probe windows against the pinned ``trial_insertion``
+reference for both kernels, including the all-candidates-illegal width
+fallback.
+"""
+
+import numpy as np
+import pytest
+
+from repro.cost.engine import CostEngine
+from repro.cost.soa import (
+    BATCH_ULP_BUDGET,
+    BatchProbeContext,
+    EquivalenceError,
+    ulp_diff,
+)
+from repro.layout.grid import RowGrid
+from repro.layout.initial import random_placement
+from repro.netlist.generator import CircuitSpec, generate_circuit
+from repro.sime.config import SimEConfig
+from repro.sime.engine import SimulatedEvolution
+from repro.utils.rng import RngStream
+
+OBJECTIVE_SETS = (
+    ("wirelength",),
+    ("wirelength", "power"),
+    ("wirelength", "power", "delay"),
+)
+
+
+def _engine(netlist, objectives, estimator, seed=3, num_rows=5, alpha=0.1):
+    grid = RowGrid.for_netlist(netlist, num_rows=num_rows, alpha=alpha)
+    engine = CostEngine(
+        netlist, grid, objectives=objectives, estimator=estimator,
+        critical_paths=8,
+    )
+    engine.attach(random_placement(grid, RngStream(seed)))
+    return engine
+
+
+def _random_circuit(rng: RngStream):
+    n = 40 + rng.randint(0, 80)
+    return generate_circuit(
+        CircuitSpec(
+            name=f"prop{n}", n_gates=n, n_inputs=4 + rng.randint(0, 4),
+            n_outputs=4 + rng.randint(0, 4), frac_dff=0.05,
+            depth=5 + rng.randint(0, 5),
+        ),
+        RngStream(rng.randint(0, 2**31), "prop"),
+    )
+
+
+# ---------------------------------------------------------------------------
+# ulp_diff itself
+# ---------------------------------------------------------------------------
+def test_ulp_diff_units():
+    assert int(ulp_diff(1.0, 1.0)[0]) == 0
+    assert int(ulp_diff(1.0, np.nextafter(1.0, 2.0))[0]) == 1
+    assert int(ulp_diff(np.nextafter(1.0, 2.0), 1.0)[0]) == 1
+    assert int(ulp_diff(-0.0, 0.0)[0]) == 1
+    assert int(ulp_diff(-1.0, np.nextafter(-1.0, 0.0))[0]) == 1
+    # Distances add across the representable grid.
+    a, b = 1.0, np.nextafter(np.nextafter(1.0, 2.0), 2.0)
+    assert int(ulp_diff(a, b)[0]) == 2
+
+
+# ---------------------------------------------------------------------------
+# property tests against the pinned trial_insertion reference
+# ---------------------------------------------------------------------------
+@pytest.mark.parametrize("estimator", ["steiner", "hpwl"])
+def test_property_batch_matches_trial_insertion(estimator):
+    """Randomized netlists/placements/windows: every batch-scored candidate
+    is within the ulp budget of trial_insertion, with identical legality
+    and coordinates; the scalar kernel scan stays bit-identical."""
+    rng = RngStream(17, estimator)
+    for trial in range(4):
+        nl = _random_circuit(rng)
+        objectives = OBJECTIVE_SETS[trial % len(OBJECTIVE_SETS)]
+        engine = _engine(
+            nl, objectives, estimator, seed=trial + 1,
+            num_rows=3 + rng.randint(0, 4),
+        )
+        grid = engine.grid
+        p = engine.placement
+        cells = [c.index for c in nl.movable_cells()]
+        removed = list(dict.fromkeys(
+            cells[rng.randint(0, len(cells))] for _ in range(4)
+        ))
+        engine.remove_cells(removed)
+        cell = removed[0]
+        # Random clamped windows over random rows (the allocator always
+        # clamps before scanning).
+        windows = []
+        for _ in range(3):
+            r = rng.randint(0, grid.num_rows)
+            n_row = len(p.rows[r])
+            lo = rng.randint(0, n_row + 1)
+            hi = min(n_row, lo + rng.randint(0, 6))
+            windows.append((r, lo, hi))
+        bctx = engine.open_batch_probe(cell)
+        g, legal, rows_arr, slots_arr, cx = bctx.score_windows(
+            windows, charge=False
+        )
+        ctx = engine.open_probe(cell)
+        for i in range(g.shape[0]):
+            r, s = int(rows_arr[i]), int(slots_arr[i])
+            t = engine.trial_insertion(cell, r, s)
+            assert bool(legal[i]) == t.legal
+            assert float(cx[i]) == t.x  # candidate coordinate is bit-exact
+            assert int(ulp_diff(float(g[i]), t.goodness)[0]) <= BATCH_ULP_BUDGET
+            # Scalar kernel: bit-identical per candidate.
+            s_cx, _ = ctx._coords(r, s)
+            assert ctx._goodness_at(r, s_cx) == t.goodness
+
+
+@pytest.mark.parametrize("objectives", OBJECTIVE_SETS)
+def test_scan_row_batch_matches_scalar_scan(small_netlist, objectives):
+    """scan_row vs scan_row_batch over every row: same winner within the
+    budget, identical allocation/probe charges."""
+    engine = _engine(small_netlist, objectives, "steiner")
+    engine_b = _engine(small_netlist, objectives, "steiner")
+    cell = engine.placement.rows[0][0]
+    for e in (engine, engine_b):
+        e.remove_cell(cell)
+    p = engine.placement
+    windows = [(r, 0, len(p.rows[r])) for r in range(engine.grid.num_rows)]
+
+    ctx = engine.open_probe(cell)
+    before_s = dict(engine.meter.units)
+    sbest = None
+    for r, lo, hi in windows:
+        sbest = ctx.scan_row(r, lo, hi, sbest)
+    ctx.flush_charges()
+
+    bctx = engine_b.open_batch_probe(cell)
+    before_b = dict(engine_b.meter.units)
+    bbest = None
+    for r, lo, hi in windows:
+        bbest = bctx.scan_row_batch(r, lo, hi, bbest)
+    bctx.flush_charges()
+
+    for cat in ("allocation", "probe"):
+        assert (engine.meter.units[cat] - before_s.get(cat, 0.0)
+                == engine_b.meter.units[cat] - before_b.get(cat, 0.0))
+    assert (sbest is None) == (bbest is None)
+    if sbest is not None:
+        assert int(ulp_diff(sbest[0], bbest[0])[0]) <= BATCH_ULP_BUDGET
+        # The winner may only differ at an in-budget tie flip.
+        if sbest[1:] != bbest[1:]:
+            assert int(ulp_diff(sbest[0], bbest[0])[0]) > 0 or \
+                sbest[0] == bbest[0]
+
+
+def test_all_candidates_illegal_width_fallback(small_netlist):
+    """With a near-zero width slack every foreign row is illegal: both
+    kernels charge the scanned candidates but return no winner."""
+    engine = _engine(small_netlist, ("wirelength",), "steiner", alpha=1e-9)
+    p = engine.placement
+    home = 0
+    cell = p.rows[home][0]
+    engine.remove_cell(cell)
+    foreign = [r for r in range(engine.grid.num_rows) if r != home]
+    windows = [(r, 0, len(p.rows[r])) for r in foreign]
+    assert all(
+        p.row_width[r] + p._widths[cell]
+        > engine.grid.max_legal_width + 1e-9
+        for r in foreign
+    )
+    ctx = engine.open_probe(cell)
+    sbest = None
+    for r, lo, hi in windows:
+        sbest = ctx.scan_row(r, lo, hi, sbest)
+    assert sbest is None
+    assert ctx._pending_units > 0  # illegal rows still charge
+
+    bctx = engine.open_batch_probe(cell)
+    assert bctx.scan_rows(windows) is None
+    assert bctx._pending_units == ctx._pending_units
+    assert bctx._pending_probes == ctx._pending_probes
+
+
+# ---------------------------------------------------------------------------
+# SoA mirror synchronisation
+# ---------------------------------------------------------------------------
+def test_soa_mirror_tracks_engine_mutations(small_problem):
+    """After arbitrary engine mutations the mirror equals the placement
+    without any bulk resync."""
+    grid, engine, placement = small_problem
+    n = grid.netlist.num_cells
+    engine.soa_state().ensure_fresh(placement)
+    soa = engine.soa_state()
+    cells = [c.index for c in grid.netlist.movable_cells()]
+    rng = RngStream(9)
+    for _ in range(30):
+        c = cells[rng.randint(0, len(cells))]
+        engine.move_cell(c, rng.randint(0, grid.num_rows), rng.randint(0, 20))
+    assert not soa._stale
+    assert np.array_equal(
+        soa.x[:n], np.asarray(placement.x), equal_nan=True
+    )
+    assert np.array_equal(
+        soa.y[:n], np.asarray(placement.y), equal_nan=True
+    )
+    assert np.isnan(soa.x[n]) and np.isnan(soa.y[n])  # sentinel intact
+
+
+def test_soa_mirror_resyncs_after_rebind(small_problem):
+    """Rebinding a placement marks the mirror stale; the next batch probe
+    bulk-copies the new coordinates."""
+    grid, engine, placement = small_problem
+    n = grid.netlist.num_cells
+    engine.soa_state().ensure_fresh(placement)
+    other = random_placement(grid, RngStream(23, "other"))
+    engine.placement = other
+    engine.full_refresh()
+    soa = engine.soa_state()
+    assert soa._stale
+    soa.ensure_fresh(other)
+    assert np.array_equal(soa.x[:n], np.asarray(other.x), equal_nan=True)
+    assert np.array_equal(soa.y[:n], np.asarray(other.y), equal_nan=True)
+
+
+def test_check_gate_catches_mirror_desync(small_problem):
+    """A corrupted mirror coordinate trips EquivalenceError in the gate."""
+    grid, engine, placement = small_problem
+    cell = placement.rows[0][0]
+    engine.remove_cell(cell)
+    soa = engine.soa_state()
+    soa.ensure_fresh(placement)
+    neighbor = next(
+        c for c in engine.neighbor_pins(cell)
+        if placement.x[c] == placement.x[c]
+    )
+    soa.x[neighbor] += 1e6  # desync the mirror
+    ctx = engine.open_probe(cell)
+    bctx = engine.open_batch_probe(cell)
+    windows = [(1, 0, min(4, len(placement.rows[1])))]
+    with pytest.raises(EquivalenceError):
+        bctx.assert_matches_scalar(ctx, windows)
+
+
+# ---------------------------------------------------------------------------
+# full-run behaviour of the eval modes
+# ---------------------------------------------------------------------------
+def _run(netlist, eval_mode, seed=1, iterations=4):
+    engine = _engine(netlist, ("wirelength", "power"), "steiner", seed=seed)
+    cfg = SimEConfig(max_iterations=iterations, eval_mode=eval_mode)
+    sime = SimulatedEvolution(engine, cfg, RngStream(5))
+    result = sime.run(engine.placement, iterations=iterations)
+    return result, engine.meter.snapshot()
+
+
+def test_check_mode_run_equals_scalar_run(small_netlist):
+    """A check-mode run commits the scalar decisions: identical history,
+    best solution and meter charges to a plain scalar run."""
+    (res_s, units_s) = _run(small_netlist, "scalar")
+    (res_c, units_c) = _run(small_netlist, "check")
+    assert units_c == units_s
+    assert res_c.best_rows == res_s.best_rows
+    assert res_c.best_mu == res_s.best_mu
+    assert res_c.history == res_s.history
+
+
+def test_batch_mode_run_is_deterministic_and_charges_match(small_netlist):
+    """Batch runs are reproducible bit-for-bit, and their meter charges
+    equal the scalar accounting model (units depend only on the windows
+    scanned along the trajectory, which determinism pins)."""
+    (res_a, units_a) = _run(small_netlist, "batch")
+    (res_b, units_b) = _run(small_netlist, "batch")
+    assert units_a == units_b
+    assert res_a.best_rows == res_b.best_rows
+    assert res_a.best_mu == res_b.best_mu
+    assert res_a.history == res_b.history
+    assert units_a.get("probe", 0.0) > 0
+    assert 0.0 <= res_a.best_mu <= 1.0
+
+
+def test_batch_context_charges_match_scalar(small_problem):
+    """One batch scan charges exactly what the scalar scan charges."""
+    grid, engine, placement = small_problem
+    cell = placement.rows[0][0]
+    engine.remove_cell(cell)
+    lo, hi = 0, min(4, len(placement.rows[1]))
+    ctx = engine.open_probe(cell)
+    before = dict(engine.meter.units)
+    ctx.scan_row(1, lo, hi, None)
+    ctx.flush_charges()
+    scalar_alloc = engine.meter.units["allocation"] - before.get("allocation", 0.0)
+    scalar_probe = engine.meter.units["probe"] - before.get("probe", 0.0)
+    bctx = engine.open_batch_probe(cell)
+    before = dict(engine.meter.units)
+    bctx.scan_row_batch(1, lo, hi, None)
+    bctx.flush_charges()
+    assert engine.meter.units["allocation"] - before["allocation"] == scalar_alloc
+    assert engine.meter.units["probe"] - before["probe"] == scalar_probe
+
+
+def test_eval_mode_validation():
+    with pytest.raises(ValueError):
+        SimEConfig(eval_mode="bogus")
+    assert SimEConfig(eval_mode="batch").eval_mode == "batch"
+
+
+def test_probe_charge_rides_with_trial_insertion(small_problem):
+    """trial_insertion and ProbeContext.probe both count one probe unit,
+    and the probe category costs zero model-seconds (not a paper phase)."""
+    grid, engine, placement = small_problem
+    cell = placement.rows[0][0]
+    engine.remove_cell(cell)
+    before = engine.meter.units.get("probe", 0.0)
+    seconds_before = engine.meter.seconds()
+    engine.trial_insertion(cell, 1, 0)
+    engine.open_probe(cell).probe(1, 0)
+    assert engine.meter.units["probe"] - before == 2.0
+    # Identical model-seconds contribution: zero.
+    alloc_cost = engine.meter.model.cost("allocation")
+    assert engine.meter.model.cost("probe") == 0.0
+    assert alloc_cost > 0.0
+    assert seconds_before < engine.meter.seconds()  # allocation still bills

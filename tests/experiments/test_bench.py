@@ -112,3 +112,42 @@ def test_embed_reference_derives_speedups(smoke_report):
     cid = smoke_report["cells"][0]["id"]
     assert block["speedup_by_cell"][cid] == pytest.approx(2.0)
     assert block["scenario_speedup"]["smoke"] == pytest.approx(2.0)
+
+
+def test_report_records_host_provenance(smoke_report):
+    """numpy/python/cpu provenance rides in every report (attribution)."""
+    import numpy as np
+
+    assert smoke_report["numpy"] == np.__version__
+    assert smoke_report["python"]
+    assert smoke_report["cpu_count"] >= 1
+    assert smoke_report["eval_modes"] == ["scalar"]
+
+
+def test_cells_probed_per_second_throughput(smoke_report):
+    """Serial cells report work-meter-derived kernel throughput."""
+    (cell,) = smoke_report["cells"]
+    assert cell["eval_mode"] == "scalar"
+    assert cell["cells_probed"] > 0
+    assert cell["cells_probed_per_second"] == pytest.approx(
+        cell["cells_probed"] / cell["wall_seconds"]
+    )
+
+
+def test_multi_mode_bench_derives_eval_speedup():
+    """eval_modes benches each cell per mode and derives speedups."""
+    cells = [c for c in resolve("smoke", smoke=True) if c.strategy == "serial"]
+    report = run_bench(cells=cells, repeats=1, warmup=False,
+                       eval_modes=("scalar", "batch"))
+    assert len(report["cells"]) == 2 * len(cells)
+    by_mode = {c["eval_mode"] for c in report["cells"]}
+    assert by_mode == {"scalar", "batch"}
+    batch_rows = [c for c in report["cells"] if c["eval_mode"] == "batch"]
+    for c in batch_rows:
+        assert "eval_mode=batch" in c["cell_id"]
+        assert c["ok"]
+    # Scalar scenario totals keep their plain key; batch gets its own.
+    assert "smoke" in report["scenario_wall_seconds"]
+    assert "smoke[batch]" in report["scenario_wall_seconds"]
+    base_id = report["cells"][0]["base_id"]
+    assert "batch" in report["eval_speedup"][base_id]

@@ -381,3 +381,49 @@ def test_run_requires_circuit_xor_scenario(capsys):
     assert "exactly one" in capsys.readouterr().err
     assert main(["run", "--circuit", "s1196", "--scenario", "smoke"]) == 2
     assert main(["run", "--scenario", "nope"]) == 2
+
+
+# ------------------------------------------------------------- --eval-mode
+
+
+def test_run_eval_mode_batch_tags_cell_id(tmp_path, capsys):
+    code = main([
+        "run", "--circuit", "s1196", "--iterations", "4",
+        "--eval-mode", "batch", "--json",
+    ])
+    assert code == 0
+    out = capsys.readouterr().out
+    record = json.loads(out[: out.rindex("}") + 1])
+    assert record["ok"] is True
+    assert "eval_mode=batch" in record["cell_id"]
+    assert record["spec"]["eval_mode"] == "batch"
+    assert "eval_mode" not in record["params"]
+
+
+def test_run_eval_mode_check_matches_scalar(capsys):
+    """The CLI equivalence gate: a check run records the scalar outcome."""
+    outs = []
+    for mode in ("scalar", "check"):
+        assert main([
+            "run", "--circuit", "s1196", "--iterations", "3",
+            "--eval-mode", mode, "--json",
+        ]) == 0
+        out = capsys.readouterr().out
+        outs.append(json.loads(out[: out.rindex("}") + 1]))
+    scalar, check = outs
+    assert check["outcome"]["best_mu"] == scalar["outcome"]["best_mu"]
+    assert check["outcome"]["runtime"] == scalar["outcome"]["runtime"]
+
+
+def test_sweep_eval_mode_tags_artifact(tmp_path, capsys):
+    code = main([
+        "sweep", "--smoke", "--eval-mode", "batch", "--no-cache",
+        "--out", str(tmp_path),
+    ])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "smoke-batch.json" in out
+    payload = json.loads((tmp_path / "smoke-batch.json").read_text())
+    for rec in payload["records"]:
+        assert "eval_mode=batch" in rec["cell_id"]
+        assert rec["spec"]["eval_mode"] == "batch"

@@ -8,6 +8,7 @@ from repro.experiments.registry import (
     SCENARIOS,
     STRATEGIES,
     SweepCell,
+    base_spec,
     custom_sweep,
     derive_seeds,
     get_scenario,
@@ -301,3 +302,37 @@ def test_speedup_cell_ids_distinguish_backends():
     assert len(ids) == len(set(ids))
     assert any("cluster=sim" in i for i in ids)
     assert any("cluster=mp" in i for i in ids)
+
+
+def test_override_eval_mode_rewrites_spec_and_ids():
+    from repro.experiments.registry import override_eval_mode
+
+    cells = resolve("smoke", smoke=True)
+    forced = override_eval_mode(cells, "batch")
+    assert len(forced) == len(cells)
+    for before, after in zip(cells, forced):
+        assert after.spec.eval_mode == "batch"
+        assert "eval_mode=batch" in after.cell_id
+        assert after.params == before.params  # params never carry the mode
+    # Forcing the default mode on default cells is a complete no-op.
+    assert override_eval_mode(cells, "scalar") == cells
+    # Re-forcing substitutes rather than appending a second tag.
+    again = override_eval_mode(forced, "check")
+    for c in again:
+        assert c.cell_id.count("eval_mode=") == 1
+        assert c.spec.eval_mode == "check"
+    with pytest.raises(ValueError, match="eval_mode"):
+        override_eval_mode(cells, "vectorized")
+
+
+def test_eval_mode_roundtrips_through_spec_dicts():
+    from repro.parallel.runners import ExperimentSpec, make_config
+
+    spec = base_spec("s1196", iterations=5, eval_mode="batch")
+    assert spec.eval_mode == "batch"
+    assert ExperimentSpec.from_dict(spec.to_dict()) == spec
+    assert make_config(spec).eval_mode == "batch"
+    # Old artifacts (no eval_mode key) default to the bit-exact path.
+    d = spec.to_dict()
+    del d["eval_mode"]
+    assert ExperimentSpec.from_dict(d).eval_mode == "scalar"
