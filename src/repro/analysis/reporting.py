@@ -407,13 +407,16 @@ def _strategy_label(r: "RunRecord") -> str:
 
 
 def render_speedup_records(records: Sequence["RunRecord"], title: str | None = None) -> str:
-    """Speedup-scenario layout: sim and mp backends side by side.
+    """Speedup-scenario layout: execution backends side by side.
 
     One row per (strategy, p); the sim columns are virtual model-seconds
-    against the sim serial baseline, the mp columns host wall-clock
-    against the mp serial baseline — the two clock domains never mix
-    (Tables 2/3 report exactly this wall-clock view for the real
-    cluster).
+    against the sim serial baseline, the mp/socket columns host
+    wall-clock against that backend's own serial baseline — the clock
+    domains never mix (Tables 2/3 report exactly this wall-clock view
+    for the real cluster).  Columns appear for the backends actually
+    present in the records (always at least sim and mp, so pre-socket
+    artifacts render unchanged); points one backend cannot reach (the
+    socket-only p > 16 ladder) show "-" in the other columns.
     """
     from repro.analysis.speedup import backend_speedup
 
@@ -423,6 +426,11 @@ def render_speedup_records(records: Sequence["RunRecord"], title: str | None = N
 
     def cluster_of(r: "RunRecord") -> str:
         return r.params.get("cluster", "sim")
+
+    present = {cluster_of(r) for r in ok}
+    domains = tuple(
+        d for d in ("sim", "mp", "socket") if d in present or d in ("sim", "mp")
+    )
 
     def cell_cols(row: dict, r: "RunRecord" | None, domain: str,
                   base: float | None) -> None:
@@ -445,7 +453,7 @@ def render_speedup_records(records: Sequence["RunRecord"], title: str | None = N
             k: (r.outcome or {}).get("runtime") for k, r in serials.items()
         }
         row: dict[str, Any] = {**_label(g, multi_seed), "strategy": "serial", "p": 1}
-        for domain in ("sim", "mp"):
+        for domain in domains:
             cell_cols(row, serials.get(domain), domain, base.get(domain))
         rows.append(row)
         keyed: dict[tuple[str, int], dict[str, "RunRecord"]] = {}
@@ -457,16 +465,16 @@ def render_speedup_records(records: Sequence["RunRecord"], title: str | None = N
         for label_p in sorted(keyed):
             label, p = label_p
             row = {**_label(g, multi_seed), "strategy": label, "p": p}
-            for domain in ("sim", "mp"):
+            for domain in domains:
                 cell_cols(row, keyed[label_p].get(domain), domain,
                           base.get(domain))
             rows.append(row)
-    return render_table(
-        rows,
-        title=title
-        or "Speedup — sim (model-seconds, × vs sim serial) | "
-           "mp (wall-seconds, × vs mp serial)",
+    head = " | ".join(
+        f"{d} (model-seconds, × vs {d} serial)" if d == "sim"
+        else f"{d} (wall-seconds, × vs {d} serial)"
+        for d in domains
     )
+    return render_table(rows, title=title or f"Speedup — {head}")
 
 
 def render_generic_records(records: Sequence["RunRecord"], title: str | None = None) -> str:

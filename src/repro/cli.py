@@ -48,6 +48,7 @@ from repro.experiments.registry import (
     get_scenario,
     list_scenarios,
     override_cluster,
+    override_deadline,
     override_eval_mode,
     resolve,
 )
@@ -112,8 +113,13 @@ def build_parser() -> argparse.ArgumentParser:
                        help="Type III retry threshold (default ~4%% of budget)")
     p_run.add_argument("--cluster", default="sim", choices=list(CLUSTERS),
                        help="execution backend: deterministic simulated "
-                            "cluster (model-seconds) or real OS processes "
-                            "(wall-clock)")
+                            "cluster (model-seconds), real OS processes "
+                            "over a pipe mesh (mp, p <= 16) or over the "
+                            "socket router (socket, p up to 256; both "
+                            "wall-clock)")
+    p_run.add_argument("--deadline", type=float, default=None, metavar="SECONDS",
+                       help="run deadline for the real-process backends "
+                            "(default 600s); ignored with --cluster sim")
     p_run.add_argument("--eval-mode", default="scalar",
                        choices=list(EVAL_MODES),
                        help="allocation evaluation path: scalar (bit-exact "
@@ -145,8 +151,13 @@ def build_parser() -> argparse.ArgumentParser:
                          help="tiny budgets/circuits (CI); default scenario: smoke")
     p_sweep.add_argument("--cluster", default=None, choices=list(CLUSTERS),
                          help="force every cell onto one cluster backend "
-                              "(sim: deterministic model-seconds; mp: real "
-                              "processes, wall-clock)")
+                              "(sim: deterministic model-seconds; mp/socket: "
+                              "real processes, wall-clock)")
+    p_sweep.add_argument("--deadline", type=float, default=None,
+                         metavar="SECONDS",
+                         help="run deadline for cells on the real-process "
+                              "backends (default 600s); sim cells are "
+                              "unaffected")
     p_sweep.add_argument("--eval-mode", default=None,
                          choices=list(EVAL_MODES),
                          help="force every cell onto one allocation "
@@ -186,6 +197,10 @@ def build_parser() -> argparse.ArgumentParser:
     p_tables.add_argument("--circuits", type=_csv_list, default=None)
     p_tables.add_argument("--cluster", default=None, choices=list(CLUSTERS),
                           help="force every cell onto one cluster backend")
+    p_tables.add_argument("--deadline", type=float, default=None,
+                          metavar="SECONDS",
+                          help="run deadline for cells on the real-process "
+                               "backends (default 600s)")
     p_tables.add_argument("--eval-mode", default=None,
                           choices=list(EVAL_MODES),
                           help="force every cell onto one allocation "
@@ -317,13 +332,20 @@ def cmd_run(args: argparse.Namespace) -> int:
         )
     if args.cluster != "sim":
         if args.strategy == "profile":
-            print("--cluster mp does not apply to the in-process profile "
-                  "pseudo-strategy", file=sys.stderr)
+            print("--cluster mp|socket does not apply to the in-process "
+                  "profile pseudo-strategy", file=sys.stderr)
             return 2
         params["cluster"] = args.cluster
+        if args.deadline is not None:
+            params["deadline"] = args.deadline
+    elif args.deadline is not None:
+        print("--deadline applies to the real-process backends "
+              "(--cluster mp|socket)", file=sys.stderr)
+        return 2
     # eval_mode lives in the spec (not params — params are runner kwargs),
-    # but a non-default mode is still part of the cell's identity.
-    id_parts = dict(params)
+    # but a non-default mode is still part of the cell's identity.  The
+    # deadline is operational, not identity, so it stays out of the id.
+    id_parts = {k: v for k, v in params.items() if k != "deadline"}
     if args.eval_mode != "scalar":
         id_parts["eval_mode"] = args.eval_mode
     param_tail = ",".join(f"{k}={v}" for k, v in sorted(id_parts.items()))
@@ -343,10 +365,10 @@ def cmd_run(args: argparse.Namespace) -> int:
         print(json.dumps(record.to_dict(), indent=2, sort_keys=True))
     else:
         out = record.outcome or {}
-        # The mp backend's runtime is wall-clock, not model-seconds.
+        # The real backends' runtime is wall-clock, not model-seconds.
         label = (
             "wall-time"
-            if (out.get("extras") or {}).get("cluster") == "mp"
+            if (out.get("extras") or {}).get("cluster") in ("mp", "socket")
             else "model-time"
         )
         print(f"{record.cell_id}: µ(s)={out.get('best_mu', 0.0):.4f}  "
@@ -369,8 +391,8 @@ def _run_scenario_inline(args: argparse.Namespace) -> int:
     """``repro run --scenario NAME``: every cell, in-process, in order.
 
     A convenience front end over the same cells ``repro sweep`` resolves
-    — no pool, no cache, artifacts only with ``--out``.  ``--cluster mp``
-    forces the whole scenario onto the real-process backend.
+    — no pool, no cache, artifacts only with ``--out``.  ``--cluster
+    mp|socket`` forces the whole scenario onto a real-process backend.
     """
     try:
         scenario = get_scenario(args.scenario)
@@ -382,6 +404,8 @@ def _run_scenario_inline(args: argparse.Namespace) -> int:
         cells = override_cluster(cells, args.cluster)
     if args.eval_mode != "scalar":
         cells = override_eval_mode(cells, args.eval_mode)
+    if args.deadline is not None:
+        cells = override_deadline(cells, args.deadline)
     print(f"run {scenario.name}: {len(cells)} cells")
     records = []
     for i, cell in enumerate(cells):
@@ -506,6 +530,10 @@ def _execute_sweep(
     forced_mode = getattr(args, "eval_mode", None)
     if forced_mode:
         cells = override_eval_mode(cells, forced_mode)
+    forced_deadline = getattr(args, "deadline", None)
+    if forced_deadline is not None:
+        # Operational bound only: no tag or cache-key consequences.
+        cells = override_deadline(cells, forced_deadline)
 
     # Smoke runs get their own artifact name so they never clobber a
     # full-scale run of the same scenario; shards get a slice suffix.

@@ -12,7 +12,11 @@ A sweep produces one :class:`RunRecord` per cell.  The
 Records are **canonical** modulo wall-clock: :meth:`RunRecord.canonical`
 drops the host-dependent ``wall_seconds`` so serial and process-pool runs
 of the same cells compare equal byte-for-byte (the determinism contract
-pinned by the tests).
+pinned by the tests).  On the wall-clock backends (``mp``/``socket``)
+*every* clock in the outcome is a host measurement — ``runtime``, the
+per-rank clocks, the history timestamps — so canonicalisation strips
+those too; on ``sim`` they are deterministic model-seconds and stay part
+of the determinism key.
 
 Cell cache (resume)
 -------------------
@@ -90,6 +94,11 @@ CSV_COLUMNS = (
 )
 
 
+#: Backends whose clocks measure host wall time rather than deterministic
+#: model-seconds; their timing is stripped by :meth:`RunRecord.canonical`.
+_WALL_CLOCK_CLUSTERS = frozenset({"mp", "socket"})
+
+
 @dataclass
 class RunRecord:
     """One executed sweep cell: inputs, outcome (or failure), timing."""
@@ -122,9 +131,27 @@ class RunRecord:
         )
 
     def canonical(self) -> dict[str, Any]:
-        """The record minus host-dependent timing — the determinism key."""
+        """The record minus host-dependent timing — the determinism key.
+
+        On the simulated cluster every clock is a model-second and part
+        of the key.  On the real backends (``extras["cluster"]`` of
+        ``mp``/``socket``) ``runtime``, the per-rank clocks and the
+        history timestamps are host wall time: two perfectly healthy
+        runs of the same cell never agree on them, so they are stripped
+        and only the solution, the meter charges (``model_seconds``,
+        ``work_units``) and the µ trajectory remain.
+        """
         d = self.to_dict()
         d.pop("wall_seconds", None)
+        out = d.get("outcome")
+        if out:
+            extras = out.get("extras") or {}
+            if extras.get("cluster") in _WALL_CLOCK_CLUSTERS:
+                out.pop("runtime", None)
+                extras.pop("wall_seconds", None)
+                extras.pop("rank_clocks", None)
+                if out.get("history"):
+                    out["history"] = [list(h[:2]) for h in out["history"]]
         return d
 
     def parallel_outcome(self) -> ParallelOutcome:
@@ -211,13 +238,16 @@ def cell_key(cell: "SweepCell", version: str | None = None) -> str:
     Covers the spec, the strategy, the runner parameters and the code
     version — everything the deterministic runners consume — and nothing
     else: two cells with different scenario names or cell ids but the same
-    physics share one key.
+    physics share one key.  ``deadline`` is excluded: it bounds how long a
+    run may take, not what it computes, so retrying with a different
+    deadline still hits the cache.
     """
+    params = {k: v for k, v in cell.params if k != "deadline"}
     return stable_hash({
         "version": version or version_key(),
         "strategy": cell.strategy,
         "spec": cell.spec.to_dict(),
-        "params": dict(cell.params),
+        "params": params,
     })
 
 

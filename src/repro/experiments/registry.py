@@ -42,6 +42,7 @@ import numpy as np
 
 from repro.netlist.suite import list_all_circuits, list_paper_circuits
 from repro.parallel.mpi.backend import CLUSTERS, validate_cluster
+from repro.parallel.mpi.mp_backend import MAX_MESH_SIZE
 from repro.parallel.runners import ExperimentSpec
 
 __all__ = [
@@ -59,6 +60,7 @@ __all__ = [
     "resolve",
     "custom_sweep",
     "override_cluster",
+    "override_deadline",
     "override_eval_mode",
     "base_spec",
     "scaled_iterations",
@@ -90,10 +92,16 @@ class StrategyGrid:
     :class:`~repro.parallel.runners.ExperimentSpec` fields (``objectives``,
     ``bias``, ...) are folded into the cell's spec; the rest (``p``,
     ``pattern``, ``retry_frac``, ...) are passed to the strategy runner.
+
+    ``smoke=False`` excludes the grid from smoke resolution — for grids
+    that are inherently expensive regardless of iteration budget (e.g.
+    the socket backend's p ∈ {16, 32, 64} ladder spawns that many OS
+    processes per cell, which no smoke run should do).
     """
 
     strategy: str
     axes: tuple[tuple[str, tuple], ...] = ()
+    smoke: bool = True
 
     def __post_init__(self) -> None:
         if self.strategy not in STRATEGIES:
@@ -427,17 +435,41 @@ _register(Scenario(
 #: central store, so its axis starts at 4.
 _SPEEDUP_P = (2, 4, 8)
 _SPEEDUP_P_T3 = (4, 8)
+#: Extended ladder on the socket router backend: past the mp backend's
+#: p ≤ 16 pipe-mesh wall, into the cluster-scale regime the paper is
+#: actually about.  Type II only — its traffic is all rank-addressed, so
+#: results stay bit-reproducible run-to-run at any p on a real backend
+#: (Type III's ANY_SOURCE arrival order would not).  The ladder runs on
+#: ``synth8000`` (71 placement rows): row decomposition needs at least
+#: one row per rank and the paper circuits top out at 32 rows, so p = 64
+#: is only reachable on the cluster-scale rung.
+_SPEEDUP_P_SOCKET = (16, 32, 64)
+_LADDER_CIRCUIT = ("synth8000",)
+#: Serial iteration budget pinned on the ladder cells.  The ladder
+#: measures router *scaling*, not solution quality, and the paper's
+#: budget rule (`parallel_iterations`) multiplies the serial budget by
+#: ~p/7 — at p = 64 the scenario's default 35 serial iterations would
+#: become 350 parallel ones, hours of wall-clock on a small host.  A
+#: compact serial budget keeps the whole ladder in minutes while the
+#: per-processor budget growth (the thing Tables 2/3 actually model)
+#: still applies on top of it.
+_LADDER_ITERS = (4,)
 
 _register(Scenario(
     name="speedup",
-    title="Speedup — sim vs mp backend, all strategies, p ∈ {1,2,4,8}",
+    title="Speedup — sim/mp/socket backends, p up to 64 on the router",
     description=(
-        "The paper's Tables 2/3 speed-up protocol run on *both* execution "
-        "backends: every strategy at p up to the paper's 8 nodes, once on "
-        "the deterministic simulated cluster (virtual model-seconds) and "
-        "once on the real multiprocessing backend (host wall-clock), with "
-        "the serial baseline measured the same two ways; the report shows "
-        "virtual and real speed-ups side by side."
+        "The paper's Tables 2/3 speed-up protocol run on every execution "
+        "backend: each strategy at p up to the paper's 8 nodes on the "
+        "deterministic simulated cluster (virtual model-seconds), the "
+        "real multiprocessing backend and the socket router backend "
+        "(host wall-clock), with the serial baseline measured the same "
+        "ways; type2/random additionally climbs the router-only ladder "
+        "p ∈ {16, 32, 64} on the synth8000 rung (71 rows — the paper "
+        "circuits cannot row-decompose past p = 32) with its own socket "
+        "serial baseline, past the pipe mesh's p ≤ 16 wall (excluded "
+        "from smoke runs).  The report shows virtual and real speed-ups "
+        "side by side."
     ),
     objectives=("wirelength", "power"),
     paper_iterations=PAPER_ITERS_T2_WP,
@@ -450,6 +482,21 @@ _register(Scenario(
             ("cluster", CLUSTERS),
             ("p", _SPEEDUP_P),
         )),
+        # The router-only ladder lives on the cluster-scale rung, with
+        # its own socket serial baseline so the report can anchor the
+        # ladder's speed-ups to the same circuit.
+        StrategyGrid("serial", (
+            ("circuit", _LADDER_CIRCUIT),
+            ("iterations", _LADDER_ITERS),
+            ("cluster", ("socket",)),
+        ), smoke=False),
+        StrategyGrid("type2", (
+            ("circuit", _LADDER_CIRCUIT),
+            ("iterations", _LADDER_ITERS),
+            ("pattern", ("random",)),
+            ("cluster", ("socket",)),
+            ("p", _SPEEDUP_P_SOCKET),
+        ), smoke=False),
         StrategyGrid("type3", (
             ("retry_frac", (0.04,)),
             ("cluster", CLUSTERS),
@@ -608,6 +655,8 @@ def resolve(
     for circuit in circ_list:
         for seed in seed_list:
             for grid in scenario.grids:
+                if smoke and not grid.smoke:
+                    continue
                 for combo in grid.combinations():
                     spec_over = {k: v for k, v in combo.items() if k in _SPEC_FIELDS}
                     params = {k: v for k, v in combo.items() if k not in _SPEC_FIELDS}
@@ -660,20 +709,25 @@ _CLUSTER_IN_ID = re.compile(r"cluster=\w+")
 def override_cluster(cells: Iterable[SweepCell], cluster: str) -> list[SweepCell]:
     """Force every cell onto one cluster backend (``repro sweep --cluster``).
 
-    Rewrites each cell's params and cell id so that sim and mp runs of
-    the same grid never collide in artifacts or the resume cache (the
-    cache keys on params, so the two backends cache independently).
+    Rewrites each cell's params and cell id so that runs of the same grid
+    on different backends never collide in artifacts or the resume cache
+    (the cache keys on params, so each backend caches independently).
     ``profile`` cells run in-process and pass through untouched.  Cells
     with no ``cluster`` param already run on ``sim``, so forcing ``sim``
     leaves them (and their ids/cache keys) alone; a scenario that pins
-    both backends per point (``speedup``) collapses to one cell per
-    point — the rewrite never emits duplicate cell ids.
+    several backends per point (``speedup``) collapses to one cell per
+    point — the rewrite never emits duplicate cell ids.  Cells the target
+    backend cannot execute are dropped rather than rewritten into
+    guaranteed failures: forcing ``mp`` drops p > MAX_MESH_SIZE points
+    (the socket ladder), since the pipe mesh rejects them.
     """
     validate_cluster(cluster)
     out: list[SweepCell] = []
     seen: set[str] = set()
     for cell in cells:
         params = cell.params_dict()
+        if cluster == "mp" and params.get("p", 1) > MAX_MESH_SIZE:
+            continue
         if cell.strategy == "profile" or params.get("cluster", "sim") == cluster:
             if cell.cell_id not in seen:
                 seen.add(cell.cell_id)
@@ -693,6 +747,32 @@ def override_cluster(cells: Iterable[SweepCell], cluster: str) -> list[SweepCell
         out.append(replace(
             cell, cell_id=cid, params=tuple(sorted(params.items()))
         ))
+    return out
+
+
+def override_deadline(
+    cells: Iterable[SweepCell], seconds: float
+) -> list[SweepCell]:
+    """Set the real backends' run deadline on every cell (``--deadline``).
+
+    Adds a ``deadline`` runner parameter to each cell whose effective
+    cluster is a real-process backend (``mp``/``socket``); ``sim`` cells
+    and in-process ``profile`` cells pass through untouched — the
+    simulated cluster detects deadlock structurally instead of by
+    timeout.  The deadline is operational, not part of a cell's physics:
+    cell ids and resume-cache keys are unchanged (``cell_key`` excludes
+    it), so tightening a deadline never invalidates cached results.
+    """
+    if seconds <= 0:
+        raise ValueError(f"deadline must be positive, got {seconds}")
+    out: list[SweepCell] = []
+    for cell in cells:
+        params = cell.params_dict()
+        if cell.strategy == "profile" or params.get("cluster", "sim") == "sim":
+            out.append(cell)
+            continue
+        params["deadline"] = float(seconds)
+        out.append(replace(cell, params=tuple(sorted(params.items()))))
     return out
 
 

@@ -95,6 +95,14 @@ SCALING_CIRCUITS: dict[str, tuple[CircuitSpec, int]] = {
                     frac_dff=0.07, depth=18),
         42000,
     ),
+    # Cluster-scale rung: 71 placement rows, the smallest profile that
+    # row-decomposes across the socket backend's p = 64 ladder (type2
+    # needs at least one row per rank; the paper circuits top out at 32).
+    "synth8000": (
+        CircuitSpec("synth8000", n_gates=8000, n_inputs=56, n_outputs=56,
+                    frac_dff=0.08, depth=20),
+        48000,
+    ),
 }
 
 

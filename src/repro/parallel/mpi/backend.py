@@ -1,12 +1,14 @@
-"""The cluster-backend protocol: one SPMD contract, two executions.
+"""The cluster-backend protocol: one SPMD contract, three executions.
 
 Every parallel strategy is written once against
 :class:`~repro.parallel.mpi.comm.Communicator` and executed through a
-:class:`ClusterBackend` — either the deterministic simulated cluster
-(virtual clocks, model-seconds, bit-reproducible) or the real
-multiprocessing cluster (OS processes, wall-clock).  :func:`make_cluster`
-is the single construction point the strategy runners, the experiment
-registry and the CLI's ``--cluster sim|mp`` flag all share.
+:class:`ClusterBackend` — the deterministic simulated cluster (virtual
+clocks, model-seconds, bit-reproducible), the real multiprocessing
+cluster (OS processes over a pipe mesh, wall-clock, p ≤ 16), or the
+socket router cluster (OS processes over a hub-and-spoke router, O(p)
+fds, p in the hundreds).  :func:`make_cluster` is the single
+construction point the strategy runners, the experiment registry and the
+CLI's ``--cluster sim|mp|socket`` flag all share.
 
 The contract:
 
@@ -33,6 +35,7 @@ from repro.parallel.mpi.calibration import (
 from repro.parallel.mpi.mp_backend import MpCluster
 from repro.parallel.mpi.netmodel import NetworkModel
 from repro.parallel.mpi.simcluster import SimCluster
+from repro.parallel.mpi.socket_backend import SocketCluster
 
 __all__ = [
     "ClusterBackend",
@@ -43,7 +46,7 @@ __all__ = [
 ]
 
 #: Registered backend names, in preference order.
-CLUSTERS = ("sim", "mp")
+CLUSTERS = ("sim", "mp", "socket")
 
 
 def validate_cluster(kind: str) -> str:
@@ -96,12 +99,12 @@ def make_cluster(
 ) -> ClusterBackend:
     """Build a ``p``-rank cluster backend by name.
 
-    ``network`` applies to the simulated backend only (the mp backend's
+    ``network`` applies to the simulated backend only (the real backends'
     communication costs are real); ``work_model`` defaults to the
-    calibrated model on both, so the mp backend's meters report
-    comparable model-seconds.  ``timeout`` overrides the mp backend's
+    calibrated model on all three, so the real backends' meters report
+    comparable model-seconds.  ``timeout`` overrides the real backends'
     run deadline (ignored by the simulated backend, which detects
-    deadlock structurally instead).
+    deadlock structurally instead); the CLI exposes it as ``--deadline``.
     """
     validate_cluster(kind)
     if kind == "sim":
@@ -110,9 +113,11 @@ def make_cluster(
             network=network or calibrated_network_model(),
             work_model=work_model or calibrated_work_model(),
         )
-    mp_kwargs: dict[str, Any] = {
+    real_kwargs: dict[str, Any] = {
         "work_model": work_model or calibrated_work_model(),
     }
     if timeout is not None:
-        mp_kwargs["timeout"] = timeout
-    return MpCluster(p, **mp_kwargs)
+        real_kwargs["timeout"] = timeout
+    if kind == "socket":
+        return SocketCluster(p, **real_kwargs)
+    return MpCluster(p, **real_kwargs)

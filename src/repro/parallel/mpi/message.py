@@ -1,10 +1,36 @@
-"""Message representation for the simulated cluster."""
+"""Message representation and wire framing for the cluster backends.
+
+Two layers live here:
+
+* :class:`Message` — the simulated cluster's in-flight record, ordered by
+  ``(arrival, source, seq)`` for deterministic ANY_SOURCE delivery;
+* the **wire format** of the socket backend — length-prefixed frames that
+  carry the same ``(source, tag, payload)`` triples over a stream socket.
+  A frame is a fixed 17-byte header (kind, source, dest, tag, payload
+  length; big-endian) followed by ``length`` payload bytes, so a reader
+  never needs a delimiter scan and a partial read is detectable as a
+  truncated stream (:class:`EOFError`).
+"""
 
 from __future__ import annotations
 
+import socket
+import struct
 from dataclasses import dataclass, field
 
-__all__ = ["Message"]
+__all__ = [
+    "Message",
+    "FRAME_HELLO",
+    "FRAME_DATA",
+    "FRAME_RESULT",
+    "FRAME_HEARTBEAT",
+    "FRAME_PEERDOWN",
+    "FRAME_HEADER",
+    "MAX_FRAME_PAYLOAD",
+    "pack_frame",
+    "recv_exact",
+    "recv_frame",
+]
 
 
 @dataclass(order=True)
@@ -24,3 +50,69 @@ class Message:
     dest: int = field(compare=False)
     tag: int = field(compare=False)
     payload: bytes = field(compare=False, repr=False)
+
+
+# ---------------------------------------------------------------------------
+# Socket wire format (hub-and-spoke router backend)
+# ---------------------------------------------------------------------------
+
+#: Frame kinds.  HELLO announces a rank on a fresh connection; DATA is a
+#: routed point-to-point payload; RESULT ships a rank's final status to
+#: the parent; HEARTBEAT is an empty liveness ping; PEERDOWN is a router
+#: control frame telling a rank that ``source`` is gone (finished or died).
+FRAME_HELLO = 0
+FRAME_DATA = 1
+FRAME_RESULT = 2
+FRAME_HEARTBEAT = 3
+FRAME_PEERDOWN = 4
+
+#: kind (u8), source (i32), dest (i32), tag (i32), payload length (u32).
+FRAME_HEADER = struct.Struct(">BiiiI")
+
+#: Sanity bound on a single frame's payload (1 GiB).  A header whose
+#: length field exceeds it means a corrupted or desynchronized stream;
+#: failing loudly beats allocating garbage.
+MAX_FRAME_PAYLOAD = 1 << 30
+
+
+def pack_frame(
+    kind: int, source: int, dest: int, tag: int, payload: bytes = b""
+) -> bytes:
+    """Serialize one frame (header + payload) to bytes."""
+    if len(payload) > MAX_FRAME_PAYLOAD:
+        raise ValueError(
+            f"frame payload of {len(payload)} bytes exceeds the "
+            f"{MAX_FRAME_PAYLOAD}-byte bound"
+        )
+    return FRAME_HEADER.pack(kind, source, dest, tag, len(payload)) + payload
+
+
+def recv_exact(sock: socket.socket, n: int) -> bytes:
+    """Read exactly ``n`` bytes from a stream socket.
+
+    Raises :class:`EOFError` if the peer closes mid-read — a truncated
+    frame and a clean close are both EOF to the caller, which decides
+    whether the close was expected.
+    """
+    chunks: list[bytes] = []
+    remaining = n
+    while remaining:
+        chunk = sock.recv(min(remaining, 1 << 20))
+        if not chunk:
+            raise EOFError(f"connection closed with {remaining} bytes pending")
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks)
+
+
+def recv_frame(sock: socket.socket) -> tuple[int, int, int, int, bytes]:
+    """Read one length-prefixed frame; returns (kind, source, dest, tag, payload)."""
+    header = recv_exact(sock, FRAME_HEADER.size)
+    kind, source, dest, tag, length = FRAME_HEADER.unpack(header)
+    if length > MAX_FRAME_PAYLOAD:
+        raise EOFError(
+            f"frame header claims a {length}-byte payload "
+            "(stream corrupted or desynchronized)"
+        )
+    payload = recv_exact(sock, length) if length else b""
+    return kind, source, dest, tag, payload

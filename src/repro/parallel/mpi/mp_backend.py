@@ -55,7 +55,8 @@ from multiprocessing.connection import Connection, wait
 from typing import Any, Callable, Sequence
 
 from repro.cost.workmeter import WorkMeter, WorkModel
-from repro.parallel.mpi.comm import ANY_SOURCE, CommError, Communicator
+from repro.parallel.mpi.comm import ANY_SOURCE, CommError
+from repro.parallel.mpi.commbase import BufferedComm
 
 __all__ = ["MpCluster", "MpRunResult", "MAX_MESH_SIZE", "pick_start_method"]
 
@@ -105,8 +106,15 @@ class MpRunResult:
         return self.wall_seconds
 
 
-class _MpComm(Communicator):
-    """Per-process endpoint over the pipe mesh."""
+class _MpComm(BufferedComm):
+    """Per-process endpoint over the pipe mesh.
+
+    Protocol semantics (stash, tag matching, ANY_SOURCE, collectives)
+    live in :class:`BufferedComm`; this class binds them to the mesh:
+    ``_transmit`` writes to the peer's duplex pipe and ``_pump`` reads —
+    targeted from one pipe, ANY_SOURCE via ``connection.wait`` over every
+    live peer (dropping a peer from the wait set on EOF).
+    """
 
     def __init__(
         self,
@@ -115,31 +123,10 @@ class _MpComm(Communicator):
         pipes: dict[int, Connection],
         work_model: WorkModel | None = None,
     ):
-        self._rank = rank
-        self._size = size
+        super().__init__(rank, size, work_model)
         self._pipes = pipes  # peer rank -> connection
-        self._t0 = time.perf_counter()
-        self.meter = WorkMeter(work_model)
-        # Messages read from a pipe while waiting for another source.
-        self._stash: list[tuple[int, int, Any]] = []  # (src, tag, obj)
-        # Peers whose pipe has hit EOF (process exited).  A dead peer is
-        # only an error when a receive actually needs it.
-        self._dead: set[int] = set()
 
-    @property
-    def rank(self) -> int:
-        return self._rank
-
-    @property
-    def size(self) -> int:
-        return self._size
-
-    # -- point-to-point -------------------------------------------------
-    def send(self, obj: Any, dest: int, tag: int = 0) -> None:
-        self._check_rank(dest)
-        if dest == self._rank:
-            self._stash.append((self._rank, tag, obj))
-            return
+    def _transmit(self, obj: Any, dest: int, tag: int) -> None:
         try:
             self._pipes[dest].send((self._rank, tag, obj))
         except (BrokenPipeError, OSError) as exc:
@@ -160,108 +147,35 @@ class _MpComm(Communicator):
                 "before sending"
             ) from None
 
-    def recv(self, source: int = ANY_SOURCE, tag: int = 0) -> tuple[int, Any]:
-        self._check_rank(source, allow_any=True)
-        while True:
-            for i, (src, t, obj) in enumerate(self._stash):
-                if t == tag and (source == ANY_SOURCE or src == source):
-                    del self._stash[i]
-                    return src, obj
-            if source == ANY_SOURCE:
-                alive = {
-                    peer: conn
-                    for peer, conn in self._pipes.items()
-                    if peer not in self._dead
-                }
-                if not alive:
-                    raise CommError(
-                        f"rank {self._rank}: recv(ANY_SOURCE, tag={tag}) "
-                        "with no live peers and no matching stashed message"
-                    )
-                for conn in wait(list(alive.values())):
-                    peer = next(p for p, c in alive.items() if c is conn)
-                    try:
-                        self._stash.append(conn.recv())
-                    except EOFError:
-                        # The peer exited; anything it sent was already
-                        # drained (pipes deliver buffered data before
-                        # EOF).  Drop it from the wait set and keep
-                        # listening to the survivors.
-                        self._dead.add(peer)
-            else:
-                if source in self._dead:
-                    raise CommError(
-                        f"rank {self._rank}: rank {source} died before "
-                        f"sending tag={tag}"
-                    )
-                self._stash.append(self._recv_from(source))
-
-    # -- collectives ------------------------------------------------------
-    _COLL_TAG = -7  # reserved tag for collective plumbing
-
-    def _coll_send(self, obj: Any, dest: int) -> None:
-        try:
-            self._pipes[dest].send((self._rank, self._COLL_TAG, obj))
-        except (BrokenPipeError, OSError) as exc:
-            self._dead.add(dest)
-            raise CommError(
-                f"rank {self._rank}: collective send to dead rank {dest} "
-                f"({exc})"
-            ) from None
-
-    def _coll_recv(self, source: int) -> Any:
-        # Collective traffic may interleave with stashed p2p messages.
-        for i, (src, t, obj) in enumerate(self._stash):
-            if t == self._COLL_TAG and src == source:
-                del self._stash[i]
-                return obj
-        while True:
-            src, t, obj = self._recv_from(source)
-            if t == self._COLL_TAG and src == source:
-                return obj
-            self._stash.append((src, t, obj))
-
-    def bcast(self, obj: Any, root: int = 0) -> Any:
-        self._check_rank(root)
-        if self._size == 1:
-            return obj
-        if self._rank == root:
-            for r in range(self._size):
-                if r != root:
-                    self._coll_send(obj, r)
-            return obj
-        return self._coll_recv(root)
-
-    def scatter(self, objs: Sequence[Any] | None, root: int = 0) -> Any:
-        self._check_rank(root)
-        if self._rank == root:
-            if objs is None or len(objs) != self._size:
-                raise CommError(f"scatter needs a length-{self._size} sequence")
-            for r in range(self._size):
-                if r != root:
-                    self._coll_send(objs[r], r)
-            return objs[root]
-        return self._coll_recv(root)
-
-    def gather(self, obj: Any, root: int = 0) -> list[Any] | None:
-        self._check_rank(root)
-        if self._rank == root:
-            out: list[Any] = [None] * self._size
-            out[root] = obj
-            for r in range(self._size):
-                if r != root:
-                    out[r] = self._coll_recv(r)
-            return out
-        self._coll_send(obj, root)
-        return None
-
-    def barrier(self) -> None:
-        # Gather-to-0 then broadcast a token.
-        self.gather(None, root=0)
-        self.bcast(None, root=0)
-
-    def elapsed(self) -> float:
-        return time.perf_counter() - self._t0
+    def _pump(self, source: int, tag: int) -> None:
+        if source == ANY_SOURCE:
+            alive = {
+                peer: conn
+                for peer, conn in self._pipes.items()
+                if peer not in self._dead
+            }
+            if not alive:
+                raise CommError(
+                    f"rank {self._rank}: recv(ANY_SOURCE, tag={tag}) "
+                    "with no live peers and no matching stashed message"
+                )
+            for conn in wait(list(alive.values())):
+                peer = next(p for p, c in alive.items() if c is conn)
+                try:
+                    self._stash.append(conn.recv())
+                except EOFError:
+                    # The peer exited; anything it sent was already
+                    # drained (pipes deliver buffered data before
+                    # EOF).  Drop it from the wait set and keep
+                    # listening to the survivors.
+                    self._dead.add(peer)
+        else:
+            if source in self._dead:
+                raise CommError(
+                    f"rank {self._rank}: rank {source} died before "
+                    f"sending tag={tag}"
+                )
+            self._stash.append(self._recv_from(source))
 
 
 def _worker(
@@ -334,8 +248,8 @@ class MpCluster:
                 f"size {size} exceeds the supported mesh range (p <= "
                 f"{MAX_MESH_SIZE}): the full pipe mesh needs "
                 f"{size * (size - 1)} one-way ends plus a result pipe per "
-                "rank, which exhausts OS file descriptors; use the "
-                "simulated backend for larger p"
+                "rank, which exhausts OS file descriptors; use the socket "
+                "backend (--cluster socket) for larger p"
             )
         self.size = size
         self.work_model = work_model

@@ -1,0 +1,588 @@
+"""Socket router backend: O(p) file descriptors, p in the hundreds.
+
+``MpCluster``'s full pipe mesh costs O(p²) descriptors and is hard-capped
+at 16 ranks; the paper's own story — cluster-scale speedup of the
+simulated-evolution placer — starts beyond that.  This backend replaces
+the mesh with a **hub-and-spoke router**: the parent owns one listening
+socket, every rank holds exactly one connection to it, and all
+point-to-point traffic is forwarded through the hub as length-prefixed
+frames (:mod:`repro.parallel.mpi.message`).  Total descriptor budget is
+``p + 1`` at the router and one per rank — p = 64 on one host is routine
+and p in the hundreds fits inside default fd limits.
+
+Protocol semantics are *identical* to the mp backend: both communicators
+derive from :class:`~repro.parallel.mpi.commbase.BufferedComm`, so tag
+matching, ANY_SOURCE behavior over dead peers, out-of-order stashing, and
+root-sequenced collectives are shared code, and the conformance suite
+(``tests/parallel/test_backend_conformance.py``) pins all three backends
+to one contract.
+
+Topology & framing
+------------------
+By default the router listens on an ``AF_UNIX`` socket in a private
+temporary directory (lowest latency, no port allocation); pass
+``address=(host, port)`` for ``AF_INET`` — the hook for multi-host fan-out
+later (``port=0`` picks a free port).  Each frame is a fixed 17-byte
+header (kind, source, dest, tag, payload length) plus the pickled object;
+the router forwards DATA frames to ``dest`` without unpickling them.
+
+Liveness: PEERDOWN, heartbeats, deadline
+----------------------------------------
+Pipes gave the mp backend EOF-based death detection for free; a routed
+star must *tell* ranks about departures:
+
+* when a rank ships its RESULT (clean finish) the router broadcasts a
+  PEERDOWN frame for it — peers drop it from ANY_SOURCE wait sets and a
+  targeted receive from it raises :class:`CommError`, exactly like an EOF
+  on a pipe.  Because each rank's frames arrive on one ordered stream,
+  everything it sent is forwarded *before* its PEERDOWN — no message loss
+  on a clean exit;
+* an EOF on a rank's connection before its RESULT (SIGKILL, OOM,
+  ``os._exit``) makes the router terminate the survivors and raise
+  ``CommError("rank(s) died without result: ...")`` — the same contract
+  as the mp parent;
+* every rank runs a daemon heartbeat thread; a rank that is alive but
+  wedged (SIGSTOP, native-code hang) stops heartbeating, and the router
+  raises :class:`CommError` once its silence exceeds
+  ``heartbeat_timeout`` — pipes cannot detect this case at all;
+* the whole run sits under a configurable ``timeout`` deadline (CLI:
+  ``--deadline``), so no failure mode can stall a caller forever.
+
+As with the mp backend, ``elapsed()`` is wall-clock and ANY_SOURCE order
+reflects real arrival order — Type III results vary run to run, while
+rank-addressed strategies (Type I/II) are bit-identical at any p.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import os
+import pickle
+import selectors
+import socket
+import tempfile
+import threading
+import time
+from typing import Any, Callable, Sequence
+
+from repro.cost.workmeter import WorkMeter, WorkModel
+from repro.parallel.mpi.comm import ANY_SOURCE, CommError
+from repro.parallel.mpi.commbase import BufferedComm
+from repro.parallel.mpi.message import (
+    FRAME_DATA,
+    FRAME_HEARTBEAT,
+    FRAME_HELLO,
+    FRAME_PEERDOWN,
+    FRAME_RESULT,
+    pack_frame,
+    recv_frame,
+)
+from repro.parallel.mpi.mp_backend import (
+    DEFAULT_TIMEOUT,
+    MpRunResult,
+    pick_start_method,
+)
+
+__all__ = ["SocketCluster", "MAX_SOCKET_RANKS"]
+
+#: Largest supported rank count.  The router holds one connection per
+#: rank plus the listener — ``p + 1`` descriptors — so the real bound is
+#: the host fd limit; 256 keeps a misconfigured sweep from hitting it.
+MAX_SOCKET_RANKS = 256
+
+#: Router poll interval while waiting for frames/results.
+_POLL_SECONDS = 0.2
+
+#: Default heartbeat send interval (seconds) inside each rank.
+DEFAULT_HEARTBEAT = 2.0
+
+
+class _SocketComm(BufferedComm):
+    """Per-process endpoint over the single router connection.
+
+    Protocol semantics live in :class:`BufferedComm`; the transport here
+    is one stream socket to the router.  ``_transmit`` frames and sends
+    (under a lock shared with the heartbeat thread); ``_pump`` reads one
+    frame — DATA is stashed, PEERDOWN marks the peer dead.
+    """
+
+    def __init__(
+        self,
+        rank: int,
+        size: int,
+        sock: socket.socket,
+        work_model: WorkModel | None = None,
+    ):
+        super().__init__(rank, size, work_model)
+        self._sock = sock
+        # sendall() may interleave with the heartbeat thread's pings;
+        # frames must hit the stream whole or routing desynchronizes.
+        self._send_lock = threading.Lock()
+
+    def _sendall(self, data: bytes) -> None:
+        with self._send_lock:
+            self._sock.sendall(data)
+
+    def _transmit(self, obj: Any, dest: int, tag: int) -> None:
+        if dest in self._dead:
+            raise CommError(
+                f"rank {self._rank}: send to rank {dest} failed — peer died "
+                "(router reported it down)"
+            )
+        payload = pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL)
+        try:
+            self._sendall(pack_frame(FRAME_DATA, self._rank, dest, tag, payload))
+        except OSError as exc:
+            raise CommError(
+                f"rank {self._rank}: send to rank {dest} failed — router "
+                f"connection lost ({exc})"
+            ) from None
+
+    def _pump(self, source: int, tag: int) -> None:
+        if source == ANY_SOURCE:
+            peers = set(range(self._size)) - {self._rank}
+            if peers <= self._dead:
+                raise CommError(
+                    f"rank {self._rank}: recv(ANY_SOURCE, tag={tag}) "
+                    "with no live peers and no matching stashed message"
+                )
+        elif source in self._dead:
+            raise CommError(
+                f"rank {self._rank}: rank {source} died before "
+                f"sending tag={tag}"
+            )
+        try:
+            kind, src, _dest, t, payload = recv_frame(self._sock)
+        except (EOFError, OSError) as exc:
+            raise CommError(
+                f"rank {self._rank}: router connection lost while waiting "
+                f"for a message ({exc})"
+            ) from None
+        if kind == FRAME_DATA:
+            self._stash.append((src, t, pickle.loads(payload)))
+        elif kind == FRAME_PEERDOWN:
+            # ``src`` is gone (finished or died); the recv loop re-checks
+            # liveness, so a targeted wait on it errors next iteration.
+            self._dead.add(src)
+        # Anything else is router-internal; ignore.
+
+
+def _heartbeat_loop(
+    comm: _SocketComm, stop: threading.Event, interval: float
+) -> None:
+    while not stop.wait(interval):
+        try:
+            comm._sendall(pack_frame(FRAME_HEARTBEAT, comm.rank, -1, 0))
+        except OSError:  # router gone; the main thread will notice too
+            return
+
+
+def _socket_worker(
+    rank: int,
+    size: int,
+    family: int,
+    address: Any,
+    work_model: WorkModel | None,
+    fn: Callable[..., Any],
+    args: tuple,
+    kwargs: dict,
+    heartbeat: float,
+) -> None:
+    sock = socket.socket(family, socket.SOCK_STREAM)
+    try:
+        sock.connect(address)
+    except OSError:
+        # Router already gone (parent died / run aborted): exit silently;
+        # the parent reports the failure on its side.
+        sock.close()
+        return
+    if family == socket.AF_INET:
+        sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+    sock.sendall(pack_frame(FRAME_HELLO, rank, -1, 0))
+    comm = _SocketComm(rank, size, sock, work_model)
+    stop = threading.Event()
+    hb = threading.Thread(
+        target=_heartbeat_loop,
+        args=(comm, stop, heartbeat),
+        name=f"sockrank-{rank}-heartbeat",
+        daemon=True,
+    )
+    hb.start()
+    try:
+        result = fn(comm, *args, **kwargs)
+        status = ("ok", result, comm.elapsed(), comm.meter.snapshot())
+    except BaseException as exc:  # noqa: BLE001 - shipped to the parent
+        status = ("error", repr(exc), comm.elapsed(), comm.meter.snapshot())
+    stop.set()
+    try:
+        payload = pickle.dumps(status, protocol=pickle.HIGHEST_PROTOCOL)
+    except Exception:
+        payload = pickle.dumps(
+            (
+                "error",
+                f"rank {rank} produced an unpicklable result",
+                comm.elapsed(),
+                comm.meter.snapshot(),
+            )
+        )
+    try:
+        comm._sendall(pack_frame(FRAME_RESULT, rank, -1, 0, payload))
+    except OSError:
+        # Parent already gone; exiting without a result surfaces there as
+        # "died without result".
+        pass
+    finally:
+        sock.close()
+
+
+class SocketCluster:
+    """Hub-and-spoke SPMD execution (see module docstring).
+
+    Parameters
+    ----------
+    size:
+        Number of ranks, ``1 <= size <= MAX_SOCKET_RANKS``.
+    work_model:
+        Seconds-per-unit model for each rank's work meter (profiling and
+        the wall-clock calibration fit; does not affect execution).
+    timeout:
+        Run deadline in seconds (``None`` disables it).  On expiry the
+        surviving ranks are terminated and :class:`CommError` is raised.
+    start_method:
+        ``"fork"`` / ``"spawn"`` / ``"forkserver"`` override; defaults to
+        :func:`pick_start_method`.
+    address:
+        ``None`` (default) for an ``AF_UNIX`` socket in a private temp
+        directory, or ``(host, port)`` for ``AF_INET`` (``port=0`` picks
+        a free port) — the multi-host hook.
+    heartbeat:
+        Per-rank heartbeat send interval in seconds.
+    heartbeat_timeout:
+        Silence threshold after which a rank counts as wedged; defaults
+        to ``max(30, 10 × heartbeat)`` — generous enough that CPU
+        oversubscription at p = 64 cannot starve a healthy rank's
+        heartbeat thread into a false positive.
+    """
+
+    #: Clock domain reported by ``elapsed()``/results (vs ``"model"``).
+    clock = "wall"
+
+    def __init__(
+        self,
+        size: int,
+        work_model: WorkModel | None = None,
+        timeout: float | None = DEFAULT_TIMEOUT,
+        start_method: str | None = None,
+        address: tuple[str, int] | None = None,
+        heartbeat: float = DEFAULT_HEARTBEAT,
+        heartbeat_timeout: float | None = None,
+    ):
+        if size < 1:
+            raise ValueError(f"size must be >= 1, got {size}")
+        if size > MAX_SOCKET_RANKS:
+            raise ValueError(
+                f"size {size} exceeds the socket router bound (p <= "
+                f"{MAX_SOCKET_RANKS}): one connection per rank plus the "
+                "listener must fit inside the host's fd limit"
+            )
+        self.size = size
+        self.work_model = work_model
+        self.timeout = timeout
+        self.start_method = start_method or pick_start_method()
+        self.address = address
+        self.heartbeat = heartbeat
+        self.heartbeat_timeout = (
+            heartbeat_timeout
+            if heartbeat_timeout is not None
+            else max(30.0, 10.0 * heartbeat)
+        )
+
+    def run(
+        self,
+        fn: Callable[..., Any],
+        args: Sequence[Any] = (),
+        kwargs: dict[str, Any] | None = None,
+        per_rank_kwargs: Sequence[dict[str, Any]] | None = None,
+    ) -> MpRunResult:
+        """Execute ``fn(comm, *args, **kwargs, **per_rank_kwargs[rank])``.
+
+        Raises :class:`CommError` if any rank fails — with its repr'd
+        exception when the rank shipped one, "died without result" when
+        its connection hit EOF first, or a heartbeat/deadline report when
+        it wedged — always after every child process has been reaped and
+        every descriptor closed.
+        """
+        if per_rank_kwargs is not None and len(per_rank_kwargs) != self.size:
+            raise ValueError("per_rank_kwargs must have one entry per rank")
+        ctx = mp.get_context(self.start_method)
+
+        tmpdir: str | None = None
+        if self.address is None:
+            tmpdir = tempfile.mkdtemp(prefix="repro-sock-")
+            family = socket.AF_UNIX
+            addr: Any = os.path.join(tmpdir, "router.sock")
+        else:
+            family = socket.AF_INET
+            addr = tuple(self.address)
+
+        listener = socket.socket(family, socket.SOCK_STREAM)
+        procs: list[Any] = []
+        conns: dict[int, socket.socket] = {}
+        sel = selectors.DefaultSelector()
+        try:
+            listener.bind(addr)
+            listener.listen(self.size)
+            if family == socket.AF_INET:
+                addr = listener.getsockname()  # resolve port 0
+
+            t0 = time.perf_counter()
+            deadline = None if self.timeout is None else t0 + self.timeout
+            for rank in range(self.size):
+                kw = dict(kwargs or {})
+                if per_rank_kwargs is not None:
+                    kw.update(per_rank_kwargs[rank])
+                proc = ctx.Process(
+                    target=_socket_worker,
+                    args=(
+                        rank,
+                        self.size,
+                        int(family),
+                        addr,
+                        self.work_model,
+                        fn,
+                        tuple(args),
+                        kw,
+                        self.heartbeat,
+                    ),
+                    name=f"sockrank-{rank}",
+                )
+                proc.start()
+                procs.append(proc)
+
+            last_seen = self._accept_all(listener, conns, procs, deadline)
+            listener.close()
+
+            statuses = self._route(
+                sel, conns, procs, last_seen, deadline, t0
+            )
+            wall = time.perf_counter() - t0
+        finally:
+            self._cleanup(sel, conns, listener, procs, tmpdir)
+
+        failures = [
+            (r, st[1])
+            for r, st in enumerate(statuses)
+            if st is not None and st[0] == "error"
+        ]
+        if failures:
+            raise CommError(f"rank failures: {failures}")
+        assert all(st is not None for st in statuses)
+        meters = []
+        for st in statuses:
+            meter = WorkMeter(self.work_model)
+            meter.units.update(st[3])  # type: ignore[index]
+            meters.append(meter)
+        return MpRunResult(
+            results=[st[1] for st in statuses],  # type: ignore[index]
+            wall_seconds=wall,
+            clocks=[float(st[2]) for st in statuses],  # type: ignore[index]
+            meters=meters,
+        )
+
+    # -- run phases -------------------------------------------------------
+    def _accept_all(
+        self,
+        listener: socket.socket,
+        conns: dict[int, socket.socket],
+        procs: list[Any],
+        deadline: float | None,
+    ) -> dict[int, float]:
+        """Accept one HELLO-bearing connection per rank; map rank → conn."""
+        listener.settimeout(_POLL_SECONDS)
+        last_seen: dict[int, float] = {}
+        while len(conns) < self.size:
+            now = time.perf_counter()
+            if deadline is not None and now >= deadline:
+                missing = sorted(set(range(self.size)) - set(conns))
+                raise CommError(
+                    f"socket run exceeded its {self.timeout:.0f}s deadline "
+                    f"while waiting for ranks {missing} to connect"
+                )
+            try:
+                conn, _peer = listener.accept()
+            except socket.timeout:
+                # Only with the accept queue drained is a missing-but-
+                # exited rank really gone: a rank that connects, finishes
+                # fast and exits leaves its connection (HELLO and RESULT
+                # already buffered) waiting here, and must not be
+                # misreported as dead.
+                dead = [
+                    r
+                    for r in range(self.size)
+                    if r not in conns and procs[r].exitcode is not None
+                ]
+                if dead:
+                    raise CommError(
+                        "rank(s) died without result: "
+                        + ", ".join(
+                            f"rank {r} (exitcode {procs[r].exitcode})"
+                            for r in dead
+                        )
+                    )
+                continue
+            kind, src, _dest, _tag, _payload = recv_frame(conn)
+            if kind != FRAME_HELLO or not 0 <= src < self.size or src in conns:
+                conn.close()
+                raise CommError(
+                    f"socket router: bad HELLO (kind={kind}, rank={src})"
+                )
+            conns[src] = conn
+            last_seen[src] = time.perf_counter()
+        return last_seen
+
+    def _route(
+        self,
+        sel: selectors.BaseSelector,
+        conns: dict[int, socket.socket],
+        procs: list[Any],
+        last_seen: dict[int, float],
+        deadline: float | None,
+        t0: float,
+    ) -> list[tuple[str, Any, float, dict] | None]:
+        """Forward frames between ranks until every result is in."""
+        for rank, conn in conns.items():
+            sel.register(conn, selectors.EVENT_READ, rank)
+        # Restart the liveness window now: a long accept phase (spawn at
+        # p = 64) must not count against ranks that connected early.
+        now = time.perf_counter()
+        for rank in last_seen:
+            last_seen[rank] = now
+        statuses: list[tuple[str, Any, float, dict] | None] = [None] * self.size
+        pending = set(range(self.size))  # ranks without a result yet
+        down: set[int] = set()  # finished or dead ranks
+        deaths: list[int] = []
+
+        def tell_peerdown(gone: int, to: int) -> None:
+            if to in down or to not in conns:
+                return
+            try:
+                conns[to].sendall(pack_frame(FRAME_PEERDOWN, gone, to, 0))
+            except OSError:
+                pass  # that conn's own EOF will surface via select
+
+        while pending:
+            now = time.perf_counter()
+            if deadline is not None and now >= deadline:
+                raise CommError(
+                    f"socket run exceeded its {self.timeout:.0f}s deadline; "
+                    f"still waiting for ranks {sorted(pending)}"
+                )
+            stale = sorted(
+                r
+                for r in pending
+                if r not in down
+                and now - last_seen[r] > self.heartbeat_timeout
+            )
+            if stale:
+                raise CommError(
+                    f"rank(s) {stale} went silent: no heartbeat for "
+                    f"{self.heartbeat_timeout:.1f}s (wedged or stopped)"
+                )
+            poll = _POLL_SECONDS
+            if deadline is not None:
+                poll = min(poll, max(0.0, deadline - now))
+            for key, _events in sel.select(timeout=poll):
+                rank = key.data
+                conn = key.fileobj
+                try:
+                    kind, _src, dest, tag, payload = recv_frame(conn)
+                except (EOFError, OSError):
+                    sel.unregister(conn)
+                    conn.close()
+                    del conns[rank]
+                    if rank in pending:
+                        # EOF before RESULT: the rank died.
+                        pending.discard(rank)
+                        down.add(rank)
+                        deaths.append(rank)
+                    continue
+                last_seen[rank] = time.perf_counter()
+                if kind == FRAME_HEARTBEAT:
+                    continue
+                if kind == FRAME_RESULT:
+                    statuses[rank] = pickle.loads(payload)
+                    pending.discard(rank)
+                    down.add(rank)
+                    # A rank's stream is ordered: everything it sent was
+                    # forwarded before this point, so peers see its data
+                    # before learning it is gone (pipe-EOF parity).
+                    for peer in range(self.size):
+                        if peer != rank:
+                            tell_peerdown(rank, peer)
+                    continue
+                if kind == FRAME_DATA:
+                    if not 0 <= dest < self.size:
+                        continue  # comm validates; drop defensively
+                    if dest in down or dest not in conns:
+                        tell_peerdown(dest, rank)
+                        continue
+                    try:
+                        conns[dest].sendall(
+                            pack_frame(FRAME_DATA, rank, dest, tag, payload)
+                        )
+                    except OSError:
+                        tell_peerdown(dest, rank)
+                    continue
+                # HELLO (duplicate) or unknown: ignore.
+            if deaths:
+                for r in deaths:
+                    procs[r].join(timeout=1.0)
+                raise CommError(
+                    "rank(s) died without result: "
+                    + ", ".join(
+                        f"rank {r} (exitcode {procs[r].exitcode})"
+                        for r in deaths
+                    )
+                )
+        return statuses
+
+    def _cleanup(
+        self,
+        sel: selectors.BaseSelector,
+        conns: dict[int, socket.socket],
+        listener: socket.socket,
+        procs: list[Any],
+        tmpdir: str | None,
+    ) -> None:
+        """Reap every child and close every descriptor, error or not."""
+        alive = [p for p in procs if p.is_alive()]
+        for proc in alive:
+            proc.terminate()
+        for proc in alive:
+            # Short grace: a SIGSTOPped rank leaves SIGTERM pending
+            # forever, so escalate to SIGKILL (which stops nothing)
+            # quickly instead of stalling the error path.
+            proc.join(timeout=5)
+            if proc.is_alive():
+                proc.kill()
+                proc.join()
+        sel.close()
+        for conn in conns.values():
+            try:
+                conn.close()
+            except OSError:  # pragma: no cover - double close is harmless
+                pass
+        conns.clear()
+        try:
+            listener.close()
+        except OSError:  # pragma: no cover
+            pass
+        if tmpdir is not None:
+            try:
+                os.unlink(os.path.join(tmpdir, "router.sock"))
+            except OSError:
+                pass
+            try:
+                os.rmdir(tmpdir)
+            except OSError:  # pragma: no cover - leftover files
+                pass

@@ -326,6 +326,7 @@ def run_serial(
     spec: ExperimentSpec,
     work_model: WorkModel | None = None,
     cluster: str = "sim",
+    deadline: float | None = None,
 ) -> ParallelOutcome:
     """The serial SimE baseline every parallel strategy is compared to.
 
@@ -340,7 +341,7 @@ def run_serial(
         from repro.parallel.mpi.backend import make_cluster
 
         # make_cluster validates the name (raising on unknown backends).
-        res = make_cluster(cluster, 1, work_model=work_model).run(
+        res = make_cluster(cluster, 1, work_model=work_model, timeout=deadline).run(
             serial_spmd, kwargs={"spec": spec}
         )
         r0 = res.results[0]

@@ -198,6 +198,7 @@ def run_type1(
     work_model: WorkModel | None = None,
     iterations: int | None = None,
     cluster: str = "sim",
+    deadline: float | None = None,
 ) -> ParallelOutcome:
     """Run Type I parallel SimE on a ``p``-rank cluster backend.
 
@@ -205,12 +206,16 @@ def run_type1(
     the serial search, so the paper compares equal-iteration runs.
     ``cluster`` selects the backend: ``"sim"`` (deterministic virtual
     clocks, the default — results bit-identical to earlier releases) or
-    ``"mp"`` (real processes; ``runtime`` becomes wall-clock).
+    ``"mp"``/``"socket"`` (real processes; ``runtime`` becomes
+    wall-clock).  ``deadline`` overrides the real backends' run deadline
+    in seconds (ignored on ``"sim"``).
     """
     if p < 2:
         raise ValueError("Type I needs at least 2 ranks (master + 1 slave)")
     iters = iterations if iterations is not None else spec.iterations
-    cl = make_cluster(cluster, p, network=network, work_model=work_model)
+    cl = make_cluster(
+        cluster, p, network=network, work_model=work_model, timeout=deadline
+    )
     res = cl.run(_spmd, kwargs={"spec": spec, "iterations": iters})
     master = res.results[0]
     extras = {"best_rows": master["best_rows"], "rank_clocks": res.clocks}

@@ -180,6 +180,7 @@ def run_type2(
     base_factor: float = 8.0 / 7.0,
     per_proc_frac: float = 1.0 / 7.0,
     cluster: str = "sim",
+    deadline: float | None = None,
 ) -> ParallelOutcome:
     """Run Type II parallel SimE on a ``p``-rank cluster backend.
 
@@ -187,10 +188,14 @@ def run_type2(
     ``"contiguous"`` (mobility ablation).  ``iterations`` overrides the
     paper-scaled budget from :func:`parallel_iterations`.  ``cluster``
     selects the backend: ``"sim"`` (deterministic, bit-identical to
-    earlier releases) or ``"mp"`` (real processes, wall-clock runtime;
-    the simulated ranks' shared-memory evaluation adoption does not
-    apply — each process evaluates the broadcast solution itself, as the
-    paper's real cluster did).
+    earlier releases) or ``"mp"``/``"socket"`` (real processes,
+    wall-clock runtime; the simulated ranks' shared-memory evaluation
+    adoption does not apply — each process evaluates the broadcast
+    solution itself, as the paper's real cluster did).  All Type II
+    traffic is rank-addressed, so solutions and meters are bit-identical
+    run-to-run on every backend at any ``p`` — the socket backend's
+    p ∈ {16, 32, 64} speedup ladder relies on this.  ``deadline``
+    overrides the real backends' run deadline (ignored on ``"sim"``).
     """
     if p < 2:
         raise ValueError("Type II needs at least 2 ranks")
@@ -199,7 +204,9 @@ def run_type2(
         if iterations is not None
         else parallel_iterations(spec.iterations, p, base_factor, per_proc_frac)
     )
-    cl = make_cluster(cluster, p, network=network, work_model=work_model)
+    cl = make_cluster(
+        cluster, p, network=network, work_model=work_model, timeout=deadline
+    )
     res = cl.run(
         _spmd,
         kwargs={

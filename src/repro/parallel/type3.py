@@ -155,6 +155,7 @@ def run_type3(
     work_model: WorkModel | None = None,
     iterations: int | None = None,
     cluster: str = "sim",
+    deadline: float | None = None,
 ) -> ParallelOutcome:
     """Run Type III parallel SimE on a ``p``-rank cluster backend.
 
@@ -171,7 +172,9 @@ def run_type3(
     if retry_threshold < 1:
         raise ValueError("retry_threshold must be >= 1")
     iters = iterations if iterations is not None else spec.iterations
-    cl = make_cluster(cluster, p, network=network, work_model=work_model)
+    cl = make_cluster(
+        cluster, p, network=network, work_model=work_model, timeout=deadline
+    )
     res = cl.run(
         _spmd,
         kwargs={"spec": spec, "iterations": iters, "retry_threshold": retry_threshold},

@@ -193,6 +193,7 @@ def run_type3_diversified(
     work_model: WorkModel | None = None,
     iterations: int | None = None,
     cluster: str = "sim",
+    deadline: float | None = None,
 ) -> ParallelOutcome:
     """Run the diversified Type III variant (Section 7 future work).
 
@@ -203,7 +204,9 @@ def run_type3_diversified(
     if p < 3:
         raise ValueError("needs at least 3 ranks (store + 2 searchers)")
     iters = iterations if iterations is not None else spec.iterations
-    cl = make_cluster(cluster, p, network=network, work_model=work_model)
+    cl = make_cluster(
+        cluster, p, network=network, work_model=work_model, timeout=deadline
+    )
     res = cl.run(
         _spmd,
         kwargs={

@@ -359,9 +359,12 @@ def test_tables_speedup_smoke_renders_side_by_side(tmp_path, capsys):
     out = capsys.readouterr().out
     assert "Speedup" in out
     assert "sim t" in out and "mp t" in out and "mp ×" in out
+    assert "socket t" in out and "socket ×" in out
     payload = json.loads((tmp_path / "speedup-smoke.json").read_text())
     clusters = {r["params"].get("cluster") for r in payload["records"]}
-    assert clusters == {"sim", "mp"}
+    assert clusters == {"sim", "mp", "socket"}
+    # The p > 8 socket ladder is excluded from smoke runs.
+    assert max(r["params"].get("p", 1) for r in payload["records"]) <= 8
     assert all(r["ok"] for r in payload["records"])
 
 

@@ -225,28 +225,59 @@ def test_listing_order_matches_paper():
 # ----------------------------------------------------- speedup / backends
 
 
-def test_speedup_scenario_covers_both_backends_and_all_strategies():
+def test_speedup_scenario_covers_all_backends_and_all_strategies():
     cells = resolve("speedup", scale=100)
     strategies = {c.strategy for c in cells}
     assert strategies == {"serial", "type1", "type2", "type3", "type3x"}
     clusters = {c.params_dict().get("cluster") for c in cells}
-    assert clusters == {"sim", "mp"}
-    # Every (strategy, p) point exists on both backends symmetrically.
+    assert clusters == {"sim", "mp", "socket"}
+    # Every (strategy, p) point up to the paper's 8 nodes exists on all
+    # three backends symmetrically; the socket-only ladder extends type2
+    # past the pipe mesh's p <= 16 wall.
     by_point = {}
     for c in cells:
         params = c.params_dict()
         key = (c.strategy, params.get("p", 1))
         by_point.setdefault(key, set()).add(params["cluster"])
-    for key, both in by_point.items():
-        assert both == {"sim", "mp"}, key
-    # The p axis reaches the paper's 8 nodes; type3 starts at 4 (store).
-    ps = {p for (s, p) in by_point if s in ("type1", "type2")}
+    ladder_points = {("type2", p) for p in (16, 32, 64)}
+    for key, backends in by_point.items():
+        if key in ladder_points:
+            assert backends == {"socket"}, key
+        else:
+            assert backends == {"sim", "mp", "socket"}, key
+    # The ladder (and its serial baseline) runs on the cluster-scale
+    # rung: paper circuits cannot row-decompose past p = 32.
+    for c in cells:
+        p = c.params_dict().get("p", 1)
+        if (c.strategy, p) in ladder_points:
+            assert c.spec.circuit == "synth8000", c.cell_id
+    baseline = [
+        c for c in cells
+        if c.strategy == "serial" and c.spec.circuit == "synth8000"
+    ]
+    assert len(baseline) == 1
+    assert baseline[0].params_dict()["cluster"] == "socket"
+    # The shared p axis reaches the paper's 8 nodes; type3 starts at 4
+    # (store); the socket ladder climbs to 64.
+    ps = {p for (s, p) in by_point if s == "type1"}
     assert ps == {2, 4, 8}
+    assert {p for (s, p) in by_point if s == "type2"} == {2, 4, 8, 16, 32, 64}
     assert {p for (s, p) in by_point if s == "type3"} == {4, 8}
-    # p=1 is the serial pair.
+    # p=1 is the serial row.
     assert ("serial", 1) in by_point
     # mp cells stay inside the backend's validated mesh range.
-    assert max(p for (_s, p) in by_point) <= 16
+    mp_ps = [
+        c.params_dict().get("p", 1)
+        for c in cells
+        if c.params_dict().get("cluster") == "mp"
+    ]
+    assert max(mp_ps) <= 16
+    # The ladder is excluded from smoke runs (it spawns 16-64 processes
+    # per cell, far beyond what a smoke pass should do).
+    smoke_ps = {
+        c.params_dict().get("p", 1) for c in resolve("speedup", smoke=True)
+    }
+    assert max(smoke_ps) <= 8
 
 
 def test_validate_rejects_bad_cluster():
@@ -277,14 +308,34 @@ def test_override_cluster_rewrites_params_and_ids():
         c for c in speedup_cells if c.params_dict().get("cluster") == "sim"
     ]
     assert override_cluster(sim_pinned, "sim") == sim_pinned
-    # A scenario pinning both backends per point collapses to one cell
-    # per point — rewritten twins dedupe, ids stay unique.
+    # A scenario pinning several backends per point collapses to one cell
+    # per point — rewritten twins dedupe, ids stay unique — and points
+    # the pipe mesh cannot execute (the socket p > 16 ladder) are
+    # dropped rather than rewritten into guaranteed failures.
     mp_forced = override_cluster(speedup_cells, "mp")
-    assert len(mp_forced) == len(speedup_cells) // 2
+    assert any(c.params_dict().get("p", 1) > 16 for c in speedup_cells)
+    assert all(c.params_dict().get("p", 1) <= 16 for c in mp_forced)
+
+    # Every point the mesh *can* execute survives (including the ladder's
+    # p = 16 rung and the synth8000 serial baseline, which have no
+    # sim/mp twins), collapsed to exactly one mp cell per point.
+    def point(c):
+        prm = c.params_dict()
+        return (c.strategy, c.spec.circuit, prm.get("p", 1),
+                prm.get("pattern"))
+
+    want = {
+        point(c) for c in speedup_cells
+        if c.params_dict().get("p", 1) <= 16
+    }
+    assert {point(c) for c in mp_forced} == want
     assert len({c.cell_id for c in mp_forced}) == len(mp_forced)
     for c in mp_forced:
         assert c.cell_id.count("cluster=") == 1
         assert c.params_dict().get("cluster") == "mp" or c.strategy == "profile"
+    # Forcing socket keeps the ladder (socket executes everything).
+    socket_forced = override_cluster(speedup_cells, "socket")
+    assert max(c.params_dict().get("p", 1) for c in socket_forced) == 64
     with pytest.raises(ValueError, match="unknown cluster backend"):
         override_cluster(cells, "slurm")
 

@@ -44,6 +44,50 @@ def test_sweep_serial_and_pool_agree():
     assert [r.canonical() for r in serial] == [r.canonical() for r in pooled]
 
 
+def _record_with_cluster(cluster: str) -> RunRecord:
+    return RunRecord(
+        scenario="t", cell_id=f"c[{cluster}]", strategy="type2",
+        spec={"circuit": "s1196"}, params={"p": 2}, ok=True, error=None,
+        outcome={
+            "best_mu": 0.5,
+            "runtime": 1.25,
+            "history": [[0, 0.4, 0.7], [1, 0.5, 1.25]],
+            "extras": {
+                "cluster": cluster,
+                "model_seconds": 3.0,
+                "wall_seconds": 1.3,
+                "rank_clocks": [1.2, 1.25],
+            },
+        },
+        wall_seconds=1.3,
+    )
+
+
+def test_canonical_strips_wall_timing_on_real_backends_only():
+    # Two runs of the same cell on a wall-clock backend never agree on
+    # host timing; canonical() must key on the solution, the meter
+    # charges and the µ trajectory alone.  On sim the same fields are
+    # deterministic model-seconds and stay part of the key.
+    for cluster in ("mp", "socket"):
+        c = _record_with_cluster(cluster).canonical()
+        out = c["outcome"]
+        assert "wall_seconds" not in c
+        assert "runtime" not in out
+        assert "wall_seconds" not in out["extras"]
+        assert "rank_clocks" not in out["extras"]
+        assert out["history"] == [[0, 0.4], [1, 0.5]]  # µ kept, clock dropped
+        assert out["extras"]["model_seconds"] == 3.0
+
+    sim = _record_with_cluster("sim").canonical()
+    assert "wall_seconds" not in sim
+    assert sim["outcome"] == _record_with_cluster("sim").outcome
+    # canonical() must not mutate the record it was asked to describe.
+    rec = _record_with_cluster("socket")
+    rec.canonical()
+    assert rec.outcome["runtime"] == 1.25
+    assert rec.outcome["extras"]["rank_clocks"] == [1.2, 1.25]
+
+
 def test_failure_isolation():
     good = _tiny_cells()[0]
     bad = SweepCell(

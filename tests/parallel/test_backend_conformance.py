@@ -1,0 +1,223 @@
+"""One communicator contract, three executions.
+
+Parametrized conformance suite pinning sim (threads + virtual clock),
+mp (process mesh over pipes) and socket (hub-and-spoke router) to the
+same observable semantics: tag matching, out-of-order stashing,
+ANY_SOURCE behavior over finished peers, dead-peer receives raising
+:class:`CommError`, root-sequenced collectives, self-sends, and per-rank
+meter/clock shipping.  Anything a strategy can observe through a
+``Communicator`` must be indistinguishable across backends (up to the
+clock domain: model-seconds on sim, wall-seconds on mp/socket).
+
+Workers are module-level so the process backends can pickle them under
+any start method.
+"""
+
+import time
+
+import pytest
+
+from repro.parallel.mpi.backend import CLUSTERS, make_cluster
+from repro.parallel.mpi.comm import ANY_SOURCE, CommError
+
+BACKENDS = ("sim", "mp", "socket")
+
+
+def test_suite_covers_every_registered_backend():
+    assert set(BACKENDS) == set(CLUSTERS)
+
+
+@pytest.fixture(params=BACKENDS)
+def backend(request):
+    return request.param
+
+
+# ----------------------------------------------------------- tag matching
+
+
+def _w_tags_out_of_order(comm):
+    """Receive in the reverse of send order: forces the stash path."""
+    if comm.rank == 0:
+        comm.send("first", 1, tag=5)
+        comm.send("second", 1, tag=6)
+        return None
+    got_6 = comm.recv(0, tag=6)
+    got_5 = comm.recv(0, tag=5)
+    return (got_6, got_5)
+
+
+def test_tag_matching_stashes_out_of_order_messages(backend):
+    res = make_cluster(backend, 2).run(_w_tags_out_of_order)
+    assert res.results[1] == ((0, "second"), (0, "first"))
+
+
+def _w_interleaved_sources(comm):
+    """Cross-source *and* cross-tag reordering at one receiver."""
+    if comm.rank != 0:
+        comm.send((comm.rank, 0), 0, tag=0)
+        comm.send((comm.rank, 1), 0, tag=1)
+        return None
+    return [
+        comm.recv(2, tag=1),
+        comm.recv(1, tag=1),
+        comm.recv(2, tag=0),
+        comm.recv(1, tag=0),
+    ]
+
+
+def test_interleaved_sources_and_tags_deliver_exactly(backend):
+    res = make_cluster(backend, 3).run(_w_interleaved_sources)
+    assert res.results[0] == [
+        (2, (2, 1)),
+        (1, (1, 1)),
+        (2, (2, 0)),
+        (1, (1, 0)),
+    ]
+
+
+def _w_self_send(comm):
+    comm.send(("loopback", comm.rank), comm.rank, tag=2)
+    return comm.recv(comm.rank, tag=2)
+
+
+def test_self_send_is_local_and_ordered(backend):
+    res = make_cluster(backend, 2).run(_w_self_send)
+    for rank, got in enumerate(res.results):
+        assert got == (rank, ("loopback", rank))
+
+
+# ------------------------------------------------------------- ANY_SOURCE
+
+
+def _w_any_source_collects_all(comm):
+    if comm.rank == 0:
+        return sorted(
+            comm.recv(ANY_SOURCE, tag=3) for _ in range(comm.size - 1)
+        )
+    comm.send(comm.rank * 10, 0, tag=3)
+    return None
+
+
+def test_any_source_collects_every_peer(backend):
+    res = make_cluster(backend, 4).run(_w_any_source_collects_all)
+    assert res.results[0] == [(1, 10), (2, 20), (3, 30)]
+
+
+def _w_any_source_over_finished_peer(comm):
+    """A finished peer must not wedge a wildcard receive on the rest."""
+    if comm.rank == 0:
+        return comm.recv(ANY_SOURCE, tag=9)
+    if comm.rank == 1:
+        time.sleep(0.2)  # let rank 2's exit land at rank 0 first
+        comm.send("survivor", 0, tag=9)
+    return None  # rank 2 finishes immediately, sending nothing
+
+
+def test_any_source_skips_finished_peers(backend):
+    res = make_cluster(backend, 3).run(_w_any_source_over_finished_peer)
+    assert res.results[0] == (1, "survivor")
+
+
+# ---------------------------------------------------------- dead receives
+
+
+def _w_recv_from_finished_peer(comm):
+    if comm.rank == 0:
+        comm.recv(1, tag=4)  # rank 1 exits without ever sending
+    return None
+
+
+def test_targeted_recv_from_finished_peer_raises(backend):
+    """Blocking on a peer that exited cleanly is an error everywhere.
+
+    sim raises :class:`DeadlockError` (a :class:`CommError`); mp sees the
+    EOF on the pipe; socket sees the router's PEERDOWN broadcast.  All
+    surface as ``CommError`` from ``run()``.
+    """
+    with pytest.raises(CommError):
+        make_cluster(backend, 2).run(_w_recv_from_finished_peer)
+
+
+def _w_all_peers_finished(comm):
+    if comm.rank == 0:
+        comm.recv(ANY_SOURCE, tag=8)  # nobody left to send anything
+    return None
+
+
+def test_any_source_with_no_live_peers_raises(backend):
+    with pytest.raises(CommError):
+        make_cluster(backend, 3).run(_w_all_peers_finished)
+
+
+# ------------------------------------------------------------ collectives
+
+
+def _w_collectives(comm):
+    val = comm.bcast("token" if comm.rank == 0 else None, root=0)
+    part = comm.scatter(
+        [i * i for i in range(comm.size)] if comm.rank == 0 else None,
+        root=0,
+    )
+    total = comm.gather(part, root=0)
+    comm.barrier()
+    return (val, part, total)
+
+
+def test_collectives_match_across_backends(backend):
+    p = 4
+    res = make_cluster(backend, p).run(_w_collectives)
+    for rank, (val, part, total) in enumerate(res.results):
+        assert val == "token"
+        assert part == rank * rank
+        if rank == 0:
+            assert total == [i * i for i in range(p)]
+        else:
+            assert total is None
+
+
+def _w_nonzero_root(comm):
+    val = comm.bcast(comm.rank if comm.rank == 2 else None, root=2)
+    return comm.gather(val, root=1)
+
+
+def test_collectives_honor_nonzero_roots(backend):
+    res = make_cluster(backend, 3).run(_w_nonzero_root)
+    assert res.results[1] == [2, 2, 2]
+    assert res.results[0] is None and res.results[2] is None
+
+
+# ------------------------------------------------- meters, clocks, shapes
+
+
+def _w_charge_per_rank(comm):
+    comm.meter.charge("allocation", float(comm.rank + 1))
+    comm.meter.charge("evaluation", 2.0)
+    comm.barrier()
+    return comm.rank
+
+
+def test_meters_and_clocks_ship_per_rank(backend):
+    p = 3
+    cl = make_cluster(backend, p)
+    res = cl.run(_w_charge_per_rank)
+    assert res.results == list(range(p))
+    assert len(res.clocks) == p and len(res.meters) == p
+    # makespan is max(clock) on sim but parent wall-clock on mp/socket
+    # (it includes spawn/teardown), so pin only the ordering invariant.
+    assert res.makespan >= max(res.clocks) >= 0.0
+    for rank, meter in enumerate(res.meters):
+        assert meter.units["allocation"] == pytest.approx(rank + 1.0)
+        assert meter.units["evaluation"] == pytest.approx(2.0)
+
+
+def _w_per_rank_kwargs(comm, base, bonus=0):
+    return base + bonus + comm.rank
+
+
+def test_per_rank_kwargs_reach_each_rank(backend):
+    res = make_cluster(backend, 3).run(
+        _w_per_rank_kwargs,
+        args=(100,),
+        per_rank_kwargs=[{"bonus": 10 * r} for r in range(3)],
+    )
+    assert res.results == [100, 111, 122]

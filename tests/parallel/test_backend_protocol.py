@@ -18,6 +18,7 @@ from repro.parallel.mpi.backend import (
 )
 from repro.parallel.mpi.mp_backend import MpCluster
 from repro.parallel.mpi.simcluster import SimCluster
+from repro.parallel.mpi.socket_backend import SocketCluster
 from repro.parallel.runners import ExperimentSpec, run_serial
 from repro.parallel.type1 import run_type1
 from repro.parallel.type2 import run_type2
@@ -49,7 +50,11 @@ def _echo(comm):
 
 
 def test_make_cluster_builds_conforming_backends():
-    for kind, cls, clock in (("sim", SimCluster, "model"), ("mp", MpCluster, "wall")):
+    for kind, cls, clock in (
+        ("sim", SimCluster, "model"),
+        ("mp", MpCluster, "wall"),
+        ("socket", SocketCluster, "wall"),
+    ):
         cl = make_cluster(kind, 2)
         assert isinstance(cl, cls)
         assert isinstance(cl, ClusterBackend)
@@ -64,12 +69,13 @@ def test_make_cluster_builds_conforming_backends():
 def test_make_cluster_rejects_unknown_kind():
     with pytest.raises(ValueError, match="unknown cluster backend"):
         make_cluster("slurm", 2)
-    assert CLUSTERS == ("sim", "mp")
+    assert CLUSTERS == ("sim", "mp", "socket")
 
 
-def test_make_cluster_mp_timeout_threads_through():
-    cl = make_cluster("mp", 2, timeout=42.0)
-    assert cl.timeout == 42.0
+def test_make_cluster_timeout_threads_through():
+    for kind in ("mp", "socket"):
+        cl = make_cluster(kind, 2, timeout=42.0)
+        assert cl.timeout == 42.0
 
 
 @pytest.mark.parametrize("runner,kwargs", [
