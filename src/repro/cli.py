@@ -50,6 +50,8 @@ from repro.experiments.registry import (
     override_cluster,
     override_deadline,
     override_eval_mode,
+    override_faults,
+    override_on_rank_failure,
     resolve,
 )
 from repro.sime.config import EVAL_MODES
@@ -120,6 +122,20 @@ def build_parser() -> argparse.ArgumentParser:
     p_run.add_argument("--deadline", type=float, default=None, metavar="SECONDS",
                        help="run deadline for the real-process backends "
                             "(default 600s); ignored with --cluster sim")
+    p_run.add_argument("--inject-faults", default=None, metavar="SPEC",
+                       help="arm a deterministic fault plan on the run, "
+                            "e.g. 'kill:at=6' or 'wedge:rank=2:at=5' "
+                            "(parallel strategies only)")
+    p_run.add_argument("--on-rank-failure", default="abort",
+                       choices=["abort", "degrade"],
+                       help="type3/type3x response to losing a rank mid-run: "
+                            "fail fast (default) or continue on the "
+                            "survivors at reduced p")
+    p_run.add_argument("--max-retries", type=int, default=0, metavar="N",
+                       help="re-run the cell up to N times after transient "
+                            "failures (rank death, wedge, dropped "
+                            "connection) with backoff; deterministic "
+                            "failures never retry")
     p_run.add_argument("--eval-mode", default="scalar",
                        choices=list(EVAL_MODES),
                        help="allocation evaluation path: scalar (bit-exact "
@@ -158,6 +174,19 @@ def build_parser() -> argparse.ArgumentParser:
                          help="run deadline for cells on the real-process "
                               "backends (default 600s); sim cells are "
                               "unaffected")
+    p_sweep.add_argument("--inject-faults", default=None, metavar="SPEC",
+                         help="arm a deterministic fault plan on every "
+                              "parallel cell (serial/profile cells pass "
+                              "through); identity-affecting — faulted "
+                              "cells cache separately")
+    p_sweep.add_argument("--on-rank-failure", default=None,
+                         choices=["abort", "degrade"],
+                         help="rank-loss policy for type3/type3x cells: "
+                              "abort (default) or degrade onto survivors")
+    p_sweep.add_argument("--max-retries", type=int, default=0, metavar="N",
+                         help="per-cell retry budget for transient "
+                              "failures (with deterministic jittered "
+                              "backoff); deterministic failures fail fast")
     p_sweep.add_argument("--eval-mode", default=None,
                          choices=list(EVAL_MODES),
                          help="force every cell onto one allocation "
@@ -201,6 +230,14 @@ def build_parser() -> argparse.ArgumentParser:
                           metavar="SECONDS",
                           help="run deadline for cells on the real-process "
                                "backends (default 600s)")
+    p_tables.add_argument("--inject-faults", default=None, metavar="SPEC",
+                          help="arm a deterministic fault plan on every "
+                               "parallel cell")
+    p_tables.add_argument("--on-rank-failure", default=None,
+                          choices=["abort", "degrade"],
+                          help="rank-loss policy for type3/type3x cells")
+    p_tables.add_argument("--max-retries", type=int, default=0, metavar="N",
+                          help="per-cell retry budget for transient failures")
     p_tables.add_argument("--eval-mode", default=None,
                           choices=list(EVAL_MODES),
                           help="force every cell onto one allocation "
@@ -342,6 +379,24 @@ def cmd_run(args: argparse.Namespace) -> int:
         print("--deadline applies to the real-process backends "
               "(--cluster mp|socket)", file=sys.stderr)
         return 2
+    if args.inject_faults is not None:
+        if args.strategy in ("serial", "profile"):
+            print("--inject-faults applies to the parallel strategies only",
+                  file=sys.stderr)
+            return 2
+        from repro.parallel.faults import format_faults, parse_faults
+
+        try:
+            params["faults"] = format_faults(parse_faults(args.inject_faults))
+        except ValueError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+    if args.on_rank_failure != "abort":
+        if args.strategy not in ("type3", "type3x"):
+            print("--on-rank-failure degrade applies to type3/type3x only",
+                  file=sys.stderr)
+            return 2
+        params["on_rank_failure"] = args.on_rank_failure
     # eval_mode lives in the spec (not params — params are runner kwargs),
     # but a non-default mode is still part of the cell's identity.  The
     # deadline is operational, not identity, so it stays out of the id.
@@ -357,10 +412,14 @@ def cmd_run(args: argparse.Namespace) -> int:
         spec=spec,
         params=tuple(sorted(params.items())),
     )
-    record = run_cell(cell)
+    record = run_cell(cell, max_retries=args.max_retries)
     if not record.ok:
         print(f"FAILED: {record.error}", file=sys.stderr)
         return 1
+    if record.attempts > 1:
+        print(f"note: succeeded on attempt {record.attempts} "
+              f"({record.attempts - 1} transient failure(s) retried)",
+              file=sys.stderr)
     if args.json:
         print(json.dumps(record.to_dict(), indent=2, sort_keys=True))
     else:
@@ -406,10 +465,18 @@ def _run_scenario_inline(args: argparse.Namespace) -> int:
         cells = override_eval_mode(cells, args.eval_mode)
     if args.deadline is not None:
         cells = override_deadline(cells, args.deadline)
+    try:
+        if args.inject_faults is not None:
+            cells = override_faults(cells, args.inject_faults)
+        if args.on_rank_failure != "abort":
+            cells = override_on_rank_failure(cells, args.on_rank_failure)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     print(f"run {scenario.name}: {len(cells)} cells")
     records = []
     for i, cell in enumerate(cells):
-        record = run_cell(cell)
+        record = run_cell(cell, max_retries=args.max_retries)
         records.append(record)
         _progress(i + 1, len(cells), record)
     if args.out:
@@ -433,6 +500,7 @@ def _sweep_records(
     backend: str | None = None,
     chunk_size: int | None = None,
     cache: CellCache | None = None,
+    max_retries: int = 0,
 ) -> list[RunRecord]:
     use_processes = processes or workers is not None
     return run_sweep(
@@ -443,6 +511,7 @@ def _sweep_records(
         backend=backend,
         chunk_size=chunk_size,
         cache=cache,
+        max_retries=max_retries,
     )
 
 
@@ -534,6 +603,16 @@ def _execute_sweep(
     if forced_deadline is not None:
         # Operational bound only: no tag or cache-key consequences.
         cells = override_deadline(cells, forced_deadline)
+    forced_faults = getattr(args, "inject_faults", None)
+    forced_policy = getattr(args, "on_rank_failure", None)
+    try:
+        if forced_faults is not None:
+            cells = override_faults(cells, forced_faults)
+        if forced_policy and forced_policy != "abort":
+            cells = override_on_rank_failure(cells, forced_policy)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
 
     # Smoke runs get their own artifact name so they never clobber a
     # full-scale run of the same scenario; shards get a slice suffix.
@@ -546,6 +625,11 @@ def _execute_sweep(
     if forced_mode and forced_mode != "scalar" and not getattr(args, "tag", None):
         # Same for a forced non-default evaluation path.
         tag = f"{tag}-{forced_mode}"
+    if forced_faults and not getattr(args, "tag", None):
+        # Chaos runs carry injected failures; keep them clearly apart.
+        tag = f"{tag}-faults"
+    if forced_policy == "degrade" and not getattr(args, "tag", None):
+        tag = f"{tag}-degrade"
     shard = None
     if getattr(args, "shard", None):
         try:
@@ -589,6 +673,7 @@ def _execute_sweep(
         backend=getattr(args, "backend", None),
         chunk_size=getattr(args, "chunk_size", None),
         cache=cache,
+        max_retries=getattr(args, "max_retries", 0),
     )
     store = ArtifactStore(args.out)
     meta = {

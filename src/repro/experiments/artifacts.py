@@ -39,11 +39,17 @@ from __future__ import annotations
 import csv
 import json
 import os
-from dataclasses import asdict, dataclass
+import threading
+from dataclasses import asdict, dataclass, field
 from pathlib import Path
 from typing import TYPE_CHECKING, Any, Iterable, Sequence
 
 from repro.parallel.runners import ParallelOutcome
+
+try:  # POSIX-only; the cache degrades to plain atomic replace without it
+    import fcntl
+except ImportError:  # pragma: no cover - non-posix hosts
+    fcntl = None  # type: ignore[assignment]
 from repro.utils.hashing import stable_hash
 
 if TYPE_CHECKING:  # import cycle guard: registry imports nothing from here
@@ -61,7 +67,7 @@ __all__ = [
 
 #: Bump when the meaning/encoding of cached results changes without a
 #: package version bump (e.g. a RunRecord schema change).
-RESULT_SCHEMA = "cell-v2"
+RESULT_SCHEMA = "cell-v3"
 
 
 def version_key() -> str:
@@ -88,6 +94,7 @@ CSV_COLUMNS = (
     "retry_threshold",
     "cluster",
     "ok",
+    "attempts",
     "runtime",
     "best_mu",
     "error",
@@ -112,6 +119,14 @@ class RunRecord:
     error: str | None
     outcome: dict[str, Any] | None
     wall_seconds: float
+    #: Execution attempts consumed (1 = first try succeeded or failed
+    #: deterministically; > 1 means the retry loop re-ran a transient
+    #: failure).  Operational metadata: stripped by :meth:`canonical`, so
+    #: a retried cell stays bit-identical to a fresh success.
+    attempts: int = 1
+    #: Tracebacks of the failed attempts that preceded the final one
+    #: (the final failure, if any, lives in ``error``).
+    attempt_errors: list[str] = field(default_factory=list)
 
     def to_dict(self) -> dict[str, Any]:
         return asdict(self)
@@ -128,6 +143,8 @@ class RunRecord:
             error=d.get("error"),
             outcome=d.get("outcome"),
             wall_seconds=float(d.get("wall_seconds", 0.0)),
+            attempts=int(d.get("attempts", 1)),
+            attempt_errors=list(d.get("attempt_errors", [])),
         )
 
     def canonical(self) -> dict[str, Any]:
@@ -143,6 +160,11 @@ class RunRecord:
         """
         d = self.to_dict()
         d.pop("wall_seconds", None)
+        # Retry bookkeeping is operational, not part of the result: a
+        # cell that failed transiently and was re-run must compare equal
+        # to one that succeeded first try.
+        d.pop("attempts", None)
+        d.pop("attempt_errors", None)
         out = d.get("outcome")
         if out:
             extras = out.get("extras") or {}
@@ -175,6 +197,7 @@ class RunRecord:
             "retry_threshold": self.params.get("retry_threshold", ""),
             "cluster": self.params.get("cluster", "sim"),
             "ok": int(self.ok),
+            "attempts": self.attempts,
             "runtime": out.get("runtime", ""),
             "best_mu": out.get("best_mu", ""),
             "error": (self.error or "").splitlines()[0] if self.error else "",
@@ -259,9 +282,15 @@ class CellCache:
     anything); ``write=False`` makes :meth:`put` a no-op.  ``also_read``
     lists extra directories consulted (after ``root``) on lookup — how
     ``--resume DIR`` replays another run's cache while still filing fresh
-    cells under its own output directory.  Writes are atomic (tmp file +
-    ``os.replace``), so concurrent shard processes filling one cache
-    directory cannot tear each other's entries.
+    cells under its own output directory.
+
+    Writes are concurrency-safe at two levels: each entry is written to a
+    process- and thread-unique tmp file and atomically ``os.replace``-d
+    into place (no torn entries, ever), and on POSIX a per-key ``flock``
+    in ``<root>/.locks/`` serialises writers of the same key with
+    first-writer-wins semantics — once a valid successful record is on
+    disk for a key, later writers (pool workers, shard processes,
+    fallback promotion) leave it untouched instead of rewriting it.
     """
 
     def __init__(
@@ -307,19 +336,48 @@ class CellCache:
             return record
         return None
 
+    def _has_valid_entry(self, path: Path) -> bool:
+        """True when ``path`` already holds a readable, successful record."""
+        try:
+            payload = json.loads(path.read_text())
+            return bool(RunRecord.from_dict(payload["record"]).ok)
+        except (OSError, ValueError, KeyError, TypeError):
+            return False
+
     def put(self, cell: "SweepCell", record: RunRecord) -> Path | None:
-        """File a successful record under the cell's key (failures skip)."""
+        """File a successful record under the cell's key (failures skip).
+
+        First writer wins: if a valid entry for the key already exists it
+        is kept as-is (results are pure functions of the key, so any
+        valid entry is the right one — and not rewriting means readers
+        racing a writer in the flock-less fallback never see churn).
+        """
         if not self.write or not record.ok:
             return None
         self.root.mkdir(parents=True, exist_ok=True)
         path = self.path_for(cell)
-        tmp = path.with_suffix(f".tmp{os.getpid()}")
-        tmp.write_text(json.dumps(
-            {"key": path.stem, "version": version_key(),
-             "record": record.to_dict()},
-            indent=2, sort_keys=True,
-        ))
-        os.replace(tmp, path)
+        tmp = path.with_suffix(
+            f".tmp{os.getpid()}-{threading.get_ident()}"
+        )
+        lock_fh = None
+        if fcntl is not None:
+            lock_dir = self.root / ".locks"
+            lock_dir.mkdir(exist_ok=True)
+            lock_fh = open(lock_dir / f"{path.stem}.lock", "w")
+            fcntl.flock(lock_fh, fcntl.LOCK_EX)
+        try:
+            if self._has_valid_entry(path):
+                return path
+            tmp.write_text(json.dumps(
+                {"key": path.stem, "version": version_key(),
+                 "record": record.to_dict()},
+                indent=2, sort_keys=True,
+            ))
+            os.replace(tmp, path)
+        finally:
+            if lock_fh is not None:
+                fcntl.flock(lock_fh, fcntl.LOCK_UN)
+                lock_fh.close()
         return path
 
     def __len__(self) -> int:

@@ -62,6 +62,8 @@ __all__ = [
     "override_cluster",
     "override_deadline",
     "override_eval_mode",
+    "override_faults",
+    "override_on_rank_failure",
     "base_spec",
     "scaled_iterations",
     "derive_seeds",
@@ -701,6 +703,26 @@ def _validate(strategy: str, params: Mapping[str, Any]) -> None:
     validate_cluster(params.get("cluster", "sim"))
     if strategy == "profile" and "cluster" in params:
         raise ValueError("the profile pseudo-strategy runs in-process only")
+    faults = params.get("faults")
+    if faults is not None:
+        if strategy in ("serial", "profile"):
+            raise ValueError(f"{strategy} cells cannot carry fault plans")
+        from repro.parallel.faults import parse_faults
+
+        parse_faults(faults)  # raises on malformed specs
+    policy = params.get("on_rank_failure")
+    if policy is not None:
+        if strategy not in ("type3", "type3x"):
+            raise ValueError(
+                "on_rank_failure applies to type3/type3x cells only"
+            )
+        from repro.parallel.mpi.mp_backend import RANK_FAILURE_POLICIES
+
+        if policy not in RANK_FAILURE_POLICIES:
+            raise ValueError(
+                f"on_rank_failure must be one of {RANK_FAILURE_POLICIES}, "
+                f"got {policy!r}"
+            )
 
 
 _CLUSTER_IN_ID = re.compile(r"cluster=\w+")
@@ -813,5 +835,102 @@ def override_eval_mode(cells: Iterable[SweepCell], mode: str) -> list[SweepCell]
         seen.add(cid)
         out.append(replace(
             cell, cell_id=cid, spec=replace(cell.spec, eval_mode=mode)
+        ))
+    return out
+
+
+_FAULTS_IN_ID = re.compile(r"faults=[^,\]]+")
+
+
+def override_faults(cells: Iterable[SweepCell], faults: str) -> list[SweepCell]:
+    """Arm a fault-plan spec on every parallel cell (``--inject-faults``).
+
+    The plan is identity-affecting — an injected failure (or a degraded
+    survivor run) is a different result than a clean run — so each
+    rewritten cell gets the spec in both its params and its cell id, and
+    caches independently of its clean twin.  ``serial`` and ``profile``
+    cells have no cluster to fault and pass through untouched.  The spec
+    is validated here, before any process is spawned.
+    """
+    from repro.parallel.faults import format_faults, parse_faults
+
+    spec = format_faults(parse_faults(faults))  # validate + canonicalise
+    out: list[SweepCell] = []
+    seen: set[str] = set()
+    for cell in cells:
+        params = cell.params_dict()
+        if cell.strategy in ("serial", "profile") or params.get("faults") == spec:
+            if cell.cell_id not in seen:
+                seen.add(cell.cell_id)
+                out.append(cell)
+            continue
+        params["faults"] = spec
+        cid = cell.cell_id
+        if _FAULTS_IN_ID.search(cid):
+            cid = _FAULTS_IN_ID.sub(f"faults={spec}", cid)
+        elif cid.endswith("]"):
+            cid = f"{cid[:-1]},faults={spec}]"
+        else:
+            cid = f"{cid}[faults={spec}]"
+        if cid in seen:
+            continue
+        seen.add(cid)
+        out.append(replace(
+            cell, cell_id=cid, params=tuple(sorted(params.items()))
+        ))
+    return out
+
+
+_POLICY_IN_ID = re.compile(r"on_rank_failure=\w+")
+
+
+def override_on_rank_failure(
+    cells: Iterable[SweepCell], policy: str
+) -> list[SweepCell]:
+    """Set the rank-loss policy on type3/type3x cells (``--on-rank-failure``).
+
+    Identity-affecting like :func:`override_faults`: a degraded run's
+    outcome records the losses, so ``degrade`` cells must not share cache
+    entries with their abort twins.  Forcing the default ``"abort"``
+    leaves untouched cells (and their ids/cache keys) alone.  Strategies
+    without a master/survivor structure pass through unchanged — only
+    type3/type3x know how to continue at reduced p.
+    """
+    from repro.parallel.mpi.mp_backend import RANK_FAILURE_POLICIES
+
+    if policy not in RANK_FAILURE_POLICIES:
+        raise ValueError(
+            f"on_rank_failure must be one of {RANK_FAILURE_POLICIES}, "
+            f"got {policy!r}"
+        )
+    out: list[SweepCell] = []
+    seen: set[str] = set()
+    for cell in cells:
+        params = cell.params_dict()
+        current = params.get("on_rank_failure", "abort")
+        if cell.strategy not in ("type3", "type3x") or current == policy:
+            if cell.cell_id not in seen:
+                seen.add(cell.cell_id)
+                out.append(cell)
+            continue
+        if policy == "abort":
+            params.pop("on_rank_failure", None)
+        else:
+            params["on_rank_failure"] = policy
+        cid = cell.cell_id
+        if _POLICY_IN_ID.search(cid):
+            if policy == "abort":
+                cid = re.sub(r",?on_rank_failure=\w+", "", cid)
+            else:
+                cid = _POLICY_IN_ID.sub(f"on_rank_failure={policy}", cid)
+        elif cid.endswith("]"):
+            cid = f"{cid[:-1]},on_rank_failure={policy}]"
+        else:
+            cid = f"{cid}[on_rank_failure={policy}]"
+        if cid in seen:
+            continue
+        seen.add(cid)
+        out.append(replace(
+            cell, cell_id=cid, params=tuple(sorted(params.items()))
         ))
     return out

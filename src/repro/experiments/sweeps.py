@@ -45,6 +45,8 @@ from typing import Callable, Protocol, Sequence
 from repro.analysis.profiling import profile_serial_run
 from repro.experiments.artifacts import CellCache, RunRecord
 from repro.experiments.registry import SweepCell
+from repro.parallel.faults import FaultPlan
+from repro.parallel.mpi.comm import CommError, DeadlockError
 from repro.parallel.runners import ParallelOutcome, run_serial
 from repro.parallel.type1 import run_type1
 from repro.parallel.type2 import run_type2
@@ -52,8 +54,11 @@ from repro.parallel.type3 import run_type3
 from repro.parallel.type3x import run_type3_diversified
 
 __all__ = [
+    "classify_failure",
     "run_cell",
     "run_sweep",
+    "DEFAULT_BACKOFF_BASE",
+    "TRANSIENT_EXCEPTIONS",
     "ProgressFn",
     "SweepBackend",
     "SerialBackend",
@@ -67,6 +72,46 @@ __all__ = [
 
 #: Called after each cell completes: ``progress(done, total, record)``.
 ProgressFn = Callable[[int, int, RunRecord], None]
+
+#: Exception types retrying can plausibly fix: rank deaths, wedges and
+#: dropped connections (:class:`CommError` covers all injected faults),
+#: plus the OS-level failures real clusters produce.  Everything else —
+#: parser errors, bad specs, :class:`DeadlockError` (the simulated
+#: cluster's *structural* verdict: the same program deadlocks the same
+#: way every run) — is deterministic and fails fast.
+TRANSIENT_EXCEPTIONS = (CommError, ConnectionError, TimeoutError, OSError)
+
+#: First retry waits about this long (seconds); each further retry
+#: doubles it, modulated by a per-(cell, attempt) deterministic jitter.
+DEFAULT_BACKOFF_BASE = 0.1
+
+
+def classify_failure(exc: BaseException) -> str:
+    """``"transient"`` (a retry may succeed) or ``"deterministic"``.
+
+    The split drives the sweep retry loop: transient failures burn a
+    retry budget with backoff; deterministic ones are final on the first
+    attempt — retrying a reproducible failure only wastes the budget.
+    """
+    if isinstance(exc, DeadlockError):
+        return "deterministic"
+    if isinstance(exc, TRANSIENT_EXCEPTIONS):
+        return "transient"
+    return "deterministic"
+
+
+def _backoff_delay(cell_id: str, attempt: int, base: float) -> float:
+    """Deterministically jittered exponential backoff for one retry.
+
+    ``stable_hash`` keys the jitter on (cell, attempt), so concurrent
+    pool workers retrying different cells do not thundering-herd, yet a
+    re-run of the same sweep sleeps the same schedule.
+    """
+    from repro.utils.hashing import stable_hash
+
+    jitter = int(stable_hash(("retry", cell_id, attempt), length=8), 16)
+    frac = 0.5 + jitter / 0xFFFFFFFF / 2.0  # [0.5, 1.0)
+    return base * (2 ** (attempt - 1)) * frac
 
 
 def _run_profile(cell: SweepCell) -> ParallelOutcome:
@@ -88,8 +133,18 @@ def _run_profile(cell: SweepCell) -> ParallelOutcome:
     )
 
 
-def _dispatch(cell: SweepCell) -> ParallelOutcome:
+def _dispatch(cell: SweepCell, attempt: int = 1) -> ParallelOutcome:
     params = cell.params_dict()
+    faults = params.get("faults")
+    if isinstance(faults, str):
+        # Attempt-scoped clauses (``attempt=N``) fire only on their
+        # attempt; the runner receives a pre-filtered, unscoped plan so a
+        # retried run is indistinguishable from a fresh fault-free one.
+        plan = FaultPlan.parse(faults, seed=cell.spec.seed).for_attempt(attempt)
+        if plan.faults:
+            params["faults"] = plan
+        else:
+            del params["faults"]
     if cell.strategy == "serial":
         return run_serial(cell.spec, **params)
     if cell.strategy == "profile":
@@ -105,7 +160,13 @@ def _dispatch(cell: SweepCell) -> ParallelOutcome:
     raise ValueError(f"unknown strategy {cell.strategy!r}")
 
 
-def _failure_record(cell: SweepCell, error: str, wall_seconds: float) -> RunRecord:
+def _failure_record(
+    cell: SweepCell,
+    error: str,
+    wall_seconds: float,
+    attempts: int = 1,
+    attempt_errors: list[str] | None = None,
+) -> RunRecord:
     return RunRecord(
         scenario=cell.scenario,
         cell_id=cell.cell_id,
@@ -116,40 +177,75 @@ def _failure_record(cell: SweepCell, error: str, wall_seconds: float) -> RunReco
         error=error,
         outcome=None,
         wall_seconds=wall_seconds,
+        attempts=attempts,
+        attempt_errors=attempt_errors or [],
     )
 
 
-def run_cell(cell: SweepCell) -> RunRecord:
+def run_cell(
+    cell: SweepCell,
+    max_retries: int = 0,
+    backoff_base: float = DEFAULT_BACKOFF_BASE,
+) -> RunRecord:
     """Execute one cell, capturing failures into the record.
+
+    Transient failures (see :func:`classify_failure`) are retried up to
+    ``max_retries`` times with deterministically jittered exponential
+    backoff; each retry re-dispatches the cell from scratch (cells are
+    pure functions of their inputs, so a retried success is bit-identical
+    to a first-try success — :meth:`RunRecord.canonical` strips the
+    ``attempts``/``attempt_errors`` bookkeeping).  Deterministic failures
+    are final immediately.
 
     Safe to ship across process boundaries: both the cell (dataclasses of
     plain data) and the record (dicts of JSON scalars) pickle cheaply.
     """
+    if max_retries < 0:
+        raise ValueError(f"max_retries must be >= 0, got {max_retries}")
     t0 = time.perf_counter()
-    try:
-        outcome = _dispatch(cell)
-    except Exception as exc:  # noqa: BLE001 - isolation is the point
-        return _failure_record(
-            cell,
-            f"{type(exc).__name__}: {exc}\n{traceback.format_exc()}",
-            time.perf_counter() - t0,
+    attempt_errors: list[str] = []
+    attempt = 0
+    while True:
+        attempt += 1
+        try:
+            outcome = _dispatch(cell, attempt=attempt)
+        except Exception as exc:  # noqa: BLE001 - isolation is the point
+            error = f"{type(exc).__name__}: {exc}\n{traceback.format_exc()}"
+            final = (
+                classify_failure(exc) == "deterministic"
+                or attempt > max_retries
+            )
+            if final:
+                return _failure_record(
+                    cell,
+                    error,
+                    time.perf_counter() - t0,
+                    attempts=attempt,
+                    attempt_errors=attempt_errors,
+                )
+            attempt_errors.append(error)
+            time.sleep(_backoff_delay(cell.cell_id, attempt, backoff_base))
+            continue
+        return RunRecord(
+            scenario=cell.scenario,
+            cell_id=cell.cell_id,
+            strategy=cell.strategy,
+            spec=cell.spec.to_dict(),
+            params=cell.params_dict(),
+            ok=True,
+            error=None,
+            outcome=outcome.to_dict(),
+            wall_seconds=time.perf_counter() - t0,
+            attempts=attempt,
+            attempt_errors=attempt_errors,
         )
-    return RunRecord(
-        scenario=cell.scenario,
-        cell_id=cell.cell_id,
-        strategy=cell.strategy,
-        spec=cell.spec.to_dict(),
-        params=cell.params_dict(),
-        ok=True,
-        error=None,
-        outcome=outcome.to_dict(),
-        wall_seconds=time.perf_counter() - t0,
-    )
 
 
-def _run_chunk(cells: list[SweepCell]) -> list[RunRecord]:
+def _run_chunk(
+    cells: list[SweepCell], max_retries: int = 0
+) -> list[RunRecord]:
     """Worker-side body of :class:`ChunkedBackend`: one pool task, n cells."""
-    return [run_cell(cell) for cell in cells]
+    return [run_cell(cell, max_retries=max_retries) for cell in cells]
 
 
 # ---------------------------------------------------------------------------
@@ -179,15 +275,20 @@ class SerialBackend:
 
     name = "serial"
 
-    def __init__(self, workers: int | None = None, chunk_size: int | None = None):
-        pass  # accepts the shared knobs for interface uniformity
+    def __init__(
+        self,
+        workers: int | None = None,
+        chunk_size: int | None = None,
+        max_retries: int = 0,
+    ):
+        self.max_retries = max_retries
 
     def run(
         self, cells: Sequence[SweepCell], progress: ProgressFn | None = None
     ) -> list[RunRecord]:
         records = []
         for i, cell in enumerate(cells):
-            record = run_cell(cell)
+            record = run_cell(cell, max_retries=self.max_retries)
             records.append(record)
             if progress:
                 progress(i + 1, len(cells), record)
@@ -199,8 +300,14 @@ class ProcessPoolBackend:
 
     name = "process"
 
-    def __init__(self, workers: int | None = None, chunk_size: int | None = None):
+    def __init__(
+        self,
+        workers: int | None = None,
+        chunk_size: int | None = None,
+        max_retries: int = 0,
+    ):
         self.workers = workers
+        self.max_retries = max_retries
 
     def run(
         self, cells: Sequence[SweepCell], progress: ProgressFn | None = None
@@ -212,7 +319,10 @@ class ProcessPoolBackend:
         done = 0
         with ProcessPoolExecutor(max_workers=self.workers) as pool:
             last_event = time.perf_counter()
-            futures = {pool.submit(run_cell, c): i for i, c in enumerate(cells)}
+            futures = {
+                pool.submit(run_cell, c, self.max_retries): i
+                for i, c in enumerate(cells)
+            }
             # Report completions as they happen (a slow head cell must not
             # make the whole sweep look hung) while keeping result order.
             for future in as_completed(futures):
@@ -247,9 +357,15 @@ class ChunkedBackend:
     #: for load balancing without giving up the amortization.
     OVERSUBSCRIBE = 4
 
-    def __init__(self, workers: int | None = None, chunk_size: int | None = None):
+    def __init__(
+        self,
+        workers: int | None = None,
+        chunk_size: int | None = None,
+        max_retries: int = 0,
+    ):
         self.workers = workers
         self.chunk_size = chunk_size
+        self.max_retries = max_retries
 
     def _resolve_chunk_size(self, n_cells: int) -> int:
         if self.chunk_size is not None:
@@ -273,7 +389,8 @@ class ChunkedBackend:
         with ProcessPoolExecutor(max_workers=self.workers) as pool:
             last_event = time.perf_counter()
             futures = {
-                pool.submit(_run_chunk, chunk): k for k, chunk in enumerate(chunks)
+                pool.submit(_run_chunk, chunk, self.max_retries): k
+                for k, chunk in enumerate(chunks)
             }
             for future in as_completed(futures):
                 k = futures[future]
@@ -307,7 +424,10 @@ BACKENDS: dict[str, type] = {
 
 
 def make_backend(
-    name: str, workers: int | None = None, chunk_size: int | None = None
+    name: str,
+    workers: int | None = None,
+    chunk_size: int | None = None,
+    max_retries: int = 0,
 ) -> SweepBackend:
     """Instantiate a named backend (``serial`` / ``process`` / ``chunked``)."""
     try:
@@ -316,7 +436,7 @@ def make_backend(
         raise ValueError(
             f"unknown backend {name!r}; expected one of {sorted(BACKENDS)}"
         ) from None
-    return cls(workers=workers, chunk_size=chunk_size)
+    return cls(workers=workers, chunk_size=chunk_size, max_retries=max_retries)
 
 
 # ---------------------------------------------------------------------------
@@ -363,6 +483,7 @@ def run_sweep(
     backend: str | SweepBackend | None = None,
     chunk_size: int | None = None,
     cache: CellCache | None = None,
+    max_retries: int = 0,
 ) -> list[RunRecord]:
     """Run every cell; return records in the input order.
 
@@ -376,11 +497,17 @@ def run_sweep(
     records count toward ``progress`` immediately) and files every fresh
     successful record, which is all ``repro sweep --resume`` is.
     ``progress`` fires once per cell; completion order is the backend's.
+    ``max_retries`` re-runs transiently failed cells (see
+    :func:`run_cell`); it applies when ``backend`` is a name — an
+    instance carries its own retry budget.
     """
     if backend is None:
         backend = "process" if (processes or workers is not None) else "serial"
     if isinstance(backend, str):
-        backend = make_backend(backend, workers=workers, chunk_size=chunk_size)
+        backend = make_backend(
+            backend, workers=workers, chunk_size=chunk_size,
+            max_retries=max_retries,
+        )
 
     if cache is None:
         return backend.run(cells, progress)

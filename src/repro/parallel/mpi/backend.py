@@ -25,7 +25,14 @@ The contract:
 
 from __future__ import annotations
 
-from typing import Any, Callable, Protocol, Sequence, runtime_checkable
+from typing import (
+    TYPE_CHECKING,
+    Any,
+    Callable,
+    Protocol,
+    Sequence,
+    runtime_checkable,
+)
 
 from repro.cost.workmeter import WorkMeter, WorkModel
 from repro.parallel.mpi.calibration import (
@@ -36,6 +43,9 @@ from repro.parallel.mpi.mp_backend import MpCluster
 from repro.parallel.mpi.netmodel import NetworkModel
 from repro.parallel.mpi.simcluster import SimCluster
 from repro.parallel.mpi.socket_backend import SocketCluster
+
+if TYPE_CHECKING:  # circular at runtime: faults needs CommError from mpi
+    from repro.parallel.faults import FaultPlan
 
 __all__ = [
     "ClusterBackend",
@@ -96,6 +106,8 @@ def make_cluster(
     network: NetworkModel | None = None,
     work_model: WorkModel | None = None,
     timeout: float | None = None,
+    faults: "FaultPlan | None" = None,
+    on_rank_failure: str = "abort",
 ) -> ClusterBackend:
     """Build a ``p``-rank cluster backend by name.
 
@@ -105,6 +117,13 @@ def make_cluster(
     comparable model-seconds.  ``timeout`` overrides the real backends'
     run deadline (ignored by the simulated backend, which detects
     deadlock structurally instead); the CLI exposes it as ``--deadline``.
+
+    ``faults`` is a :class:`~repro.parallel.faults.FaultPlan` armed on
+    every rank (all three backends).  ``on_rank_failure`` selects the
+    real backends' response to a mid-run rank loss: ``"abort"`` (default,
+    raise :class:`CommError`) or ``"degrade"`` (continue with the
+    survivors and report the losses on the run result) — the simulated
+    backend has no partial-death mode and ignores it.
     """
     validate_cluster(kind)
     if kind == "sim":
@@ -112,9 +131,12 @@ def make_cluster(
             p,
             network=network or calibrated_network_model(),
             work_model=work_model or calibrated_work_model(),
+            faults=faults,
         )
     real_kwargs: dict[str, Any] = {
         "work_model": work_model or calibrated_work_model(),
+        "faults": faults,
+        "on_rank_failure": on_rank_failure,
     }
     if timeout is not None:
         real_kwargs["timeout"] = timeout

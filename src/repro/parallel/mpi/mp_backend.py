@@ -49,16 +49,32 @@ from __future__ import annotations
 
 import multiprocessing as mp
 import sys
+import threading
 import time
 from dataclasses import dataclass, field
 from multiprocessing.connection import Connection, wait
-from typing import Any, Callable, Sequence
+from typing import TYPE_CHECKING, Any, Callable, Sequence
 
 from repro.cost.workmeter import WorkMeter, WorkModel
 from repro.parallel.mpi.comm import ANY_SOURCE, CommError
 from repro.parallel.mpi.commbase import BufferedComm
+from repro.parallel.mpi.liveness import (
+    DEFAULT_HEARTBEAT,
+    LivenessMonitor,
+    default_heartbeat_timeout,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (faults ← comm)
+    from repro.parallel.faults import FaultPlan
 
 __all__ = ["MpCluster", "MpRunResult", "MAX_MESH_SIZE", "pick_start_method"]
+
+#: Sentinel shipped over the result pipe by each rank's heartbeat thread.
+#: A one-element tuple can never collide with the 4-tuple status payload.
+_HEARTBEAT = ("__mp_heartbeat__",)
+
+#: Accepted ``on_rank_failure`` policies (shared with the socket backend).
+RANK_FAILURE_POLICIES = ("abort", "degrade")
 
 #: Largest supported rank count: the full mesh needs p·(p−1)/2 duplex
 #: pipes (two fds each) plus a result pipe per rank, so beyond ~16 ranks
@@ -92,13 +108,17 @@ class MpRunResult:
     ``wall_seconds`` is the parent-observed span (includes process spawn);
     ``clocks`` are the per-rank in-child elapsed times; ``meters`` carry
     each rank's work-unit counts back to the parent (model-seconds for
-    the wall-clock calibration fit).
+    the wall-clock calibration fit).  ``lost`` maps ranks abandoned by an
+    ``on_rank_failure="degrade"`` run to a human-readable reason; their
+    ``results``/``clocks``/``meters`` slots hold ``None``/``0.0``/empty
+    meters.  Under the default abort policy it is always empty.
     """
 
     results: list[Any]
     wall_seconds: float
     clocks: list[float] = field(default_factory=list)
     meters: list[WorkMeter] = field(default_factory=list)
+    lost: dict[int, str] = field(default_factory=dict)
 
     @property
     def makespan(self) -> float:
@@ -188,6 +208,7 @@ def _worker(
     args: tuple,
     kwargs: dict,
     result_conn: Connection,
+    heartbeat: float = DEFAULT_HEARTBEAT,
 ) -> None:
     # Under fork this child inherited *every* pipe end the parent had
     # open; close the ones it does not own so a peer's death can reach
@@ -198,19 +219,41 @@ def _worker(
         except OSError:  # pragma: no cover - double close is harmless
             pass
     comm = _MpComm(rank, size, conns, work_model)
+    # Heartbeats ride the result pipe from a daemon thread; the lock
+    # keeps sentinel and status writes whole.  A wedged (SIGSTOPped)
+    # rank freezes this thread too — which is exactly the signal: its
+    # silence is what the parent's LivenessMonitor detects.
+    send_lock = threading.Lock()
+    stop = threading.Event()
+
+    def _beat() -> None:
+        while not stop.wait(heartbeat):
+            with send_lock:
+                if stop.is_set():
+                    return
+                try:
+                    result_conn.send(_HEARTBEAT)
+                except (BrokenPipeError, OSError):
+                    return  # parent gone; the main thread will notice too
+
+    threading.Thread(
+        target=_beat, name=f"mprank-{rank}-heartbeat", daemon=True
+    ).start()
     try:
         result = fn(comm, *args, **kwargs)
         status = ("ok", result, comm.elapsed(), comm.meter.snapshot())
     except BaseException as exc:  # noqa: BLE001 - shipped to the parent
         status = ("error", repr(exc), comm.elapsed(), comm.meter.snapshot())
-    try:
-        result_conn.send(status)
-    except (BrokenPipeError, OSError, TypeError, ValueError):
-        # Unpicklable result or a parent already gone: exiting without a
-        # status surfaces at the parent as "died without result".
-        pass
-    finally:
-        result_conn.close()
+    stop.set()
+    with send_lock:
+        try:
+            result_conn.send(status)
+        except (BrokenPipeError, OSError, TypeError, ValueError):
+            # Unpicklable result or a parent already gone: exiting without
+            # a status surfaces at the parent as "died without result".
+            pass
+        finally:
+            result_conn.close()
 
 
 class MpCluster:
@@ -229,6 +272,23 @@ class MpCluster:
     start_method:
         ``"fork"`` / ``"spawn"`` / ``"forkserver"`` override; defaults to
         :func:`pick_start_method`.
+    heartbeat:
+        Per-rank heartbeat send interval in seconds (sentinels over the
+        result pipe from a daemon thread).
+    heartbeat_timeout:
+        Silence threshold after which a rank counts as wedged; defaults
+        to ``max(30, 10 × heartbeat)`` (see
+        :func:`~repro.parallel.mpi.liveness.default_heartbeat_timeout`).
+    faults:
+        Optional :class:`~repro.parallel.faults.FaultPlan` armed on
+        every rank in process mode (kills really ``_exit``, wedges
+        really SIGSTOP).
+    on_rank_failure:
+        ``"abort"`` (default): any mid-run rank loss terminates the
+        survivors and raises :class:`CommError` — bit-identical to the
+        pre-fault-tolerance behavior.  ``"degrade"``: the loss is
+        recorded on ``MpRunResult.lost`` and the run continues with the
+        survivors (strategies decide what a partial result means).
     """
 
     #: Clock domain reported by ``elapsed()``/results (vs ``"model"``).
@@ -240,6 +300,10 @@ class MpCluster:
         work_model: WorkModel | None = None,
         timeout: float | None = DEFAULT_TIMEOUT,
         start_method: str | None = None,
+        heartbeat: float = DEFAULT_HEARTBEAT,
+        heartbeat_timeout: float | None = None,
+        faults: "FaultPlan | None" = None,
+        on_rank_failure: str = "abort",
     ):
         if size < 1:
             raise ValueError(f"size must be >= 1, got {size}")
@@ -251,10 +315,23 @@ class MpCluster:
                 "rank, which exhausts OS file descriptors; use the socket "
                 "backend (--cluster socket) for larger p"
             )
+        if on_rank_failure not in RANK_FAILURE_POLICIES:
+            raise ValueError(
+                f"on_rank_failure must be one of {RANK_FAILURE_POLICIES}, "
+                f"got {on_rank_failure!r}"
+            )
         self.size = size
         self.work_model = work_model
         self.timeout = timeout
         self.start_method = start_method or pick_start_method()
+        self.heartbeat = heartbeat
+        self.heartbeat_timeout = (
+            heartbeat_timeout
+            if heartbeat_timeout is not None
+            else default_heartbeat_timeout(heartbeat)
+        )
+        self.faults = faults
+        self.on_rank_failure = on_rank_failure
 
     def run(
         self,
@@ -274,6 +351,10 @@ class MpCluster:
         """
         if per_rank_kwargs is not None and len(per_rank_kwargs) != self.size:
             raise ValueError("per_rank_kwargs must have one entry per rank")
+        if self.faults is not None:
+            from repro.parallel.faults import FaultedFn
+
+            fn = FaultedFn(fn, self.faults.resolve(self.size), mode="process")
         ctx = mp.get_context(self.start_method)
         # Full mesh of duplex pipes.
         mesh: dict[tuple[int, int], Connection] = {}
@@ -316,6 +397,7 @@ class MpCluster:
                     tuple(args),
                     kw,
                     result_pipes[rank][1],
+                    self.heartbeat,
                 ),
                 name=f"mprank-{rank}",
             )
@@ -336,6 +418,10 @@ class MpCluster:
             rank: result_pipes[rank][0] for rank in range(self.size)
         }
         deaths: list[int] = []
+        lost: dict[int, str] = {}
+        monitor = LivenessMonitor(self.heartbeat_timeout)
+        for rank in range(self.size):
+            monitor.register(rank, t0)
         try:
             while pending:
                 now = time.perf_counter()
@@ -344,17 +430,52 @@ class MpCluster:
                         f"mp run exceeded its {self.timeout:.0f}s deadline; "
                         f"still waiting for ranks {sorted(pending)}"
                     )
+                stale = [r for r in monitor.stale(now) if r in pending]
+                if stale:
+                    if self.on_rank_failure == "degrade":
+                        for r in stale:
+                            # SIGKILL works on a SIGSTOPped process where
+                            # SIGTERM would stay pending forever.
+                            if procs[r].is_alive():
+                                procs[r].kill()
+                                procs[r].join()
+                            monitor.forget(r)
+                            pending.pop(r).close()
+                            lost[r] = (
+                                f"rank {r} went silent: no heartbeat for "
+                                f"{self.heartbeat_timeout:.1f}s "
+                                "(wedged or stopped)"
+                            )
+                        continue
+                    raise monitor.silence_error(stale)
                 poll = _POLL_SECONDS
                 if deadline is not None:
                     poll = min(poll, max(0.0, deadline - now))
                 for conn in wait(list(pending.values()), timeout=poll):
                     rank = next(r for r, c in pending.items() if c is conn)
                     try:
-                        statuses[rank] = conn.recv()
+                        obj = conn.recv()
                     except EOFError:
-                        deaths.append(rank)
+                        if self.on_rank_failure == "degrade":
+                            procs[rank].join(timeout=1.0)
+                            lost[rank] = (
+                                f"rank {rank} died without result "
+                                f"(exitcode {procs[rank].exitcode})"
+                            )
+                            monitor.forget(rank)
+                        else:
+                            deaths.append(rank)
+                        del pending[rank]
+                        continue
+                    if obj == _HEARTBEAT:
+                        monitor.beat(rank)
+                        continue
+                    statuses[rank] = obj
+                    monitor.forget(rank)
                     del pending[rank]
                 if deaths:
+                    for r in deaths:
+                        procs[r].join(timeout=1.0)
                     codes = {r: procs[r].exitcode for r in deaths}
                     raise CommError(
                         "rank(s) died without result: "
@@ -369,12 +490,19 @@ class MpCluster:
                     # rank (or on the deadline) forever — reap them now.
                     if pending or deaths:
                         proc.terminate()
-                    proc.join(timeout=30)
-                    if proc.is_alive():  # pragma: no cover - hang safety net
+                    # Short grace: a SIGSTOPped rank leaves SIGTERM
+                    # pending forever, so escalate to SIGKILL (which
+                    # stops nothing) quickly instead of stalling the
+                    # error path.
+                    proc.join(timeout=5)
+                    if proc.is_alive():
                         proc.kill()
                         proc.join()
             for recv_end, _send_end in result_pipes:
-                recv_end.close()
+                try:
+                    recv_end.close()
+                except OSError:  # pragma: no cover - degrade pre-closed it
+                    pass
         wall = time.perf_counter() - t0
 
         failures = [
@@ -385,15 +513,21 @@ class MpCluster:
         ]
         if failures:
             raise CommError(f"rank failures: {failures}")
-        assert all(st is not None for st in statuses)
+        if len(lost) == self.size:
+            raise CommError(f"all ranks lost: {lost}")
+        assert all(
+            st is not None for r, st in enumerate(statuses) if r not in lost
+        )
         meters = []
         for st in statuses:
             meter = WorkMeter(self.work_model)
-            meter.units.update(st[3])  # type: ignore[index]
+            if st is not None:
+                meter.units.update(st[3])
             meters.append(meter)
         return MpRunResult(
-            results=[st[1] for st in statuses],  # type: ignore[index]
+            results=[None if st is None else st[1] for st in statuses],
             wall_seconds=wall,
-            clocks=[float(st[2]) for st in statuses],  # type: ignore[index]
+            clocks=[0.0 if st is None else float(st[2]) for st in statuses],
             meters=meters,
+            lost=lost,
         )

@@ -150,6 +150,11 @@ class SimCluster:
         Communication cost model (fast-ethernet-class default).
     work_model:
         Seconds-per-unit model installed in every rank's work meter.
+    faults:
+        Optional :class:`~repro.parallel.faults.FaultPlan` armed on every
+        rank in exception mode — ranks are threads of one process, so
+        kills/wedges surface as :class:`InjectedFault` on the victim (and
+        ``CommError`` on ranks blocked on it), deterministically.
     """
 
     #: Clock domain of ``elapsed()``/results: deterministic model-seconds.
@@ -160,12 +165,14 @@ class SimCluster:
         size: int,
         network: NetworkModel | None = None,
         work_model: WorkModel | None = None,
+        faults: "FaultPlan | None" = None,
     ):
         if size < 1:
             raise ValueError(f"size must be >= 1, got {size}")
         self.size = size
         self.network = network or NetworkModel()
         self.work_model = work_model or WorkModel()
+        self.faults = faults
         self._cond = threading.Condition()
         self._ranks = [_Rank(i, WorkMeter(self.work_model)) for i in range(size)]
         self._seq = 0
@@ -193,6 +200,10 @@ class SimCluster:
         """
         if per_rank_kwargs is not None and len(per_rank_kwargs) != self.size:
             raise ValueError("per_rank_kwargs must have one entry per rank")
+        if self.faults is not None:
+            from repro.parallel.faults import FaultedFn
+
+            fn = FaultedFn(fn, self.faults.resolve(self.size), mode="exception")
         results: list[Any] = [None] * self.size
         errors: list[BaseException | None] = [None] * self.size
 
@@ -224,6 +235,16 @@ class SimCluster:
             t.start()
         for t in threads:
             t.join()
+        # Prefer a root-cause failure (lowest such rank) over the
+        # derivative "another rank failed" errors chained from it.
+        derivative = [
+            exc
+            for exc in errors
+            if exc is not None and exc.__cause__ is self._failure is not None
+        ]
+        for exc in errors:
+            if exc is not None and exc not in derivative:
+                raise exc
         for exc in errors:
             if exc is not None:
                 raise exc

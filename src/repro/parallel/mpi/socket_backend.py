@@ -63,7 +63,7 @@ import socket
 import tempfile
 import threading
 import time
-from typing import Any, Callable, Sequence
+from typing import TYPE_CHECKING, Any, Callable, Sequence
 
 from repro.cost.workmeter import WorkMeter, WorkModel
 from repro.parallel.mpi.comm import ANY_SOURCE, CommError
@@ -77,11 +77,20 @@ from repro.parallel.mpi.message import (
     pack_frame,
     recv_frame,
 )
+from repro.parallel.mpi.liveness import (
+    DEFAULT_HEARTBEAT,
+    LivenessMonitor,
+    default_heartbeat_timeout,
+)
 from repro.parallel.mpi.mp_backend import (
     DEFAULT_TIMEOUT,
+    RANK_FAILURE_POLICIES,
     MpRunResult,
     pick_start_method,
 )
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (faults ← comm)
+    from repro.parallel.faults import FaultPlan
 
 __all__ = ["SocketCluster", "MAX_SOCKET_RANKS"]
 
@@ -93,8 +102,8 @@ MAX_SOCKET_RANKS = 256
 #: Router poll interval while waiting for frames/results.
 _POLL_SECONDS = 0.2
 
-#: Default heartbeat send interval (seconds) inside each rank.
-DEFAULT_HEARTBEAT = 2.0
+#: Cap on the exponential backoff between a rank's reconnect attempts.
+_RECONNECT_BACKOFF_CAP = 2.0
 
 
 class _SocketComm(BufferedComm):
@@ -112,16 +121,104 @@ class _SocketComm(BufferedComm):
         size: int,
         sock: socket.socket,
         work_model: WorkModel | None = None,
+        family: int | None = None,
+        address: Any = None,
+        token: str | None = None,
+        reconnect_attempts: int = 8,
+        reconnect_backoff: float = 0.05,
     ):
         super().__init__(rank, size, work_model)
         self._sock = sock
         # sendall() may interleave with the heartbeat thread's pings;
         # frames must hit the stream whole or routing desynchronizes.
         self._send_lock = threading.Lock()
+        # Reconnect-with-backoff: with a (family, address, token) triple
+        # a dropped connection is re-dialed and re-HELLOed instead of
+        # failing the rank; without one (direct construction in tests)
+        # a drop is terminal, as before.
+        self._family = family
+        self._address = address
+        self._token = token
+        self._reconnect_attempts = reconnect_attempts
+        self._reconnect_backoff = reconnect_backoff
+        self._reconnect_lock = threading.Lock()
+
+    def _fault_disconnect(self) -> None:
+        """Sever the router connection without dying (``disconnect`` fault).
+
+        ``shutdown`` (not ``close``) so a concurrent reader on the old
+        socket sees EOF rather than EBADF; the reconnect path replaces
+        and closes the socket object itself.
+        """
+        with self._send_lock:
+            try:
+                self._sock.shutdown(socket.SHUT_RDWR)
+            except OSError:  # pragma: no cover - already severed
+                pass
+
+    def _reconnect(self, dead_sock: socket.socket) -> None:
+        """Replace a dropped router connection; raises CommError on defeat.
+
+        Idempotent across threads: whoever wins the lock re-dials; the
+        loser sees ``self._sock`` already replaced and returns.  The
+        router bounds re-admission by its heartbeat window and the run
+        deadline, so the client keeps its retry budget small.
+        """
+        if self._address is None:
+            raise CommError(
+                f"rank {self._rank}: router connection lost "
+                "(reconnect disabled: no router address)"
+            )
+        with self._reconnect_lock:
+            if self._sock is not dead_sock:
+                return  # another thread already reconnected
+            delay = self._reconnect_backoff
+            last: Exception | None = None
+            for _attempt in range(self._reconnect_attempts):
+                sock = socket.socket(self._family, socket.SOCK_STREAM)
+                try:
+                    sock.connect(self._address)
+                    if self._family == socket.AF_INET:
+                        sock.setsockopt(
+                            socket.IPPROTO_TCP, socket.TCP_NODELAY, 1
+                        )
+                    sock.sendall(pack_frame(
+                        FRAME_HELLO, self._rank, -1, 0,
+                        pickle.dumps(
+                            self._token, protocol=pickle.HIGHEST_PROTOCOL
+                        ),
+                    ))
+                except OSError as exc:
+                    last = exc
+                    sock.close()
+                    time.sleep(delay)
+                    delay = min(delay * 2, _RECONNECT_BACKOFF_CAP)
+                    continue
+                old, self._sock = self._sock, sock
+                try:
+                    old.close()
+                except OSError:  # pragma: no cover - double close
+                    pass
+                return
+            raise CommError(
+                f"rank {self._rank}: could not reconnect to the router "
+                f"after {self._reconnect_attempts} attempts ({last})"
+            )
 
     def _sendall(self, data: bytes) -> None:
-        with self._send_lock:
-            self._sock.sendall(data)
+        while True:
+            with self._send_lock:
+                sock = self._sock
+                try:
+                    sock.sendall(data)
+                    return
+                except OSError:
+                    pass
+            # A frame either fails whole (before any byte is accepted) or
+            # dies with the connection; resending it whole on the new
+            # connection cannot interleave with stale bytes — the router
+            # discards the old stream at EOF.
+            self._reconnect(sock)
 
     def _transmit(self, obj: Any, dest: int, tag: int) -> None:
         if dest in self._dead:
@@ -151,13 +248,19 @@ class _SocketComm(BufferedComm):
                 f"rank {self._rank}: rank {source} died before "
                 f"sending tag={tag}"
             )
-        try:
-            kind, src, _dest, t, payload = recv_frame(self._sock)
-        except (EOFError, OSError) as exc:
-            raise CommError(
-                f"rank {self._rank}: router connection lost while waiting "
-                f"for a message ({exc})"
-            ) from None
+        while True:
+            sock = self._sock
+            try:
+                kind, src, _dest, t, payload = recv_frame(sock)
+                break
+            except (EOFError, OSError) as exc:
+                try:
+                    self._reconnect(sock)
+                except CommError:
+                    raise CommError(
+                        f"rank {self._rank}: router connection lost while "
+                        f"waiting for a message ({exc})"
+                    ) from None
         if kind == FRAME_DATA:
             self._stash.append((src, t, pickle.loads(payload)))
         elif kind == FRAME_PEERDOWN:
@@ -173,7 +276,9 @@ def _heartbeat_loop(
     while not stop.wait(interval):
         try:
             comm._sendall(pack_frame(FRAME_HEARTBEAT, comm.rank, -1, 0))
-        except OSError:  # router gone; the main thread will notice too
+        except (OSError, CommError):
+            # Router gone and reconnect defeated; the main thread's own
+            # send/recv will notice too.
             return
 
 
@@ -187,6 +292,7 @@ def _socket_worker(
     args: tuple,
     kwargs: dict,
     heartbeat: float,
+    token: str | None = None,
 ) -> None:
     sock = socket.socket(family, socket.SOCK_STREAM)
     try:
@@ -198,8 +304,14 @@ def _socket_worker(
         return
     if family == socket.AF_INET:
         sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
-    sock.sendall(pack_frame(FRAME_HELLO, rank, -1, 0))
-    comm = _SocketComm(rank, size, sock, work_model)
+    sock.sendall(pack_frame(
+        FRAME_HELLO, rank, -1, 0,
+        pickle.dumps(token, protocol=pickle.HIGHEST_PROTOCOL),
+    ))
+    comm = _SocketComm(
+        rank, size, sock, work_model,
+        family=family, address=address, token=token,
+    )
     stop = threading.Event()
     hb = threading.Thread(
         target=_heartbeat_loop,
@@ -261,7 +373,18 @@ class SocketCluster:
         Silence threshold after which a rank counts as wedged; defaults
         to ``max(30, 10 × heartbeat)`` — generous enough that CPU
         oversubscription at p = 64 cannot starve a healthy rank's
-        heartbeat thread into a false positive.
+        heartbeat thread into a false positive.  The same window bounds
+        a disconnected rank's re-admission.
+    faults:
+        Optional :class:`~repro.parallel.faults.FaultPlan` armed on
+        every rank in process mode (kills really ``_exit``, wedges
+        really SIGSTOP, disconnects really drop the connection).
+    on_rank_failure:
+        ``"abort"`` (default): any mid-run rank loss terminates the
+        survivors and raises :class:`CommError` — bit-identical to the
+        pre-fault-tolerance behavior.  ``"degrade"``: the loss is
+        broadcast as PEERDOWN, recorded on ``MpRunResult.lost``, and the
+        run continues with the survivors.
     """
 
     #: Clock domain reported by ``elapsed()``/results (vs ``"model"``).
@@ -276,9 +399,16 @@ class SocketCluster:
         address: tuple[str, int] | None = None,
         heartbeat: float = DEFAULT_HEARTBEAT,
         heartbeat_timeout: float | None = None,
+        faults: "FaultPlan | None" = None,
+        on_rank_failure: str = "abort",
     ):
         if size < 1:
             raise ValueError(f"size must be >= 1, got {size}")
+        if on_rank_failure not in RANK_FAILURE_POLICIES:
+            raise ValueError(
+                f"on_rank_failure must be one of {RANK_FAILURE_POLICIES}, "
+                f"got {on_rank_failure!r}"
+            )
         if size > MAX_SOCKET_RANKS:
             raise ValueError(
                 f"size {size} exceeds the socket router bound (p <= "
@@ -294,8 +424,10 @@ class SocketCluster:
         self.heartbeat_timeout = (
             heartbeat_timeout
             if heartbeat_timeout is not None
-            else max(30.0, 10.0 * heartbeat)
+            else default_heartbeat_timeout(heartbeat)
         )
+        self.faults = faults
+        self.on_rank_failure = on_rank_failure
 
     def run(
         self,
@@ -314,7 +446,15 @@ class SocketCluster:
         """
         if per_rank_kwargs is not None and len(per_rank_kwargs) != self.size:
             raise ValueError("per_rank_kwargs must have one entry per rank")
+        if self.faults is not None:
+            from repro.parallel.faults import FaultedFn
+
+            fn = FaultedFn(fn, self.faults.resolve(self.size), mode="process")
         ctx = mp.get_context(self.start_method)
+        # Per-run session token: a reconnecting rank must present it with
+        # its re-HELLO, so a stray client (or a rank from a previous run
+        # racing cleanup) can never be admitted as a live rank.
+        token = os.urandom(16).hex()
 
         tmpdir: str | None = None
         if self.address is None:
@@ -353,17 +493,18 @@ class SocketCluster:
                         tuple(args),
                         kw,
                         self.heartbeat,
+                        token,
                     ),
                     name=f"sockrank-{rank}",
                 )
                 proc.start()
                 procs.append(proc)
 
-            last_seen = self._accept_all(listener, conns, procs, deadline)
-            listener.close()
-
-            statuses = self._route(
-                sel, conns, procs, last_seen, deadline, t0
+            monitor = self._accept_all(listener, conns, procs, deadline, token)
+            # The listener stays open through routing: it is the
+            # re-admission endpoint for ranks whose connection drops.
+            statuses, lost = self._route(
+                sel, listener, conns, procs, monitor, deadline, t0, token
             )
             wall = time.perf_counter() - t0
         finally:
@@ -376,17 +517,23 @@ class SocketCluster:
         ]
         if failures:
             raise CommError(f"rank failures: {failures}")
-        assert all(st is not None for st in statuses)
+        if len(lost) == self.size:
+            raise CommError(f"all ranks lost: {lost}")
+        assert all(
+            st is not None for r, st in enumerate(statuses) if r not in lost
+        )
         meters = []
         for st in statuses:
             meter = WorkMeter(self.work_model)
-            meter.units.update(st[3])  # type: ignore[index]
+            if st is not None:
+                meter.units.update(st[3])
             meters.append(meter)
         return MpRunResult(
-            results=[st[1] for st in statuses],  # type: ignore[index]
+            results=[None if st is None else st[1] for st in statuses],
             wall_seconds=wall,
-            clocks=[float(st[2]) for st in statuses],  # type: ignore[index]
+            clocks=[0.0 if st is None else float(st[2]) for st in statuses],
             meters=meters,
+            lost=lost,
         )
 
     # -- run phases -------------------------------------------------------
@@ -396,10 +543,11 @@ class SocketCluster:
         conns: dict[int, socket.socket],
         procs: list[Any],
         deadline: float | None,
-    ) -> dict[int, float]:
+        token: str,
+    ) -> LivenessMonitor:
         """Accept one HELLO-bearing connection per rank; map rank → conn."""
         listener.settimeout(_POLL_SECONDS)
-        last_seen: dict[int, float] = {}
+        monitor = LivenessMonitor(self.heartbeat_timeout)
         while len(conns) < self.size:
             now = time.perf_counter()
             if deadline is not None and now >= deadline:
@@ -430,45 +578,98 @@ class SocketCluster:
                         )
                     )
                 continue
-            kind, src, _dest, _tag, _payload = recv_frame(conn)
-            if kind != FRAME_HELLO or not 0 <= src < self.size or src in conns:
+            kind, src, _dest, _tag, payload = recv_frame(conn)
+            tok = pickle.loads(payload) if payload else None
+            if (
+                kind != FRAME_HELLO
+                or not 0 <= src < self.size
+                or src in conns
+                or tok != token
+            ):
                 conn.close()
                 raise CommError(
                     f"socket router: bad HELLO (kind={kind}, rank={src})"
                 )
             conns[src] = conn
-            last_seen[src] = time.perf_counter()
-        return last_seen
+            monitor.register(src)
+        return monitor
 
     def _route(
         self,
         sel: selectors.BaseSelector,
+        listener: socket.socket,
         conns: dict[int, socket.socket],
         procs: list[Any],
-        last_seen: dict[int, float],
+        monitor: LivenessMonitor,
         deadline: float | None,
         t0: float,
-    ) -> list[tuple[str, Any, float, dict] | None]:
-        """Forward frames between ranks until every result is in."""
+        token: str,
+    ) -> tuple[list[tuple[str, Any, float, dict] | None], dict[int, str]]:
+        """Forward frames between ranks until every result is in.
+
+        Returns ``(statuses, lost)``: ``lost`` is only ever populated
+        under ``on_rank_failure="degrade"`` — the abort path raises on
+        the first loss, exactly as before fault tolerance existed.
+
+        A connection EOF whose process is still alive opens a
+        *disconnected* window instead of counting as a death: frames for
+        the rank are queued, and a re-HELLO on the (still open) listener
+        bearing the session token re-admits it and flushes the queue.
+        The window is bounded by the heartbeat timeout (the monitor is
+        beaten once, at disconnect) and by the run deadline.
+        """
         for rank, conn in conns.items():
             sel.register(conn, selectors.EVENT_READ, rank)
+        listener.settimeout(0.0)
+        sel.register(listener, selectors.EVENT_READ, None)
         # Restart the liveness window now: a long accept phase (spawn at
         # p = 64) must not count against ranks that connected early.
-        now = time.perf_counter()
-        for rank in last_seen:
-            last_seen[rank] = now
+        monitor.reset()
         statuses: list[tuple[str, Any, float, dict] | None] = [None] * self.size
         pending = set(range(self.size))  # ranks without a result yet
         down: set[int] = set()  # finished or dead ranks
         deaths: list[int] = []
+        lost: dict[int, str] = {}
+        disconnected: set[int] = set()
+        requeue: dict[int, list[bytes]] = {}
 
         def tell_peerdown(gone: int, to: int) -> None:
-            if to in down or to not in conns:
+            if to in down:
+                return
+            frame = pack_frame(FRAME_PEERDOWN, gone, to, 0)
+            if to in disconnected:
+                requeue.setdefault(to, []).append(frame)
+                return
+            if to not in conns:
                 return
             try:
-                conns[to].sendall(pack_frame(FRAME_PEERDOWN, gone, to, 0))
+                conns[to].sendall(frame)
             except OSError:
                 pass  # that conn's own EOF will surface via select
+
+        def mark_dead(rank: int, reason: str) -> None:
+            pending.discard(rank)
+            down.add(rank)
+            disconnected.discard(rank)
+            requeue.pop(rank, None)
+            monitor.forget(rank)
+            if self.on_rank_failure == "degrade":
+                lost[rank] = reason
+                for peer in range(self.size):
+                    if peer != rank:
+                        tell_peerdown(rank, peer)
+            else:
+                deaths.append(rank)
+
+        def drop_conn(rank: int) -> None:
+            conn = conns.pop(rank, None)
+            if conn is None:
+                return
+            try:
+                sel.unregister(conn)
+            except KeyError:  # pragma: no cover - never registered
+                pass
+            conn.close()
 
         while pending:
             now = time.perf_counter()
@@ -477,21 +678,44 @@ class SocketCluster:
                     f"socket run exceeded its {self.timeout:.0f}s deadline; "
                     f"still waiting for ranks {sorted(pending)}"
                 )
-            stale = sorted(
-                r
-                for r in pending
-                if r not in down
-                and now - last_seen[r] > self.heartbeat_timeout
-            )
+            # A disconnected rank whose process has exited can never
+            # re-HELLO: convert the open window into a death now.
+            for r in sorted(disconnected):
+                if r in pending and procs[r].exitcode is not None:
+                    procs[r].join(timeout=1.0)
+                    mark_dead(
+                        r,
+                        f"rank {r} died while disconnected "
+                        f"(exitcode {procs[r].exitcode})",
+                    )
+            stale = [r for r in monitor.stale(now) if r in pending]
             if stale:
-                raise CommError(
-                    f"rank(s) {stale} went silent: no heartbeat for "
-                    f"{self.heartbeat_timeout:.1f}s (wedged or stopped)"
-                )
+                if self.on_rank_failure == "degrade":
+                    for r in stale:
+                        # SIGKILL: works on a SIGSTOPped process where
+                        # SIGTERM would stay pending forever.
+                        if procs[r].is_alive():
+                            procs[r].kill()
+                            procs[r].join()
+                        drop_conn(r)
+                        mark_dead(
+                            r,
+                            f"rank {r} went silent: no heartbeat for "
+                            f"{self.heartbeat_timeout:.1f}s "
+                            "(wedged or stopped)",
+                        )
+                else:
+                    raise monitor.silence_error(stale)
             poll = _POLL_SECONDS
             if deadline is not None:
                 poll = min(poll, max(0.0, deadline - now))
             for key, _events in sel.select(timeout=poll):
+                if key.data is None:
+                    self._readmit(
+                        listener, sel, conns, monitor,
+                        disconnected, requeue, pending, token,
+                    )
+                    continue
                 rank = key.data
                 conn = key.fileobj
                 try:
@@ -500,19 +724,30 @@ class SocketCluster:
                     sel.unregister(conn)
                     conn.close()
                     del conns[rank]
-                    if rank in pending:
-                        # EOF before RESULT: the rank died.
-                        pending.discard(rank)
-                        down.add(rank)
-                        deaths.append(rank)
+                    if rank not in pending:
+                        continue
+                    if procs[rank].is_alive():
+                        # Dropped connection, living process: open the
+                        # re-admission window.  One beat now makes the
+                        # heartbeat timeout the reconnect budget.
+                        disconnected.add(rank)
+                        monitor.beat(rank)
+                    else:
+                        procs[rank].join(timeout=1.0)
+                        mark_dead(
+                            rank,
+                            f"rank {rank} died without result "
+                            f"(exitcode {procs[rank].exitcode})",
+                        )
                     continue
-                last_seen[rank] = time.perf_counter()
+                monitor.beat(rank)
                 if kind == FRAME_HEARTBEAT:
                     continue
                 if kind == FRAME_RESULT:
                     statuses[rank] = pickle.loads(payload)
                     pending.discard(rank)
                     down.add(rank)
+                    monitor.forget(rank)
                     # A rank's stream is ordered: everything it sent was
                     # forwarded before this point, so peers see its data
                     # before learning it is gone (pipe-EOF parity).
@@ -523,13 +758,15 @@ class SocketCluster:
                 if kind == FRAME_DATA:
                     if not 0 <= dest < self.size:
                         continue  # comm validates; drop defensively
+                    frame = pack_frame(FRAME_DATA, rank, dest, tag, payload)
+                    if dest in disconnected:
+                        requeue.setdefault(dest, []).append(frame)
+                        continue
                     if dest in down or dest not in conns:
                         tell_peerdown(dest, rank)
                         continue
                     try:
-                        conns[dest].sendall(
-                            pack_frame(FRAME_DATA, rank, dest, tag, payload)
-                        )
+                        conns[dest].sendall(frame)
                     except OSError:
                         tell_peerdown(dest, rank)
                     continue
@@ -544,7 +781,60 @@ class SocketCluster:
                         for r in deaths
                     )
                 )
-        return statuses
+        return statuses, lost
+
+    def _readmit(
+        self,
+        listener: socket.socket,
+        sel: selectors.BaseSelector,
+        conns: dict[int, socket.socket],
+        monitor: LivenessMonitor,
+        disconnected: set[int],
+        requeue: dict[int, list[bytes]],
+        pending: set[int],
+        token: str,
+    ) -> None:
+        """Admit one reconnecting rank: token-checked re-HELLO, queue flush."""
+        try:
+            conn, _peer = listener.accept()
+        except (BlockingIOError, OSError):
+            return
+        try:
+            conn.settimeout(2.0)
+            kind, src, _dest, _tag, payload = recv_frame(conn)
+            tok = pickle.loads(payload) if payload else None
+        except (EOFError, OSError, pickle.UnpicklingError):
+            conn.close()
+            return
+        if (
+            kind != FRAME_HELLO
+            or tok != token
+            or src not in disconnected
+            or src not in pending
+        ):
+            # Strays, bad tokens, or ranks we already gave up on: the
+            # router never readmits them (re-admission is bounded by the
+            # heartbeat window that `mark_dead` closes).
+            conn.close()
+            return
+        conn.settimeout(None)
+        if conn.family == socket.AF_INET:
+            conn.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        queued = requeue.pop(src, [])
+        while queued:
+            frame = queued.pop(0)
+            try:
+                conn.sendall(frame)
+            except OSError:
+                # Dropped again mid-flush: keep the window open with the
+                # unsent tail (this frame included) intact.
+                requeue[src] = [frame, *queued]
+                conn.close()
+                return
+        disconnected.discard(src)
+        conns[src] = conn
+        sel.register(conn, selectors.EVENT_READ, src)
+        monitor.beat(src)
 
     def _cleanup(
         self,

@@ -37,6 +37,7 @@ from dataclasses import dataclass
 from repro.cost.engine import CostEngine
 from repro.cost.workmeter import WorkModel
 from repro.layout.placement import Placement
+from repro.parallel.faults import FaultPlan, as_plan
 from repro.parallel.mpi.backend import make_cluster
 from repro.parallel.mpi.comm import Communicator
 from repro.parallel.mpi.netmodel import NetworkModel
@@ -199,6 +200,7 @@ def run_type1(
     iterations: int | None = None,
     cluster: str = "sim",
     deadline: float | None = None,
+    faults: str | FaultPlan | None = None,
 ) -> ParallelOutcome:
     """Run Type I parallel SimE on a ``p``-rank cluster backend.
 
@@ -213,8 +215,10 @@ def run_type1(
     if p < 2:
         raise ValueError("Type I needs at least 2 ranks (master + 1 slave)")
     iters = iterations if iterations is not None else spec.iterations
+    plan = as_plan(faults, spec.seed)
     cl = make_cluster(
-        cluster, p, network=network, work_model=work_model, timeout=deadline
+        cluster, p, network=network, work_model=work_model, timeout=deadline,
+        faults=plan,
     )
     res = cl.run(_spmd, kwargs={"spec": spec, "iterations": iters})
     master = res.results[0]

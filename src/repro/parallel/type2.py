@@ -25,6 +25,7 @@ from __future__ import annotations
 
 from repro.cost.workmeter import WorkModel
 from repro.layout.placement import Placement
+from repro.parallel.faults import FaultPlan, as_plan
 from repro.parallel.mpi.backend import make_cluster
 from repro.parallel.mpi.comm import Communicator
 from repro.parallel.mpi.netmodel import NetworkModel
@@ -181,6 +182,7 @@ def run_type2(
     per_proc_frac: float = 1.0 / 7.0,
     cluster: str = "sim",
     deadline: float | None = None,
+    faults: str | FaultPlan | None = None,
 ) -> ParallelOutcome:
     """Run Type II parallel SimE on a ``p``-rank cluster backend.
 
@@ -204,8 +206,10 @@ def run_type2(
         if iterations is not None
         else parallel_iterations(spec.iterations, p, base_factor, per_proc_frac)
     )
+    plan = as_plan(faults, spec.seed)
     cl = make_cluster(
-        cluster, p, network=network, work_model=work_model, timeout=deadline
+        cluster, p, network=network, work_model=work_model, timeout=deadline,
+        faults=plan,
     )
     res = cl.run(
         _spmd,

@@ -26,8 +26,9 @@ from __future__ import annotations
 
 from repro.cost.workmeter import WorkModel
 from repro.layout.placement import Placement
+from repro.parallel.faults import FaultPlan, as_plan
 from repro.parallel.mpi.backend import make_cluster
-from repro.parallel.mpi.comm import ANY_SOURCE, Communicator
+from repro.parallel.mpi.comm import ANY_SOURCE, CommError, Communicator
 from repro.parallel.mpi.netmodel import NetworkModel
 from repro.parallel.runners import (
     ExperimentSpec,
@@ -46,15 +47,47 @@ _REQUEST = "request"
 _DONE = "done"
 
 
-def _master(comm: Communicator) -> dict:
-    """Central best-solution store (rank 0)."""
+def _master(comm: Communicator, on_rank_failure: str = "abort") -> dict:
+    """Central best-solution store (rank 0).
+
+    Under ``on_rank_failure="degrade"`` the store survives searcher
+    loss: a reply to a requester that died in flight is dropped, and
+    when the receive loop can provably never complete (every remaining
+    searcher is gone and nothing matching is stashed — the backend
+    broadcast their departures) the store closes out with whatever the
+    survivors contributed, reporting the missing ranks as
+    ``lost_ranks``.  The cooperating searches are independent
+    explorations sharing one store, so "rebalancing" a dead searcher's
+    region means exactly this: the store stops waiting for it and the
+    survivors' own budgets keep covering the space.  Under the default
+    abort policy any loss propagates as :class:`CommError`, unchanged.
+    """
+    degrade = on_rank_failure == "degrade"
     best_mu = -1.0
     best_rows: list[list[int]] | None = None
-    done = 0
+    done_ranks: set[int] = set()
+    lost_ranks: list[int] = []
     exchanges = 0
     adoptions = 0
-    while done < comm.size - 1:
-        src, msg = comm.recv(source=ANY_SOURCE)
+
+    def reply(dest: int, obj) -> None:
+        try:
+            comm.send(obj, dest)
+        except CommError:
+            if not degrade:
+                raise
+            # The requester died between asking and our answer.
+
+    while len(done_ranks) < comm.size - 1:
+        try:
+            src, msg = comm.recv(source=ANY_SOURCE)
+        except CommError:
+            if not degrade:
+                raise
+            # recv can only fail here with every remaining peer gone:
+            # whoever never sent DONE is lost.
+            lost_ranks = sorted(set(range(1, comm.size)) - done_ranks)
+            break
         kind = msg[0]
         if kind == _REPORT:
             _, mu, rows = msg
@@ -68,14 +101,14 @@ def _master(comm: Communicator) -> dict:
                 # Accept the requester's solution; nothing better to offer.
                 best_mu = mu
                 best_rows = rows
-                comm.send(None, src)
+                reply(src, None)
             elif best_mu > mu:
                 adoptions += 1
-                comm.send((best_mu, best_rows), src)
+                reply(src, (best_mu, best_rows))
             else:
-                comm.send(None, src)
+                reply(src, None)
         elif kind == _DONE:
-            done += 1
+            done_ranks.add(src)
         else:  # pragma: no cover - protocol is closed
             raise RuntimeError(f"unknown message kind {kind!r}")
     return {
@@ -83,6 +116,7 @@ def _master(comm: Communicator) -> dict:
         "best_rows": best_rows,
         "exchanges": exchanges,
         "adoptions": adoptions,
+        "lost_ranks": lost_ranks,
     }
 
 
@@ -140,10 +174,14 @@ def _slave(
 
 
 def _spmd(
-    comm: Communicator, spec: ExperimentSpec, iterations: int, retry_threshold: int
+    comm: Communicator,
+    spec: ExperimentSpec,
+    iterations: int,
+    retry_threshold: int,
+    on_rank_failure: str = "abort",
 ) -> dict:
     if comm.rank == 0:
-        return _master(comm)
+        return _master(comm, on_rank_failure)
     return _slave(comm, spec, iterations, retry_threshold)
 
 
@@ -156,6 +194,8 @@ def run_type3(
     iterations: int | None = None,
     cluster: str = "sim",
     deadline: float | None = None,
+    faults: str | FaultPlan | None = None,
+    on_rank_failure: str = "abort",
 ) -> ParallelOutcome:
     """Run Type III parallel SimE on a ``p``-rank cluster backend.
 
@@ -166,21 +206,49 @@ def run_type3(
     runs on real processes — message arrival order (and hence the
     cooperative search result) then varies run to run, exactly as it did
     on the paper's cluster; ``"sim"`` stays deterministic.
+
+    ``faults`` arms a deterministic fault plan (spec string or
+    :class:`FaultPlan`).  ``on_rank_failure="degrade"`` lets the run
+    survive mid-run searcher loss on the real backends: the store and
+    the backend stop waiting for the dead rank, the outcome is built
+    from the survivors, and ``extras["degraded"]`` records what was
+    lost (losing the store itself still aborts).  The default
+    ``"abort"`` matches the historical fail-fast behavior exactly.
     """
     if p < 3:
         raise ValueError("Type III needs at least 3 ranks (store + 2 searchers)")
     if retry_threshold < 1:
         raise ValueError("retry_threshold must be >= 1")
     iters = iterations if iterations is not None else spec.iterations
+    plan = as_plan(faults, spec.seed)
     cl = make_cluster(
-        cluster, p, network=network, work_model=work_model, timeout=deadline
+        cluster, p, network=network, work_model=work_model, timeout=deadline,
+        faults=plan, on_rank_failure=on_rank_failure,
     )
     res = cl.run(
         _spmd,
-        kwargs={"spec": spec, "iterations": iters, "retry_threshold": retry_threshold},
+        kwargs={
+            "spec": spec,
+            "iterations": iters,
+            "retry_threshold": retry_threshold,
+            "on_rank_failure": on_rank_failure,
+        },
     )
+    lost_backend = dict(getattr(res, "lost", {}) or {})
+    if 0 in lost_backend:
+        raise CommError(
+            "type3 central store (rank 0) was lost; a degraded run "
+            f"cannot continue without it ({lost_backend[0]})"
+        )
     master = res.results[0]
-    slaves = res.results[1:]
+    lost_ranks = sorted(set(master.get("lost_ranks", ())) | set(lost_backend))
+    slaves = [
+        res.results[r] for r in range(1, p) if r not in lost_ranks
+    ]
+    if not slaves:
+        raise CommError(
+            f"all searching ranks were lost: {lost_backend or lost_ranks}"
+        )
     best_slave = max(slaves, key=lambda s: s["best_mu"])
     best_mu = max(master["best_mu"], best_slave["best_mu"])
     # Runtime: the searchers' makespan (the store idles by design).
@@ -196,6 +264,19 @@ def run_type3(
         extras["cluster"] = cluster
         extras["model_seconds"] = [m.seconds() for m in res.meters]
         extras["wall_seconds"] = res.makespan
+    if plan is not None:
+        extras["faults"] = plan.spec()
+    if on_rank_failure != "abort":
+        extras["on_rank_failure"] = on_rank_failure
+    if lost_ranks:
+        extras["degraded"] = {
+            "lost_ranks": lost_ranks,
+            "p_effective": p - len(lost_ranks),
+            "reasons": {
+                str(r): lost_backend.get(r, "no DONE received")
+                for r in lost_ranks
+            },
+        }
     return ParallelOutcome(
         strategy="type3",
         circuit=spec.circuit,

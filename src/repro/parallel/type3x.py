@@ -27,8 +27,9 @@ from repro.cost.engine import CostEngine
 from repro.cost.workmeter import WorkModel
 from repro.layout.grid import RowGrid
 from repro.layout.placement import Placement
+from repro.parallel.faults import FaultPlan, as_plan
 from repro.parallel.mpi.backend import make_cluster
-from repro.parallel.mpi.comm import Communicator
+from repro.parallel.mpi.comm import CommError, Communicator
 from repro.parallel.mpi.netmodel import NetworkModel
 from repro.parallel.runners import (
     ExperimentSpec,
@@ -178,9 +179,10 @@ def _slave(
     }
 
 
-def _spmd(comm, spec, iterations, retry_threshold, crossover):
+def _spmd(comm, spec, iterations, retry_threshold, crossover,
+          on_rank_failure="abort"):
     if comm.rank == 0:
-        return _master(comm)
+        return _master(comm, on_rank_failure)
     return _slave(comm, spec, iterations, retry_threshold, crossover)
 
 
@@ -194,18 +196,24 @@ def run_type3_diversified(
     iterations: int | None = None,
     cluster: str = "sim",
     deadline: float | None = None,
+    faults: str | FaultPlan | None = None,
+    on_rank_failure: str = "abort",
 ) -> ParallelOutcome:
     """Run the diversified Type III variant (Section 7 future work).
 
     ``cluster`` selects the backend — ``"sim"`` (deterministic, default)
     or ``"mp"`` (real processes; arrival order and hence the cooperative
-    result vary run to run).
+    result vary run to run).  ``faults`` / ``on_rank_failure`` behave as
+    in :func:`repro.parallel.type3.run_type3`: a degraded run survives
+    searcher loss and records it under ``extras["degraded"]``.
     """
     if p < 3:
         raise ValueError("needs at least 3 ranks (store + 2 searchers)")
     iters = iterations if iterations is not None else spec.iterations
+    plan = as_plan(faults, spec.seed)
     cl = make_cluster(
-        cluster, p, network=network, work_model=work_model, timeout=deadline
+        cluster, p, network=network, work_model=work_model, timeout=deadline,
+        faults=plan, on_rank_failure=on_rank_failure,
     )
     res = cl.run(
         _spmd,
@@ -214,10 +222,22 @@ def run_type3_diversified(
             "iterations": iters,
             "retry_threshold": retry_threshold,
             "crossover": crossover,
+            "on_rank_failure": on_rank_failure,
         },
     )
+    lost_backend = dict(getattr(res, "lost", {}) or {})
+    if 0 in lost_backend:
+        raise CommError(
+            "central store (rank 0) was lost; a degraded run cannot "
+            f"continue without it ({lost_backend[0]})"
+        )
     master = res.results[0]
-    slaves = res.results[1:]
+    lost_ranks = sorted(set(master.get("lost_ranks", ())) | set(lost_backend))
+    slaves = [res.results[r] for r in range(1, p) if r not in lost_ranks]
+    if not slaves:
+        raise CommError(
+            f"all searching ranks were lost: {lost_backend or lost_ranks}"
+        )
     best_slave = max(slaves, key=lambda s: s["best_mu"])
     extras = {
         "retry_threshold": retry_threshold,
@@ -229,6 +249,19 @@ def run_type3_diversified(
         extras["cluster"] = cluster
         extras["model_seconds"] = [m.seconds() for m in res.meters]
         extras["wall_seconds"] = res.makespan
+    if plan is not None:
+        extras["faults"] = plan.spec()
+    if on_rank_failure != "abort":
+        extras["on_rank_failure"] = on_rank_failure
+    if lost_ranks:
+        extras["degraded"] = {
+            "lost_ranks": lost_ranks,
+            "p_effective": p - len(lost_ranks),
+            "reasons": {
+                str(r): lost_backend.get(r, "no DONE received")
+                for r in lost_ranks
+            },
+        }
     return ParallelOutcome(
         strategy="type3x" if crossover else "type3-diverse",
         circuit=spec.circuit,

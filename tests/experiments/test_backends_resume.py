@@ -181,7 +181,7 @@ def test_resume_runs_only_missing_cells(tmp_path, monkeypatch):
     real_run_cell = sweeps_mod.run_cell
     monkeypatch.setattr(
         sweeps_mod, "run_cell",
-        lambda c: (executed.append(c.cell_id), real_run_cell(c))[1],
+        lambda c, **kw: (executed.append(c.cell_id), real_run_cell(c, **kw))[1],
     )
     resumed = run_sweep(cells, cache=cache)
     assert executed == [c.cell_id for c in cells[2:]]  # only the missing
@@ -232,11 +232,11 @@ def test_cache_fills_per_completion_not_at_sweep_end(tmp_path, monkeypatch):
     real_run_cell = sweeps_mod.run_cell
     calls = []
 
-    def interrupting(cell):
+    def interrupting(cell, **kwargs):
         if len(calls) == 2:
             raise KeyboardInterrupt
         calls.append(cell.cell_id)
-        return real_run_cell(cell)
+        return real_run_cell(cell, **kwargs)
 
     monkeypatch.setattr(sweeps_mod, "run_cell", interrupting)
     with pytest.raises(KeyboardInterrupt):

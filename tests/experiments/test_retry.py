@@ -1,0 +1,187 @@
+"""Retry, resume and sharding under injected faults.
+
+The invariant everything here defends: a transiently-failing cell that
+the retry loop re-runs to success is **bit-identical** to the same cell
+succeeding first try, so retries compose silently with the resume cache
+and shard merging.  Deterministic failures, by contrast, must never burn
+retry budget, and failed attempts must never reach the cache.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.experiments.artifacts import CellCache, RunRecord
+from repro.experiments.registry import SweepCell, base_spec
+from repro.experiments.sweeps import (
+    classify_failure,
+    run_cell,
+    run_sweep,
+    shard_cells,
+)
+from repro.parallel.faults import InjectedFault
+from repro.parallel.mpi.comm import CommError, DeadlockError
+
+TINY_ITERS = 5
+
+#: Fails (injected kill on the sim cluster) on attempt 1, clean afterward.
+FLAKY_FAULTS = "kill:at=4:attempt=1"
+
+
+def _type3_cell(cell_id: str, faults: str | None = None, seed: int = 3) -> SweepCell:
+    spec = base_spec("s1196", iterations=TINY_ITERS, seed=seed)
+    params = [("p", 3), ("retry_threshold", 2), ("cluster", "sim")]
+    if faults is not None:
+        params.append(("faults", faults))
+    return SweepCell("t", cell_id, "type3", spec, tuple(sorted(params)))
+
+
+# ------------------------------------------------------------ classification
+
+
+def test_classification_split():
+    assert classify_failure(CommError("rank died")) == "transient"
+    assert classify_failure(InjectedFault("injected kill")) == "transient"
+    assert classify_failure(ConnectionError()) == "transient"
+    assert classify_failure(TimeoutError()) == "transient"
+    assert classify_failure(OSError()) == "transient"
+    # Structural deadlock reproduces identically — retrying is waste.
+    assert classify_failure(DeadlockError("stuck")) == "deterministic"
+    assert classify_failure(ValueError("bad spec")) == "deterministic"
+    assert classify_failure(KeyError("no circuit")) == "deterministic"
+
+
+# -------------------------------------------------------------- retry loop
+
+
+def test_transient_failure_retried_to_success():
+    rec = run_cell(_type3_cell("flaky", FLAKY_FAULTS), max_retries=2)
+    assert rec.ok
+    assert rec.attempts == 2
+    assert len(rec.attempt_errors) == 1
+    assert "InjectedFault" in rec.attempt_errors[0]
+
+
+def test_retried_cell_is_bit_identical_to_fresh_success():
+    flaky = run_cell(_type3_cell("c", FLAKY_FAULTS), max_retries=2)
+    clean = run_cell(_type3_cell("c"))
+    a, b = flaky.canonical(), clean.canonical()
+    # The fault spec is (deliberately) part of the cell's params/identity;
+    # everything the run *computed* must be identical.
+    assert a["params"].pop("faults") == FLAKY_FAULTS
+    assert a == b
+
+
+def test_retry_budget_exhausts_on_persistent_transient_failure():
+    rec = run_cell(_type3_cell("dying", "kill:at=4"), max_retries=2)
+    assert not rec.ok
+    assert rec.attempts == 3
+    assert len(rec.attempt_errors) == 2
+    assert "InjectedFault" in rec.error
+
+
+def test_deterministic_failure_never_retried():
+    spec = base_spec("s1196", iterations=TINY_ITERS, seed=3)
+    bad = SweepCell("t", "bad", "type3", spec,
+                    (("p", 3), ("retry_threshold", 0), ("cluster", "sim")))
+    rec = run_cell(bad, max_retries=5)
+    assert not rec.ok
+    assert rec.attempts == 1
+    assert rec.attempt_errors == []
+
+
+def test_zero_budget_fails_on_first_transient_failure():
+    rec = run_cell(_type3_cell("once", FLAKY_FAULTS))
+    assert not rec.ok and rec.attempts == 1
+
+
+def test_negative_budget_rejected():
+    with pytest.raises(ValueError, match="max_retries"):
+        run_cell(_type3_cell("c"), max_retries=-1)
+
+
+# ------------------------------------------------- cache / shard interplay
+
+
+def test_failed_attempts_never_cached(tmp_path):
+    cache = CellCache(tmp_path)
+    records = run_sweep([_type3_cell("dying", "kill:at=4")],
+                        cache=cache, max_retries=1)
+    assert not records[0].ok
+    assert len(cache) == 0
+
+
+def test_retried_shard_merges_bit_identically_with_fresh_unsharded(tmp_path):
+    """The headline invariant: shard 1 contains a transiently-failing
+    cell that succeeds on retry; the merged result equals an unsharded
+    fresh run of the same cells."""
+    cells = [
+        _type3_cell("flaky", FLAKY_FAULTS, seed=3),
+        _type3_cell("clean4", seed=4),
+        _type3_cell("clean5", seed=5),
+    ]
+    cache = CellCache(tmp_path)
+    for i in (1, 2):
+        run_sweep(shard_cells(cells, i, 2), cache=cache, max_retries=2)
+    merged = run_sweep(cells, cache=cache)  # all hits
+    fresh = run_sweep(cells, max_retries=2)  # no cache
+    assert [r.canonical() for r in merged] == [r.canonical() for r in fresh]
+
+
+def test_cache_hit_skips_the_fault_entirely(tmp_path):
+    """Resume never re-runs a succeeded cell, so an attempt-1 fault in
+    its params cannot re-fire on the resumed sweep."""
+    cache = CellCache(tmp_path)
+    first = run_sweep([_type3_cell("flaky", FLAKY_FAULTS)],
+                      cache=cache, max_retries=1)
+    assert first[0].ok and first[0].attempts == 2
+    resumed = run_sweep([_type3_cell("flaky", FLAKY_FAULTS)],
+                        cache=cache, max_retries=0)
+    assert resumed[0].ok
+    assert resumed[0].canonical() == first[0].canonical()
+
+
+# --------------------------------------------------------- cache concurrency
+
+
+def test_cache_put_is_thread_safe_first_writer_wins(tmp_path):
+    """Many threads writing the same and different keys concurrently:
+    no torn entries, every get returns a valid record, and an existing
+    valid entry is never rewritten."""
+    cells = [_type3_cell(f"c{i}", seed=3 + (i % 2)) for i in range(8)]
+    records = [run_cell(c) for c in cells]
+    cache = CellCache(tmp_path)
+    errors: list[BaseException] = []
+
+    def hammer():
+        try:
+            for cell, rec in zip(cells, records):
+                cache.put(cell, rec)
+        except BaseException as exc:  # noqa: BLE001 - collecting for assert
+            errors.append(exc)
+
+    threads = [threading.Thread(target=hammer) for _ in range(8)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    assert not errors
+    # Two distinct seeds -> two distinct keys; every entry readable.
+    assert len(cache) == 2
+    for cell, rec in zip(cells, records):
+        hit = cache.get(cell)
+        assert hit is not None
+        assert hit.canonical() == rec.canonical()
+    # No stray tmp files survived the stampede.
+    assert not list(tmp_path.glob("*.tmp*"))
+
+
+def test_attempts_metadata_survives_round_trip_but_not_canonical():
+    rec = run_cell(_type3_cell("flaky", FLAKY_FAULTS), max_retries=1)
+    clone = RunRecord.from_dict(rec.to_dict())
+    assert clone.attempts == 2
+    assert clone.attempt_errors == rec.attempt_errors
+    assert "attempts" not in rec.canonical()
+    assert "attempt_errors" not in rec.canonical()

@@ -2,22 +2,25 @@
 
 The conformance suite (``test_backend_conformance.py``) pins the shared
 communicator semantics; this file pins what only the router can do —
-surviving a SIGKILLed rank without leaking descriptors, catching a
-*wedged* (SIGSTOPped) rank through heartbeats, honoring the run
-deadline, TCP addressing, the p <= 256 bound — and the determinism
-contract: a rank-addressed strategy on the socket backend is
+surviving a killed rank without leaking descriptors, catching a *wedged*
+(SIGSTOPped) rank through heartbeats, re-admitting a disconnected rank,
+honoring the run deadline, TCP addressing, the p <= 256 bound — and the
+determinism contract: a rank-addressed strategy on the socket backend is
 bit-identical run to run and to the sim backend.
+
+Failures are injected with seeded :class:`FaultPlan`s rather than ad-hoc
+``os.kill`` helpers, so every failing run here is replayable bit-for-bit
+— the same plan kills the same rank at the same comm op every time.
 """
 
 import os
-import random
-import signal
 import time
 
 import pytest
 
 from repro.netlist.generator import CircuitSpec
 from repro.netlist.suite import PAPER_CIRCUITS
+from repro.parallel.faults import KILL_EXIT, FaultPlan
 from repro.parallel.mpi.backend import make_cluster
 from repro.parallel.mpi.comm import ANY_SOURCE, CommError
 from repro.parallel.mpi.mp_backend import MAX_MESH_SIZE, MpCluster
@@ -37,25 +40,25 @@ def _echo(comm):
 # --------------------------------------------------------- fault injection
 
 
-def _die_hard(comm, victim):
-    if comm.rank == victim:
-        os.kill(os.getpid(), signal.SIGKILL)
-    # Survivors block on traffic that can never arrive; only the router's
-    # EOF detection can end this run.
+def _block(comm):
+    # Every rank blocks on traffic that can never arrive; the armed fault
+    # plan decides who fails first, and only the router's liveness
+    # machinery (EOF, heartbeats, deadline) can end the run.
     comm.recv(ANY_SOURCE, tag=11)
 
 
 def test_sigkill_rank_raises_within_deadline_and_leaks_nothing():
-    p = 4
-    victim = random.Random(0xC0FFEE).randrange(1, p)
-    cluster = SocketCluster(p, timeout=60)
-    cluster.run(_echo)  # warm-up: amortize lazy imports before counting fds
+    plan = FaultPlan.parse("kill:rank=2:at=1", seed=0)
+    cluster = SocketCluster(4, timeout=60, faults=plan)
+    clean = SocketCluster(4, timeout=60)
+    clean.run(_echo)  # warm-up: amortize lazy imports before counting fds
     before = _open_fds()
     t0 = time.perf_counter()
     with pytest.raises(
-        CommError, match=rf"died without result: rank {victim}"
+        CommError,
+        match=rf"died without result: rank 2 \(exitcode {KILL_EXIT}\)",
     ):
-        cluster.run(_die_hard, kwargs={"victim": victim})
+        cluster.run(_block)
     # Detection is EOF-driven — far faster than the 60 s deadline.
     assert time.perf_counter() - t0 < 20
     # Survivors were reaped and every socket/selector/pipe was closed.
@@ -65,37 +68,71 @@ def test_sigkill_rank_raises_within_deadline_and_leaks_nothing():
     assert _open_fds() == before
 
 
-def _wedge(comm, victim):
-    if comm.rank == victim:
-        os.kill(os.getpid(), signal.SIGSTOP)  # alive but silent forever
-    comm.recv(ANY_SOURCE, tag=12)
+def test_seeded_plan_reproduces_the_same_sigkill_failure():
+    """A (seed, plan) pair is a replayable failure: the hashed victim and
+    the error text are identical across runs."""
+    plan = FaultPlan.parse("kill:at=1", seed=7)  # victim hashed from seed
+    errors = []
+    for _ in range(2):
+        with pytest.raises(CommError) as exc_info:
+            SocketCluster(4, timeout=60, faults=plan).run(_block)
+        errors.append(str(exc_info.value))
+    assert errors[0] == errors[1]
+    assert f"exitcode {KILL_EXIT}" in errors[0]
 
 
 def test_heartbeat_catches_wedged_rank_before_deadline():
     """SIGSTOP produces no EOF — only heartbeat staleness can see it."""
     cluster = SocketCluster(
-        3, timeout=120, heartbeat=0.2, heartbeat_timeout=1.5
+        3, timeout=120, heartbeat=0.2, heartbeat_timeout=1.5,
+        faults=FaultPlan.parse("wedge:rank=1:at=1", seed=0),
     )
     t0 = time.perf_counter()
     with pytest.raises(CommError, match="went silent: no heartbeat"):
-        cluster.run(_wedge, kwargs={"victim": 1})
+        cluster.run(_block)
     # ~1.5 s staleness + a bounded kill-grace for the stopped process;
     # nowhere near the 120 s deadline.
     assert time.perf_counter() - t0 < 30
 
 
-@pytest.mark.xfail(
-    reason="pipes report EOF, not silence: the mp backend has no "
-    "heartbeat channel, so a wedged (SIGSTOPped) rank is only caught "
-    "by the whole-run deadline — the socket router detects it in "
-    "O(heartbeat_timeout) regardless of the deadline",
-    strict=True,
-)
 def test_mp_backend_has_wedge_detection():
-    import inspect
+    """The mp backend shares the router's heartbeat liveness: a wedged
+    (SIGSTOPped) rank is caught in O(heartbeat_timeout), not only by the
+    whole-run deadline."""
+    cluster = MpCluster(
+        3, timeout=120, heartbeat=0.2, heartbeat_timeout=1.5,
+        faults=FaultPlan.parse("wedge:rank=1:at=1", seed=0),
+    )
+    t0 = time.perf_counter()
+    with pytest.raises(CommError, match="went silent: no heartbeat"):
+        cluster.run(_block)
+    assert time.perf_counter() - t0 < 30
 
-    params = inspect.signature(MpCluster.__init__).parameters
-    assert "heartbeat" in params
+
+def _pingpong(comm, rounds=4):
+    out = []
+    for i in range(rounds):
+        if comm.rank == 0:
+            for r in range(1, comm.size):
+                comm.send(i, r, tag=1)
+            for r in range(1, comm.size):
+                out.append(comm.recv(r, tag=2)[1])
+        else:
+            _src, v = comm.recv(0, tag=1)
+            comm.send(v * 10 + comm.rank, 0, tag=2)
+    return out
+
+
+def test_disconnected_rank_reconnects_and_run_completes():
+    """A dropped connection with a living process is not a failure: the
+    rank re-HELLOs with its session token, the router re-admits it, and
+    the results match a fault-free run exactly."""
+    clean = SocketCluster(3, timeout=60).run(_pingpong)
+    faulted = SocketCluster(
+        3, timeout=60,
+        faults=FaultPlan.parse("disconnect:rank=1:at=3", seed=0),
+    ).run(_pingpong)
+    assert faulted.results == clean.results
 
 
 def _sleep_forever(comm):
