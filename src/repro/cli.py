@@ -25,6 +25,10 @@ Subcommands
     Wall-clock benchmark of the smoke suite (perf trajectory), with a
     ``--check`` determinism gate against a committed baseline such as
     ``BENCH_PR3.json``.
+``repro lint``
+    Project-specific AST invariant linter (determinism, comm-protocol,
+    cache-identity, typed-island rules); exit 1 on any unsuppressed
+    finding — the CI ``lint`` job gate.  Also ``python -m repro.lint``.
 
 Every stochastic component seeds from the spec, so any command line is
 reproducible bit-for-bit; ``--smoke`` shrinks budgets for CI.  Any
@@ -294,7 +298,20 @@ def build_parser() -> argparse.ArgumentParser:
                          help="provenance note stored with --reference")
     p_bench.set_defaults(func=cmd_bench)
 
+    p_lint = sub.add_parser(
+        "lint", help="AST invariant linter (determinism/comm/cache rules)")
+    from repro.lint.cli import add_lint_arguments
+
+    add_lint_arguments(p_lint)
+    p_lint.set_defaults(func=cmd_lint)
+
     return parser
+
+
+def cmd_lint(args: argparse.Namespace) -> int:
+    from repro.lint.cli import cmd_lint as _cmd_lint
+
+    return _cmd_lint(args)
 
 
 def _progress(done: int, total: int, record: RunRecord) -> None:

@@ -591,7 +591,7 @@ class CostEngine:
             changed = set(p.rows[ra][sa:])
             changed.update(p.rows[rb][sb:])
         changed.update((a, b))
-        self._update_nets_of(list(changed), charge_to, moved=(a, b),
+        self._update_nets_of(sorted(changed), charge_to, moved=(a, b),
                              rows=(ra, rb))
 
     def _update_nets_of(
@@ -645,7 +645,7 @@ class CostEngine:
             forced = set()
             for c in moved:
                 forced.update(cell_nets[c])
-        for j in nets:
+        for j in nets:  # repro: noqa[D105] -- int-set order is deterministic in CPython (unsalted int hash) and this delta fold order is pinned bit-exact by BENCH_PR3; sorted() would change the bits
             units += degrees[j]
             old = lengths[j]
             if j in forced:

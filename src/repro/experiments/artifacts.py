@@ -60,6 +60,9 @@ __all__ = [
     "ArtifactStore",
     "CellCache",
     "CSV_COLUMNS",
+    "CANONICAL_RESULT_FIELDS",
+    "CANONICAL_OPERATIONAL_FIELDS",
+    "NON_IDENTITY_PARAMS",
     "cell_key",
     "version_key",
     "failed",
@@ -104,6 +107,38 @@ CSV_COLUMNS = (
 #: Backends whose clocks measure host wall time rather than deterministic
 #: model-seconds; their timing is stripped by :meth:`RunRecord.canonical`.
 _WALL_CLOCK_CLUSTERS = frozenset({"mp", "socket"})
+
+
+#: Identity classification of every :class:`RunRecord` field — the
+#: manifest the K303 lint rule cross-references against the dataclass.
+#: A new field must be added to exactly one of these two tuples (and, if
+#: operational, is stripped from the determinism key by
+#: :meth:`RunRecord.canonical`, which iterates the operational tuple).
+CANONICAL_RESULT_FIELDS = (
+    "scenario",
+    "cell_id",
+    "strategy",
+    "spec",
+    "params",
+    "ok",
+    "error",
+    "outcome",
+)
+
+#: Host- or schedule-dependent bookkeeping: two healthy runs of the same
+#: cell legitimately disagree on these, so :meth:`RunRecord.canonical`
+#: strips every one of them.
+CANONICAL_OPERATIONAL_FIELDS = (
+    "wall_seconds",
+    "attempts",
+    "attempt_errors",
+)
+
+#: Runner params that bound *how long* a cell may run, not *what* it
+#: computes.  :func:`cell_key` excludes exactly these from the hashed
+#: params (and the K302 lint rule checks the filter uses this manifest),
+#: so e.g. retrying with a different deadline still hits the cache.
+NON_IDENTITY_PARAMS = ("deadline",)
 
 
 @dataclass
@@ -159,12 +194,11 @@ class RunRecord:
         ``work_units``) and the µ trajectory remain.
         """
         d = self.to_dict()
-        d.pop("wall_seconds", None)
-        # Retry bookkeeping is operational, not part of the result: a
-        # cell that failed transiently and was re-run must compare equal
-        # to one that succeeded first try.
-        d.pop("attempts", None)
-        d.pop("attempt_errors", None)
+        # Retry bookkeeping and wall timing are operational, not part of
+        # the result: a cell that failed transiently and was re-run must
+        # compare equal to one that succeeded first try.
+        for k in CANONICAL_OPERATIONAL_FIELDS:
+            d.pop(k, None)
         out = d.get("outcome")
         if out:
             extras = out.get("extras") or {}
@@ -261,11 +295,11 @@ def cell_key(cell: "SweepCell", version: str | None = None) -> str:
     Covers the spec, the strategy, the runner parameters and the code
     version — everything the deterministic runners consume — and nothing
     else: two cells with different scenario names or cell ids but the same
-    physics share one key.  ``deadline`` is excluded: it bounds how long a
-    run may take, not what it computes, so retrying with a different
-    deadline still hits the cache.
+    physics share one key.  The :data:`NON_IDENTITY_PARAMS` knobs are
+    excluded: they bound how long a run may take, not what it computes,
+    so retrying with e.g. a different deadline still hits the cache.
     """
-    params = {k: v for k, v in cell.params if k != "deadline"}
+    params = {k: v for k, v in cell.params if k not in NON_IDENTITY_PARAMS}
     return stable_hash({
         "version": version or version_key(),
         "strategy": cell.strategy,

@@ -122,7 +122,7 @@ class Placement:
         expect = {c.index for c in netlist.movable_cells()}
         missing = expect - seen
         if missing:
-            name = netlist.cells[next(iter(missing))].name
+            name = netlist.cells[min(missing)].name
             raise PlacementError(
                 f"{len(missing)} movable cells unplaced (e.g. {name!r})"
             )

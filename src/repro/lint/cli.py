@@ -1,0 +1,79 @@
+"""Command-line front end: ``repro lint`` and ``python -m repro.lint``."""
+
+from __future__ import annotations
+
+import argparse
+from typing import Sequence
+
+from repro.lint.engine import lint_paths
+from repro.lint.rules import all_rules
+
+__all__ = ["add_lint_arguments", "cmd_lint", "main"]
+
+#: What ``repro lint`` checks when no paths are given.
+DEFAULT_PATHS = ("src",)
+
+
+def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "paths", nargs="*", default=list(DEFAULT_PATHS),
+        help="files/directories to lint (default: src)",
+    )
+    parser.add_argument(
+        "--format", choices=["human", "json"], default="human",
+        help="output format (json is the versioned CI schema)",
+    )
+    parser.add_argument(
+        "--select", default=None, metavar="IDS",
+        help="comma-separated rule ids to run (default: all)",
+    )
+    parser.add_argument(
+        "--no-scope", action="store_true",
+        help="disable per-directory rule scoping (fixture/test runs)",
+    )
+    parser.add_argument(
+        "--strict", action="store_true",
+        help="warnings are blocking too",
+    )
+    parser.add_argument(
+        "-v", "--verbose", action="store_true",
+        help="also print suppressed findings with their justifications",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true",
+        help="print the rule battery (id, severity, scope, invariant)",
+    )
+
+
+def cmd_lint(args: argparse.Namespace) -> int:
+    if args.list_rules:
+        for rule in all_rules():
+            scope = ", ".join(rule.scope.include) or "everywhere"
+            print(f"{rule.id}  [{rule.severity}]  ({scope})")
+            print(f"    {rule.invariant}")
+        return 0
+    select = None
+    if args.select:
+        select = [s.strip() for s in args.select.split(",") if s.strip()]
+    try:
+        report = lint_paths(args.paths, select=select, no_scope=args.no_scope)
+    except KeyError as exc:
+        print(f"error: {exc.args[0]}")
+        return 2
+    if args.format == "json":
+        print(report.to_json(strict=args.strict))
+    else:
+        print(report.render_human(verbose=args.verbose))
+    return report.exit_code(strict=args.strict)
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro lint",
+        description=(
+            "AST-based invariant linter: determinism (D), comm-protocol "
+            "(C), cache-identity (K) and typed-island (T) rules"
+        ),
+    )
+    add_lint_arguments(parser)
+    return cmd_lint(parser.parse_args(argv))

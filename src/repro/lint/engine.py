@@ -1,0 +1,145 @@
+"""The lint engine: file discovery, shared passes, rule dispatch.
+
+One run is::
+
+    files     = discover(paths)              # *.py, fixtures excluded
+    contexts  = [parse + module pass]        # imports, symbols, dataclasses
+    model     = project pass(contexts)       # cross-file identity view
+    findings  = module rules × in-scope files
+              + project rules × (contexts, model)
+    report    = suppressions applied, sorted
+
+Suppressions (:mod:`repro.lint.noqa`) match ``(rule, line)`` on the
+finding's own line; a malformed suppression is an LNT001 finding and
+suppresses nothing.
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+from typing import Iterable, Sequence
+
+from repro.lint.context import (
+    ModuleContext,
+    build_module_context,
+    build_project_model,
+)
+from repro.lint.findings import Finding, LintReport, Severity
+from repro.lint.noqa import scan_suppressions
+from repro.lint.rules import ModuleRule, ProjectRule, Rule, rules_by_id
+from repro.lint.scoping import DEFAULT_EXCLUDES
+
+__all__ = ["discover_files", "lint_paths", "LintReport"]
+
+
+def discover_files(
+    paths: Sequence[str | Path],
+    excludes: Sequence[str] = DEFAULT_EXCLUDES,
+) -> list[Path]:
+    """All Python files under ``paths``, deterministic order.
+
+    Directories are walked recursively; ``__pycache__`` and the
+    deliberately-violating golden fixtures are excluded (explicitly
+    listed files bypass the exclusion — the fixture tests rely on that).
+    """
+    out: list[Path] = []
+    seen: set[Path] = set()
+    for raw in paths:
+        p = Path(raw)
+        if p.is_dir():
+            candidates: Iterable[Path] = sorted(p.rglob("*.py"))
+        else:
+            candidates = [p]
+        for f in candidates:
+            posix = f.as_posix()
+            if "__pycache__" in posix:
+                continue
+            if p.is_dir() and any(frag in posix for frag in excludes):
+                continue
+            rp = f.resolve()
+            if rp not in seen:
+                seen.add(rp)
+                out.append(f)
+    return out
+
+
+def _parse(path: Path) -> tuple[ModuleContext | None, Finding | None]:
+    try:
+        source = path.read_text(encoding="utf-8")
+    except (OSError, UnicodeDecodeError) as exc:
+        return None, Finding(
+            rule="LNT002", severity=Severity.ERROR, path=str(path),
+            line=1, col=1, message=f"unreadable file: {exc}",
+        )
+    try:
+        tree = ast.parse(source, filename=str(path))
+    except SyntaxError as exc:
+        return None, Finding(
+            rule="LNT002", severity=Severity.ERROR, path=str(path),
+            line=exc.lineno or 1, col=(exc.offset or 0) + 1,
+            message=f"syntax error: {exc.msg}",
+        )
+    return build_module_context(str(path), source, tree), None
+
+
+def lint_paths(
+    paths: Sequence[str | Path],
+    select: Sequence[str] | None = None,
+    no_scope: bool = False,
+    excludes: Sequence[str] = DEFAULT_EXCLUDES,
+) -> LintReport:
+    """Lint ``paths`` and return the full report.
+
+    ``select`` restricts to the given rule ids; ``no_scope`` disables
+    per-directory scoping (used by the fixture tests, where a violating
+    file lives outside the directory its rule normally binds).
+    """
+    rules = rules_by_id(select)
+    report = LintReport(rules_run=tuple(r.id for r in rules))
+    files = discover_files(paths, excludes=excludes)
+    report.files_scanned = len(files)
+
+    contexts: list[ModuleContext] = []
+    suppressions: dict[str, dict[int, object]] = {}
+    for path in files:
+        ctx, problem = _parse(path)
+        if problem is not None:
+            report.findings.append(problem)
+            continue
+        assert ctx is not None
+        contexts.append(ctx)
+        per_line, noqa_problems = scan_suppressions(ctx.source, ctx.path)
+        suppressions[ctx.path] = per_line  # type: ignore[assignment]
+        report.extend(noqa_problems)
+
+    raw: list[Finding] = []
+    model = None
+    for rule in rules:
+        if isinstance(rule, ModuleRule):
+            for ctx in contexts:
+                if no_scope or rule.scope.matches(ctx.path):
+                    raw.extend(rule.check(ctx))
+        elif isinstance(rule, ProjectRule):
+            if model is None:
+                model = build_project_model(contexts)
+            raw.extend(rule.check_project(contexts, model))
+
+    for f in raw:
+        per_line = suppressions.get(f.path, {})
+        sup = per_line.get(f.line)
+        if sup is not None and f.rule in sup.rules:  # type: ignore[attr-defined]
+            f = Finding(
+                rule=f.rule, severity=f.severity, path=f.path, line=f.line,
+                col=f.col, message=f.message, suppressed=True,
+                justification=sup.justification,  # type: ignore[attr-defined]
+            )
+        report.findings.append(f)
+
+    report.sort()
+    return report
+
+
+def check_rule(rule: Rule, path: str | Path) -> list[Finding]:
+    """Run one rule against one file, scoping disabled (test helper)."""
+    return lint_paths([path], select=[rule.id], no_scope=True).active

@@ -1,0 +1,321 @@
+"""D-rules: bit-exact determinism in the result-affecting packages.
+
+Every run of this system must be reproducible bit-for-bit from the spec
+seed — that is what makes the content-addressed cell cache, the shard
+merge gate and the BENCH_PR3 determinism gate sound.  These rules ban
+the constructs that silently break it: ambient randomness, wall-clock
+values used as data, unordered-container iteration feeding results, and
+non-canonical float accumulation.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.lint.context import ModuleContext, is_set_valued
+from repro.lint.findings import Finding
+from repro.lint.rules import ModuleRule, register
+from repro.lint.scoping import RESULT_AFFECTING, RuleScope
+
+__all__ = [
+    "StdlibRandom",
+    "UnseededNpRandom",
+    "EntropySource",
+    "WallClockAsData",
+    "UnsortedSetIteration",
+    "NonCanonicalAccumulation",
+]
+
+_RESULT_SCOPE = RuleScope(include=RESULT_AFFECTING)
+
+
+def _walk_scoped(tree: ast.Module):
+    """Yield ``(node, enclosing_function_scope_id)`` pairs."""
+    stack: list[tuple[ast.AST, int]] = [(tree, 0)]
+    while stack:
+        node, scope = stack.pop()
+        for child in ast.iter_child_nodes(node):
+            child_scope = scope
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+                child_scope = id(child)
+            stack.append((child, child_scope))
+            yield child, child_scope
+
+
+@register
+class StdlibRandom(ModuleRule):
+    """D101 — the global :mod:`random` module is banned outright."""
+
+    id = "D101"
+    invariant = (
+        "result-affecting code draws randomness only from seeded "
+        "RngStream children of the spec seed, never from the process-"
+        "global `random` module"
+    )
+    scope = _RESULT_SCOPE
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.name == "random" or alias.name.startswith("random."):
+                        yield self.finding(
+                            ctx.path, node,
+                            "import of the process-global `random` module; "
+                            "use a seeded RngStream (utils/rng.py)",
+                        )
+            elif isinstance(node, ast.ImportFrom):
+                if node.module == "random":
+                    yield self.finding(
+                        ctx.path, node,
+                        "import from the process-global `random` module; "
+                        "use a seeded RngStream (utils/rng.py)",
+                    )
+
+
+#: numpy.random module-level samplers and global-state entry points.  The
+#: explicit-seed constructors (SeedSequence, Philox(key=...), Generator,
+#: default_rng(seed)) are the sanctioned API.
+_NP_RANDOM_BANNED = frozenset({
+    "seed", "rand", "randn", "randint", "random", "random_sample", "ranf",
+    "sample", "choice", "shuffle", "permutation", "uniform", "normal",
+    "standard_normal", "poisson", "exponential", "beta", "gamma",
+    "get_state", "set_state", "bytes",
+})
+
+
+@register
+class UnseededNpRandom(ModuleRule):
+    """D102 — no ``numpy.random`` global state or unseeded generators."""
+
+    id = "D102"
+    invariant = (
+        "numpy randomness flows through explicitly seeded generators "
+        "(SeedSequence / Philox keyed by stable_hash), never the module-"
+        "level numpy.random samplers or an argument-less default_rng()"
+    )
+    scope = _RESULT_SCOPE
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            dotted = ctx.dotted_name(node.func)
+            if dotted is None or not dotted.startswith("numpy.random."):
+                continue
+            tail = dotted[len("numpy.random."):]
+            if tail in _NP_RANDOM_BANNED:
+                yield self.finding(
+                    ctx.path, node,
+                    f"global-state numpy.random.{tail}() call; draw from an "
+                    "explicitly seeded Generator instead",
+                )
+            elif tail == "default_rng" and not node.args and not node.keywords:
+                yield self.finding(
+                    ctx.path, node,
+                    "default_rng() without a seed draws OS entropy; pass a "
+                    "SeedSequence derived from the spec seed",
+                )
+
+
+_ENTROPY_CALLS = {
+    "os.urandom": "os.urandom",
+    "uuid.uuid1": "uuid.uuid1",
+    "uuid.uuid4": "uuid.uuid4",
+    "secrets.token_bytes": "secrets.token_bytes",
+    "secrets.token_hex": "secrets.token_hex",
+    "secrets.token_urlsafe": "secrets.token_urlsafe",
+    "secrets.randbelow": "secrets.randbelow",
+    "secrets.choice": "secrets.choice",
+}
+
+
+@register
+class EntropySource(ModuleRule):
+    """D103 — no OS entropy (urandom/uuid4/secrets) in result paths."""
+
+    id = "D103"
+    invariant = (
+        "no OS entropy sources in result-affecting code: a value drawn "
+        "from os.urandom/uuid4/secrets can never be replayed from a seed"
+    )
+    scope = _RESULT_SCOPE
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            dotted = ctx.dotted_name(node.func)
+            if dotted in _ENTROPY_CALLS:
+                yield self.finding(
+                    ctx.path, node,
+                    f"OS entropy source {dotted}(); derive tokens from "
+                    "stable_hash/seeded streams if the value affects results",
+                )
+
+
+_WALLCLOCK_CALLS = {
+    "time.time", "time.time_ns", "time.monotonic", "time.monotonic_ns",
+    "time.perf_counter", "time.perf_counter_ns",
+    "datetime.datetime.now", "datetime.datetime.utcnow",
+    "datetime.date.today",
+}
+
+
+@register
+class WallClockAsData(ModuleRule):
+    """D104 — no wall-clock reads in the deterministic core.
+
+    The simulated cluster's entire timing domain is model-seconds from
+    the work meter; a host clock read in ``sime/``, ``cost/``,
+    ``layout/`` or ``netlist/`` is either dead code or a determinism bug.
+    (The wall-clock backends under ``parallel/`` legitimately measure
+    real time and are out of scope.)
+    """
+
+    id = "D104"
+    invariant = (
+        "the deterministic core (sime/cost/layout/netlist) never reads "
+        "a host clock; time is model-seconds charged through the work "
+        "meter"
+    )
+    scope = RuleScope(include=(
+        "repro/sime/", "repro/cost/", "repro/layout/", "repro/netlist/",
+    ))
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            dotted = ctx.dotted_name(node.func)
+            if dotted in _WALLCLOCK_CALLS:
+                yield self.finding(
+                    ctx.path, node,
+                    f"host clock read {dotted}() in the deterministic core; "
+                    "charge model-seconds via the WorkMeter instead",
+                )
+
+
+#: Builtins whose result depends on iteration order when fed a set.
+#: (min/max/any/all are order-insensitive and stay legal.)
+_ORDER_SENSITIVE_CALLS = {"list", "tuple", "sum", "enumerate", "iter", "next"}
+
+
+@register
+class UnsortedSetIteration(ModuleRule):
+    """D105 — iterating a set without ``sorted()`` is order-dependent."""
+
+    id = "D105"
+    invariant = (
+        "iteration over sets feeding result-affecting computation is "
+        "explicitly ordered (sorted), never hash-table order"
+    )
+    scope = _RESULT_SCOPE
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        for node, scope in _walk_scoped(ctx.tree):
+            if isinstance(node, (ast.For, ast.AsyncFor)):
+                if is_set_valued(node.iter, ctx, scope):
+                    yield self.finding(
+                        ctx.path, node.iter,
+                        "for-loop over a set: wrap the iterable in sorted() "
+                        "(or justify why the fold is order-insensitive)",
+                    )
+            elif isinstance(node, (ast.ListComp, ast.SetComp, ast.DictComp,
+                                   ast.GeneratorExp)):
+                for gen in node.generators:
+                    if is_set_valued(gen.iter, ctx, scope):
+                        yield self.finding(
+                            ctx.path, gen.iter,
+                            "comprehension over a set: wrap the iterable in "
+                            "sorted()",
+                        )
+            elif isinstance(node, ast.Call):
+                fn = node.func
+                if (
+                    isinstance(fn, ast.Name)
+                    and fn.id in _ORDER_SENSITIVE_CALLS
+                    and node.args
+                    and is_set_valued(node.args[0], ctx, scope)
+                ):
+                    yield self.finding(
+                        ctx.path, node,
+                        f"{fn.id}() over a set materialises hash-table "
+                        "order; use sorted()",
+                    )
+                elif (
+                    isinstance(fn, ast.Attribute)
+                    and fn.attr == "join"
+                    and node.args
+                    and is_set_valued(node.args[0], ctx, scope)
+                ):
+                    yield self.finding(
+                        ctx.path, node,
+                        "str.join over a set is hash-table ordered; use "
+                        "sorted()",
+                    )
+
+
+#: The canonical float kernels.  Their segmented ``np.add.reduceat``
+#: folds *define* the pinned accumulation order the BENCH_PR3 gate
+#: checks against; everything else in ``cost/`` must call them instead
+#: of inventing a second grouping.
+_CANONICAL_KERNELS = (
+    "repro/cost/bounds.py",
+    "repro/cost/delay.py",
+    "repro/cost/steiner.py",
+    "repro/cost/wirelength.py",
+)
+
+#: ufuncs whose reduction is order-insensitive (same bits in any order).
+_ORDER_FREE_UFUNCS = ("maximum", "minimum", "fmax", "fmin")
+
+
+@register
+class NonCanonicalAccumulation(ModuleRule):
+    """D106 — cost/ folds floats in one canonical order only.
+
+    The canonical kernels (:data:`_CANONICAL_KERNELS`) pin the
+    accumulation order with segmented reduceat folds, and the BENCH_PR3
+    gate checks their bits.  A *second* order-sensitive grouped fold
+    anywhere else in ``cost/``, or a compensated sum (``math.fsum``)
+    anywhere at all, produces different bits for the same quantity and
+    silently forks the numerics.  ``maximum``/``minimum`` reducts are
+    order-insensitive and stay legal everywhere.
+    """
+
+    id = "D106"
+    invariant = (
+        "cost/ float accumulation happens only through the canonical "
+        "kernels (bounds/delay/steiner/wirelength); new reduceat folds "
+        "and fsum fork the bits the BENCH_PR3 gate pins"
+    )
+    scope = RuleScope(include=("repro/cost/",))
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        canonical = any(frag in ctx.path for frag in _CANONICAL_KERNELS)
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            fn = node.func
+            if isinstance(fn, ast.Attribute) and fn.attr == "reduceat":
+                ufunc = ctx.dotted_name(fn.value) or ""
+                if ufunc.rsplit(".", 1)[-1] in _ORDER_FREE_UFUNCS:
+                    continue
+                if canonical:
+                    continue
+                yield self.finding(
+                    ctx.path, node,
+                    "order-sensitive ufunc.reduceat outside the canonical "
+                    "kernels forks the pinned accumulation order; call the "
+                    "bounds/delay/steiner/wirelength kernels instead",
+                )
+                continue
+            dotted = ctx.dotted_name(fn)
+            if dotted == "math.fsum":
+                yield self.finding(
+                    ctx.path, node,
+                    "math.fsum is a compensated sum — different bits than "
+                    "the canonical kernel folds; use those kernels",
+                )

@@ -1,0 +1,61 @@
+"""T-rules: the typed islands stay fully annotated.
+
+``src/repro/utils/`` and ``parallel/mpi/message.py`` are the first
+``mypy --strict`` islands (CI runs mypy on exactly these paths).  This
+rule enforces the part that matters locally without mypy installed:
+every function signature is complete — annotated parameters and an
+explicit return type — so strict mode cannot regress silently between
+CI runs.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.lint.context import ModuleContext
+from repro.lint.findings import Finding
+from repro.lint.rules import ModuleRule, register
+from repro.lint.scoping import TYPED_ISLANDS, RuleScope
+
+__all__ = ["TypedIsland"]
+
+
+@register
+class TypedIsland(ModuleRule):
+    """T401 — typed-island functions carry complete annotations."""
+
+    id = "T401"
+    invariant = (
+        "the typed islands (utils/, parallel/mpi/message.py) keep every "
+        "function signature fully annotated, so the CI mypy --strict "
+        "job stays green"
+    )
+    scope = RuleScope(include=TYPED_ISLANDS)
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            args = node.args
+            all_params = (
+                args.posonlyargs + args.args + args.kwonlyargs
+                + ([args.vararg] if args.vararg else [])
+                + ([args.kwarg] if args.kwarg else [])
+            )
+            missing = [
+                a.arg for a in all_params
+                if a.annotation is None and a.arg not in ("self", "cls")
+            ]
+            if missing:
+                yield self.finding(
+                    ctx.path, node,
+                    f"typed island: parameter(s) {', '.join(missing)} of "
+                    f"{node.name}() lack type annotations",
+                )
+            if node.returns is None:
+                yield self.finding(
+                    ctx.path, node,
+                    f"typed island: {node.name}() has no return annotation "
+                    "(use -> None for procedures)",
+                )

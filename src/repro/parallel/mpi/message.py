@@ -28,6 +28,8 @@ __all__ = [
     "FRAME_HEADER",
     "MAX_FRAME_PAYLOAD",
     "pack_frame",
+    "send_frame",
+    "forward_frame",
     "recv_exact",
     "recv_frame",
 ]
@@ -85,6 +87,33 @@ def pack_frame(
             f"{MAX_FRAME_PAYLOAD}-byte bound"
         )
     return FRAME_HEADER.pack(kind, source, dest, tag, len(payload)) + payload
+
+
+def send_frame(
+    sock: socket.socket,
+    kind: int,
+    source: int,
+    dest: int,
+    tag: int,
+    payload: bytes = b"",
+) -> None:
+    """Pack and write one whole frame to a stream socket.
+
+    The single sanctioned way to originate a frame: every byte that
+    leaves a backend goes through here (or :func:`forward_frame` for
+    frames that are already packed), so framing stays universal and the
+    C201 lint rule can ban raw ``sendall`` everywhere else.
+    """
+    sock.sendall(pack_frame(kind, source, dest, tag, payload))
+
+
+def forward_frame(sock: socket.socket, frame: bytes) -> None:
+    """Write one already-packed frame to a stream socket whole.
+
+    Used by the router to relay frames it received (or queued) without
+    re-parsing them; the transport counterpart of :func:`send_frame`.
+    """
+    sock.sendall(frame)
 
 
 def recv_exact(sock: socket.socket, n: int) -> bytes:

@@ -58,6 +58,11 @@ _BLOCKED_RECV = "blocked-recv"
 _BLOCKED_COLL = "blocked-coll"
 _DONE = "done"
 
+#: Condition re-check interval for blocked ranks: bounds every wait so a
+#: missed notify (or a rank that died without one) can never wedge the
+#: run — the deadlock detector runs on each wakeup.
+_COND_POLL_SECONDS = 0.5
+
 
 @dataclass
 class SimRunResult:
@@ -228,7 +233,9 @@ class SimCluster:
                     self._cond.notify_all()
 
         threads = [
-            threading.Thread(target=target, args=(i,), name=f"simrank-{i}")
+            threading.Thread(
+                target=target, args=(i,), name=f"simrank-{i}", daemon=True
+            )
             for i in range(self.size)
         ]
         for t in threads:
@@ -322,7 +329,7 @@ class SimCluster:
                     if msg is not None:
                         break
                     self._raise_if_deadlocked()
-                    self._cond.wait(timeout=0.5)
+                    self._cond.wait(timeout=_COND_POLL_SECONDS)
             finally:
                 st.state = _RUNNING
                 st.want = None
@@ -435,7 +442,7 @@ class SimCluster:
                 st.state = _BLOCKED_COLL
                 while gen not in self._coll_results:
                     self._check_failure()
-                    self._cond.wait(timeout=0.5)
+                    self._cond.wait(timeout=_COND_POLL_SECONDS)
                 st.state = _RUNNING
             res = self._coll_results[gen]
             res["taken"] += 1

@@ -74,8 +74,10 @@ from repro.parallel.mpi.message import (
     FRAME_HELLO,
     FRAME_PEERDOWN,
     FRAME_RESULT,
+    forward_frame,
     pack_frame,
     recv_frame,
+    send_frame,
 )
 from repro.parallel.mpi.liveness import (
     DEFAULT_HEARTBEAT,
@@ -104,6 +106,14 @@ _POLL_SECONDS = 0.2
 
 #: Cap on the exponential backoff between a rank's reconnect attempts.
 _RECONNECT_BACKOFF_CAP = 2.0
+
+#: Grace for ``join()`` on a process already observed dead (exitcode set
+#: or EOF seen) — reaping bookkeeping, not a liveness decision.
+_REAP_JOIN_SECONDS = 1.0
+
+#: SIGTERM grace before escalating to SIGKILL during cleanup; short
+#: because a SIGSTOPped rank leaves SIGTERM pending forever.
+_TERM_GRACE_SECONDS = 5.0
 
 
 class _SocketComm(BufferedComm):
@@ -182,12 +192,12 @@ class _SocketComm(BufferedComm):
                         sock.setsockopt(
                             socket.IPPROTO_TCP, socket.TCP_NODELAY, 1
                         )
-                    sock.sendall(pack_frame(
-                        FRAME_HELLO, self._rank, -1, 0,
+                    send_frame(
+                        sock, FRAME_HELLO, self._rank, -1, 0,
                         pickle.dumps(
                             self._token, protocol=pickle.HIGHEST_PROTOCOL
                         ),
-                    ))
+                    )
                 except OSError as exc:
                     last = exc
                     sock.close()
@@ -210,7 +220,7 @@ class _SocketComm(BufferedComm):
             with self._send_lock:
                 sock = self._sock
                 try:
-                    sock.sendall(data)
+                    forward_frame(sock, data)
                     return
                 except OSError:
                     pass
@@ -304,10 +314,10 @@ def _socket_worker(
         return
     if family == socket.AF_INET:
         sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
-    sock.sendall(pack_frame(
-        FRAME_HELLO, rank, -1, 0,
+    send_frame(
+        sock, FRAME_HELLO, rank, -1, 0,
         pickle.dumps(token, protocol=pickle.HIGHEST_PROTOCOL),
-    ))
+    )
     comm = _SocketComm(
         rank, size, sock, work_model,
         family=family, address=address, token=token,
@@ -454,7 +464,7 @@ class SocketCluster:
         # Per-run session token: a reconnecting rank must present it with
         # its re-HELLO, so a stray client (or a rank from a previous run
         # racing cleanup) can never be admitted as a live rank.
-        token = os.urandom(16).hex()
+        token = os.urandom(16).hex()  # repro: noqa[D103] -- connection-admission secret only; never reaches results, seeds, or cache keys
 
         tmpdir: str | None = None
         if self.address is None:
@@ -643,7 +653,7 @@ class SocketCluster:
             if to not in conns:
                 return
             try:
-                conns[to].sendall(frame)
+                forward_frame(conns[to], frame)
             except OSError:
                 pass  # that conn's own EOF will surface via select
 
@@ -682,7 +692,7 @@ class SocketCluster:
             # re-HELLO: convert the open window into a death now.
             for r in sorted(disconnected):
                 if r in pending and procs[r].exitcode is not None:
-                    procs[r].join(timeout=1.0)
+                    procs[r].join(timeout=_REAP_JOIN_SECONDS)
                     mark_dead(
                         r,
                         f"rank {r} died while disconnected "
@@ -733,7 +743,7 @@ class SocketCluster:
                         disconnected.add(rank)
                         monitor.beat(rank)
                     else:
-                        procs[rank].join(timeout=1.0)
+                        procs[rank].join(timeout=_REAP_JOIN_SECONDS)
                         mark_dead(
                             rank,
                             f"rank {rank} died without result "
@@ -766,14 +776,14 @@ class SocketCluster:
                         tell_peerdown(dest, rank)
                         continue
                     try:
-                        conns[dest].sendall(frame)
+                        forward_frame(conns[dest], frame)
                     except OSError:
                         tell_peerdown(dest, rank)
                     continue
                 # HELLO (duplicate) or unknown: ignore.
             if deaths:
                 for r in deaths:
-                    procs[r].join(timeout=1.0)
+                    procs[r].join(timeout=_REAP_JOIN_SECONDS)
                 raise CommError(
                     "rank(s) died without result: "
                     + ", ".join(
@@ -824,7 +834,7 @@ class SocketCluster:
         while queued:
             frame = queued.pop(0)
             try:
-                conn.sendall(frame)
+                forward_frame(conn, frame)
             except OSError:
                 # Dropped again mid-flush: keep the window open with the
                 # unsent tail (this frame included) intact.
@@ -852,7 +862,7 @@ class SocketCluster:
             # Short grace: a SIGSTOPped rank leaves SIGTERM pending
             # forever, so escalate to SIGKILL (which stops nothing)
             # quickly instead of stalling the error path.
-            proc.join(timeout=5)
+            proc.join(timeout=_TERM_GRACE_SECONDS)
             if proc.is_alive():
                 proc.kill()
                 proc.join()

@@ -125,6 +125,29 @@ class ExperimentSpec:
         return cls(**kwargs)
 
 
+#: Identity manifest for :class:`ExperimentSpec` — the declaration the
+#: K301 lint rule cross-references against the dataclass fields.  Every
+#: field here reaches the cell cache key via ``stable_hash`` over
+#: ``spec.to_dict()``; adding a spec field without listing it (and
+#: without thinking about cache identity) is a lint error.
+IDENTITY_FIELDS = (
+    "circuit",
+    "objectives",
+    "iterations",
+    "seed",
+    "bias",
+    "adaptive_bias",
+    "row_window",
+    "slot_window",
+    "sort_descending",
+    "num_rows",
+    "critical_paths",
+    "beta",
+    "goals",
+    "eval_mode",
+)
+
+
 @dataclass
 class Problem:
     """A built problem instance bound to one work meter."""

@@ -15,9 +15,10 @@ selection operator, permutations for row patterns, etc.).
 
 from __future__ import annotations
 
-from typing import Sequence
+from typing import Any, Sequence
 
 import numpy as np
+import numpy.typing as npt
 
 from repro.utils.hashing import stable_hash
 
@@ -43,7 +44,7 @@ class RngStream:
         self,
         seed: int | np.random.SeedSequence | np.random.BitGenerator | None = 0,
         name: str = "rng",
-    ):
+    ) -> None:
         self.seed = seed
         self.name = name
         self._gen = np.random.default_rng(seed)
@@ -66,22 +67,24 @@ class RngStream:
         return float(self._gen.exponential(scale))
 
     # -- vector draws ---------------------------------------------------
-    def random_vector(self, n: int) -> np.ndarray:
+    def random_vector(self, n: int) -> npt.NDArray[np.float64]:
         """``n`` uniform variates in ``[0, 1)`` as a float64 array."""
         return self._gen.random(n)
 
-    def permutation(self, n: int) -> np.ndarray:
+    def permutation(self, n: int) -> npt.NDArray[Any]:
         """A random permutation of ``range(n)``."""
         return self._gen.permutation(n)
 
-    def choice(self, seq: Sequence, size: int | None = None, replace: bool = True):
+    def choice(
+        self, seq: Sequence[Any], size: int | None = None, replace: bool = True
+    ) -> Any:
         """Random choice from a sequence (numpy semantics)."""
         idx = self._gen.choice(len(seq), size=size, replace=replace)
         if size is None:
             return seq[int(idx)]
         return [seq[int(i)] for i in idx]
 
-    def shuffle(self, items: list) -> None:
+    def shuffle(self, items: list[Any]) -> None:
         """In-place Fisher–Yates shuffle of a Python list."""
         for i in range(len(items) - 1, 0, -1):
             j = int(self._gen.integers(0, i + 1))

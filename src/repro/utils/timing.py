@@ -56,7 +56,7 @@ class Stopwatch:
 class _Lap:
     __slots__ = ("_sw", "_name", "_t0")
 
-    def __init__(self, sw: Stopwatch, name: str):
+    def __init__(self, sw: Stopwatch, name: str) -> None:
         self._sw = sw
         self._name = name
         self._t0 = 0.0
@@ -65,5 +65,5 @@ class _Lap:
         self._t0 = time.perf_counter()
         return self
 
-    def __exit__(self, *exc) -> None:
+    def __exit__(self, *exc: object) -> None:
         self._sw.add(self._name, time.perf_counter() - self._t0)

@@ -1,0 +1,6 @@
+"""Violates C201: raw transport writes outside the framing layer."""
+
+
+def push(sock, conn, frame, obj):
+    sock.sendall(frame)
+    conn.send(obj)

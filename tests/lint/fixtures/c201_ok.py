@@ -1,0 +1,8 @@
+"""Clean for C201: bytes leave only through the framing helpers."""
+
+from repro.parallel.mpi.message import FRAME_DATA, send_frame
+
+
+def push(sock, comm, obj, payload):
+    send_frame(sock, FRAME_DATA, 0, 1, 0, payload)
+    comm.send(obj, dest=1, tag=0)

@@ -1,0 +1,10 @@
+"""Violates C202: unbounded blocking waits."""
+
+from multiprocessing.connection import wait
+
+
+def gather(conns, sel):
+    ready = wait(conns)
+    first = conns[0].recv()
+    events = sel.select()
+    return ready, first, events

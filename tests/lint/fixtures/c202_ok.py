@@ -1,0 +1,12 @@
+"""Clean for C202: every wait is bounded; bare recv only on comm objects."""
+
+from multiprocessing.connection import wait
+
+POLL_SECONDS = 0.2
+
+
+def gather(conns, comm, sel):
+    ready = wait(conns, timeout=POLL_SECONDS)
+    msg = comm.recv()
+    events = sel.select(POLL_SECONDS)
+    return ready, msg, events

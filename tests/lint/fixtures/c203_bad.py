@@ -1,0 +1,9 @@
+"""Violates C203: non-daemon helper thread in the comm layer."""
+
+import threading
+
+
+def start(fn):
+    t = threading.Thread(target=fn)
+    t.start()
+    return t

@@ -1,0 +1,9 @@
+"""Clean for C203: helper threads are daemonic."""
+
+import threading
+
+
+def start(fn):
+    t = threading.Thread(target=fn, daemon=True)
+    t.start()
+    return t

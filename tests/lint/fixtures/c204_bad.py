@@ -1,0 +1,6 @@
+"""Violates C204: magic-number deadlines at call sites."""
+
+
+def reap(proc, conns, wait):
+    proc.join(timeout=5)
+    return wait(conns, timeout=0.5)

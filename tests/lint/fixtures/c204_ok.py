@@ -1,0 +1,9 @@
+"""Clean for C204: timeouts are named constants."""
+
+TERM_GRACE_SECONDS = 5.0
+POLL_SECONDS = 0.5
+
+
+def reap(proc, conns, wait):
+    proc.join(timeout=TERM_GRACE_SECONDS)
+    return wait(conns, timeout=POLL_SECONDS)

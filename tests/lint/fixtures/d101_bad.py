@@ -1,0 +1,7 @@
+"""Violates D101: imports the process-global random module."""
+
+import random
+
+
+def pick(items):
+    return random.choice(items)

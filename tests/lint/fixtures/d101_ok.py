@@ -1,0 +1,7 @@
+"""Clean for D101: randomness comes from a seeded stream."""
+
+from repro.utils.rng import RngStream
+
+
+def pick(items, stream: RngStream):
+    return stream.choice(items)

@@ -1,0 +1,8 @@
+"""Violates D102: global-state numpy randomness, unseeded generators."""
+
+import numpy as np
+
+
+def sample(n):
+    gen = np.random.default_rng()
+    return np.random.rand(n) + gen.random(n)

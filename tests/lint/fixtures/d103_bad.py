@@ -1,0 +1,8 @@
+"""Violates D103: OS entropy in a result path."""
+
+import os
+import uuid
+
+
+def fresh_token():
+    return os.urandom(8).hex() + uuid.uuid4().hex

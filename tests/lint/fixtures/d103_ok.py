@@ -1,0 +1,7 @@
+"""Clean for D103: tokens derive from the stable content hash."""
+
+from repro.utils.hashing import stable_hash
+
+
+def fresh_token(spec):
+    return stable_hash(spec)[:16]

@@ -1,0 +1,8 @@
+"""Violates D104: host clock read in the deterministic core."""
+
+import time
+
+
+def stamp(record):
+    record["t"] = time.time()
+    return record

@@ -1,0 +1,6 @@
+"""Clean for D104: time is model-seconds charged through the meter."""
+
+
+def stamp(record, meter):
+    record["t"] = meter.model_seconds
+    return record

@@ -1,0 +1,11 @@
+"""Violates D105: hash-ordered set iteration feeding computation."""
+
+
+def totals(weights):
+    touched = {1, 5, 3}
+    acc = 0.0
+    for j in touched:
+        acc += weights[j]
+    ordered = list(touched)
+    doubled = [2 * w for w in {0.5, 1.5}]
+    return acc, ordered, doubled

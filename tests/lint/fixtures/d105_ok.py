@@ -1,0 +1,9 @@
+"""Clean for D105: set iteration is explicitly ordered or order-free."""
+
+
+def totals(weights):
+    touched = {1, 5, 3}
+    acc = 0.0
+    for j in sorted(touched):
+        acc += weights[j]
+    return acc, max(touched), min(touched)

@@ -1,0 +1,9 @@
+"""Violates D106: a second order-sensitive fold outside the kernels."""
+
+import math
+
+import numpy as np
+
+
+def resum(values, starts):
+    return np.add.reduceat(values, starts), math.fsum(values)

@@ -1,0 +1,9 @@
+"""Violates K301: spec dataclass without an identity manifest."""
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class ExperimentSpec:
+    circuit: str
+    seed: int = 1

@@ -1,0 +1,15 @@
+"""Clean for K301: every spec field is declared in the manifest."""
+
+from dataclasses import asdict, dataclass
+
+
+@dataclass(frozen=True)
+class ExperimentSpec:
+    circuit: str
+    seed: int = 1
+
+    def to_dict(self):
+        return asdict(self)
+
+
+IDENTITY_FIELDS = ("circuit", "seed")

@@ -1,0 +1,9 @@
+"""Violates K302: an override knob that never reaches cell identity."""
+
+
+def override_gamma(cells, value):
+    out = []
+    for cell in cells:
+        cell.extras["gamma"] = value
+        out.append(cell)
+    return out

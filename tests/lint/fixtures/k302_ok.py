@@ -1,0 +1,20 @@
+"""Clean for K302: the knob reaches params and the cell id, or is exempt."""
+
+from dataclasses import replace
+
+NON_IDENTITY_PARAMS = ("deadline",)
+
+
+def override_gamma(cells, value):
+    out = []
+    for cell in cells:
+        params = dict(cell.params)
+        params["gamma"] = value
+        out.append(
+            replace(cell, params=params, cell_id=f"{cell.cell_id}-g{value}")
+        )
+    return out
+
+
+def override_deadline(cells, value):
+    return [replace(cell, deadline=value) for cell in cells]

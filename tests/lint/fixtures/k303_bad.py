@@ -1,0 +1,9 @@
+"""Violates K303: record fields not classified result/operational."""
+
+from dataclasses import dataclass
+
+
+@dataclass
+class RunRecord:
+    cell_id: str
+    wall_seconds: float

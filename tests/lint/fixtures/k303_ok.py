@@ -1,0 +1,22 @@
+"""Clean for K303: every field classified; canonical strips operational."""
+
+from dataclasses import asdict, dataclass
+
+CANONICAL_RESULT_FIELDS = ("cell_id", "ok")
+CANONICAL_OPERATIONAL_FIELDS = ("wall_seconds",)
+
+
+@dataclass
+class RunRecord:
+    cell_id: str
+    ok: bool
+    wall_seconds: float
+
+    def to_dict(self):
+        return asdict(self)
+
+    def canonical(self):
+        d = self.to_dict()
+        for k in CANONICAL_OPERATIONAL_FIELDS:
+            d.pop(k, None)
+        return d

@@ -1,0 +1,11 @@
+"""Violates K304: field-by-field spec copy silently drops new fields."""
+
+from repro.parallel.runners import ExperimentSpec
+
+
+def shrink(base):
+    return ExperimentSpec(
+        circuit=base.circuit,
+        seed=base.seed,
+        iterations=10,
+    )

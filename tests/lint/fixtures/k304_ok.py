@@ -1,0 +1,7 @@
+"""Clean for K304: derived specs use dataclasses.replace."""
+
+from dataclasses import replace
+
+
+def shrink(base):
+    return replace(base, iterations=10)

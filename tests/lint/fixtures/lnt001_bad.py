@@ -1,0 +1,7 @@
+"""Malformed suppressions: each tagged line is an LNT001 finding."""
+
+import math
+
+A = math.floor(1.5)  # repro: noqa[D105]
+B = math.floor(2.5)  # repro: noqa -- missing the bracket list entirely
+C = math.floor(3.5)  # repro: noqa[not-a-rule] -- lowercase id is invalid

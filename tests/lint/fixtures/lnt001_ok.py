@@ -1,0 +1,5 @@
+"""Well-formed suppression: parsed, justified, and inert here."""
+
+import math
+
+A = math.floor(1.5)  # repro: noqa[D105] -- fixture example of a well-formed justified suppression

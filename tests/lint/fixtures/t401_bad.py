@@ -1,0 +1,5 @@
+"""Violates T401: incomplete signature annotations in a typed island."""
+
+
+def scale(values, factor=2.0):
+    return [v * factor for v in values]

@@ -1,0 +1,7 @@
+"""Clean for T401: fully annotated signature."""
+
+from typing import Sequence
+
+
+def scale(values: Sequence[float], factor: float = 2.0) -> list[float]:
+    return [v * factor for v in values]

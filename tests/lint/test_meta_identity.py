@@ -1,0 +1,73 @@
+"""K-rule meta-tests: the cross-reference provably bites.
+
+Each test copies a real identity definition, smuggles in a new field
+without updating the manifests, and asserts the linter flags it — the
+exact failure mode (PR 4's dropped spec knobs) the K family exists to
+prevent.  The unmutated copies lint clean, so the signal is the
+mutation, not the copy.
+"""
+
+from pathlib import Path
+
+from repro.lint.engine import lint_paths
+
+ROOT = Path(__file__).resolve().parents[2]
+
+SPEC_SOURCE = ROOT / "src" / "repro" / "parallel" / "runners.py"
+SPEC_ANCHOR = '    eval_mode: str = "scalar"\n'
+
+RECORD_SOURCE = ROOT / "src" / "repro" / "experiments" / "artifacts.py"
+RECORD_ANCHOR = "    attempt_errors: list[str] = field(default_factory=list)\n"
+
+
+def k_findings(path: Path, rule: str):
+    report = lint_paths([path], select=[rule], no_scope=True)
+    return [f for f in report.active if f.rule == rule]
+
+
+def test_new_spec_field_is_flagged(tmp_path):
+    src = SPEC_SOURCE.read_text()
+    assert SPEC_ANCHOR in src, "anchor drifted; update this meta-test"
+    mutated = src.replace(
+        SPEC_ANCHOR, SPEC_ANCHOR + "    smuggled_knob: int = 0\n"
+    )
+    f = tmp_path / "runners_mutated.py"
+    f.write_text(mutated)
+    findings = k_findings(f, "K301")
+    assert findings, "K301 missed a spec field absent from IDENTITY_FIELDS"
+    assert any("smuggled_knob" in x.message for x in findings)
+
+
+def test_unmutated_spec_is_clean(tmp_path):
+    f = tmp_path / "runners_copy.py"
+    f.write_text(SPEC_SOURCE.read_text())
+    assert k_findings(f, "K301") == []
+
+
+def test_manifest_drift_is_flagged(tmp_path):
+    # The reverse direction: a manifest entry with no matching field.
+    src = SPEC_SOURCE.read_text()
+    assert '"eval_mode",' in src
+    f = tmp_path / "runners_renamed.py"
+    f.write_text(src.replace('    eval_mode: str = "scalar"\n', ""))
+    findings = k_findings(f, "K301")
+    assert any("eval_mode" in x.message for x in findings)
+
+
+def test_new_record_field_is_flagged(tmp_path):
+    src = RECORD_SOURCE.read_text()
+    assert RECORD_ANCHOR in src, "anchor drifted; update this meta-test"
+    mutated = src.replace(
+        RECORD_ANCHOR, RECORD_ANCHOR + '    smuggled_note: str = ""\n'
+    )
+    f = tmp_path / "artifacts_mutated.py"
+    f.write_text(mutated)
+    findings = k_findings(f, "K303")
+    assert findings, "K303 missed an unclassified RunRecord field"
+    assert any("smuggled_note" in x.message for x in findings)
+
+
+def test_unmutated_record_is_clean(tmp_path):
+    f = tmp_path / "artifacts_copy.py"
+    f.write_text(RECORD_SOURCE.read_text())
+    assert k_findings(f, "K303") == []

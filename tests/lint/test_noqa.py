@@ -1,0 +1,110 @@
+"""Suppression parsing: the ``# repro: noqa[RULE] -- why`` contract.
+
+A suppression must name its rules and carry a written justification;
+anything malformed is an LNT001 finding and suppresses nothing.  The
+scanner is token-based, so prose and docstrings that merely *mention*
+the syntax are inert.
+"""
+
+from pathlib import Path
+
+from repro.lint.engine import lint_paths
+from repro.lint.noqa import LNT001, MIN_JUSTIFICATION, scan_suppressions
+
+FIXTURES = Path(__file__).parent / "fixtures"
+
+
+def test_valid_suppression_parses():
+    src = "x = 1  # repro: noqa[D105] -- fold order pinned by the bench\n"
+    by_line, problems = scan_suppressions(src, "f.py")
+    assert problems == []
+    assert by_line[1].rules == ("D105",)
+    assert by_line[1].justification == "fold order pinned by the bench"
+
+
+def test_multiple_rule_ids():
+    src = "x = 1  # repro: noqa[D101, C204] -- both safe here because ...\n"
+    by_line, problems = scan_suppressions(src, "f.py")
+    assert problems == []
+    assert by_line[1].rules == ("D101", "C204")
+
+
+def test_missing_justification_is_lnt001():
+    src = "x = 1  # repro: noqa[D105]\n"
+    by_line, problems = scan_suppressions(src, "f.py")
+    assert by_line == {}
+    assert [p.rule for p in problems] == [LNT001]
+
+
+def test_short_justification_is_lnt001():
+    why = "x" * (MIN_JUSTIFICATION - 1)
+    src = f"x = 1  # repro: noqa[D105] -- {why}\n"
+    by_line, problems = scan_suppressions(src, "f.py")
+    assert by_line == {}
+    assert [p.rule for p in problems] == [LNT001]
+
+
+def test_bad_rule_id_is_lnt001():
+    src = "x = 1  # repro: noqa[d105] -- lowercase ids are not rule ids\n"
+    by_line, problems = scan_suppressions(src, "f.py")
+    assert by_line == {}
+    assert [p.rule for p in problems] == [LNT001]
+
+
+def test_missing_bracket_list_is_lnt001():
+    src = "x = 1  # repro: noqa -- which rule? the reader cannot tell\n"
+    by_line, problems = scan_suppressions(src, "f.py")
+    assert by_line == {}
+    assert [p.rule for p in problems] == [LNT001]
+
+
+def test_docstring_mention_is_inert():
+    src = '"""Suppress with ``# repro: noqa[D105]`` and a reason."""\n'
+    by_line, problems = scan_suppressions(src, "f.py")
+    assert by_line == {} and problems == []
+
+
+def test_prose_comment_mention_is_inert():
+    src = "#: docs: write ``# repro: noqa[D105] -- why`` on the line\n"
+    by_line, problems = scan_suppressions(src, "f.py")
+    assert by_line == {} and problems == []
+
+
+def test_lnt001_fixture_findings():
+    report = lint_paths([FIXTURES / "lnt001_bad.py"])
+    assert [f.rule for f in report.active] == [LNT001] * 3
+    report = lint_paths([FIXTURES / "lnt001_ok.py"])
+    assert [f.rule for f in report.active] == []
+
+
+def test_suppression_silences_exactly_its_rule(tmp_path):
+    f = tmp_path / "mod.py"
+    f.write_text(
+        "import random  # repro: noqa[D101] -- fixture exercising the "
+        "suppression path\n"
+    )
+    report = lint_paths([f], select=["D101"], no_scope=True)
+    assert report.active == []
+    assert [s.rule for s in report.suppressed] == ["D101"]
+    assert report.suppressed[0].justification
+    assert report.exit_code() == 0
+
+
+def test_wrong_rule_id_does_not_suppress(tmp_path):
+    f = tmp_path / "mod.py"
+    f.write_text(
+        "import random  # repro: noqa[D102] -- names the wrong rule "
+        "entirely\n"
+    )
+    report = lint_paths([f], select=["D101"], no_scope=True)
+    assert [x.rule for x in report.active] == ["D101"]
+    assert report.exit_code() == 1
+
+
+def test_malformed_suppression_does_not_suppress(tmp_path):
+    f = tmp_path / "mod.py"
+    f.write_text("import random  # repro: noqa[D101]\n")
+    report = lint_paths([f], select=["D101"], no_scope=True)
+    rules = sorted(x.rule for x in report.active)
+    assert rules == ["D101", LNT001]
+    assert report.exit_code() == 1

@@ -1,0 +1,104 @@
+"""Output contract: the versioned JSON schema, exit codes, and the CLI.
+
+CI consumes ``--format json``; its structure changes only with a
+:data:`JSON_SCHEMA_VERSION` bump and a matching update here.
+"""
+
+import json
+from pathlib import Path
+
+from repro.lint.cli import main
+from repro.lint.engine import lint_paths
+from repro.lint.findings import JSON_SCHEMA_VERSION
+
+FIXTURES = Path(__file__).parent / "fixtures"
+
+TOP_LEVEL_KEYS = {
+    "version",
+    "files_scanned",
+    "rules_run",
+    "findings",
+    "counts",
+    "suppressed_count",
+    "exit_code",
+}
+
+FINDING_KEYS = {
+    "rule",
+    "severity",
+    "path",
+    "line",
+    "col",
+    "message",
+    "suppressed",
+    "justification",
+}
+
+
+def test_json_schema():
+    report = lint_paths(
+        [FIXTURES / "d101_bad.py"], select=["D101"], no_scope=True
+    )
+    payload = json.loads(report.to_json())
+    assert set(payload) == TOP_LEVEL_KEYS
+    assert payload["version"] == JSON_SCHEMA_VERSION
+    assert payload["files_scanned"] == 1
+    assert payload["rules_run"] == ["D101"]
+    assert payload["exit_code"] == 1
+    assert payload["counts"] == {"D101": 1}
+    assert payload["suppressed_count"] == 0
+    (finding,) = payload["findings"]
+    assert set(finding) == FINDING_KEYS
+    assert finding["rule"] == "D101"
+    assert finding["severity"] == "error"
+    assert finding["line"] >= 1 and finding["col"] >= 1
+    assert finding["suppressed"] is False
+
+
+def test_exit_codes():
+    bad = lint_paths([FIXTURES / "d101_bad.py"], select=["D101"], no_scope=True)
+    ok = lint_paths([FIXTURES / "d101_ok.py"], select=["D101"], no_scope=True)
+    assert bad.exit_code() == 1
+    assert ok.exit_code() == 0
+
+
+def test_human_rendering():
+    report = lint_paths(
+        [FIXTURES / "d101_bad.py"], select=["D101"], no_scope=True
+    )
+    text = report.render_human()
+    assert "D101" in text
+    assert "1 error(s)" in text
+    assert "d101_bad.py" in text
+
+
+def test_cli_json(capsys):
+    code = main([
+        str(FIXTURES / "d101_bad.py"),
+        "--select", "D101", "--no-scope", "--format", "json",
+    ])
+    assert code == 1
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["version"] == JSON_SCHEMA_VERSION
+    assert payload["exit_code"] == 1
+
+
+def test_cli_clean_file(capsys):
+    code = main([
+        str(FIXTURES / "d101_ok.py"), "--select", "D101", "--no-scope",
+    ])
+    assert code == 0
+    assert "0 error(s)" in capsys.readouterr().out
+
+
+def test_cli_list_rules(capsys):
+    assert main(["--list-rules"]) == 0
+    out = capsys.readouterr().out
+    for rule_id in ("D101", "C201", "K301", "T401"):
+        assert rule_id in out
+
+
+def test_cli_unknown_rule_id(capsys):
+    code = main(["--select", "Z999", str(FIXTURES / "d101_ok.py")])
+    assert code == 2
+    assert "Z999" in capsys.readouterr().out
