@@ -1,0 +1,23 @@
+"""``repro commcheck``: comm-protocol model checker + race sanitizer.
+
+Static half (always on): :mod:`repro.check.extract` abstracts each SPMD
+strategy and collective implementation into per-role communication
+skeletons; :mod:`repro.check.analysis` runs the P501–P504 battery over
+them (tag matching, collective alignment, bounded deadlock exploration,
+deadline coverage against the fault model).
+
+Dynamic half (``--trace``): :mod:`repro.check.driver` records sim-backend
+smoke runs through :mod:`repro.parallel.trace`;
+:mod:`repro.check.replay` reconstructs happens-before with vector clocks
+and flags ANY_SOURCE message races (P505) and trace/model divergence
+(P506).
+
+Like :mod:`repro.lint`, the checker is stdlib-only and never imports the
+code it checks for the static pass; findings share the lint findings
+schema and ``# repro: noqa[P5xx] -- justification`` suppressions.
+"""
+
+from repro.check.analysis import DETECTORS, analyze_protocols
+from repro.check.extract import extract_protocols
+
+__all__ = ["DETECTORS", "analyze_protocols", "extract_protocols"]

@@ -1,0 +1,194 @@
+"""Command-line front end: ``repro commcheck`` / ``python -m repro.check``.
+
+The static half (always on) extracts every protocol from the given
+paths and runs the P501–P504 battery; ``--trace`` adds the dynamic half:
+traced sim-backend smoke runs of all four strategies replayed through
+the vector-clock checker (P505/P506).  Findings flow through the same
+versioned JSON schema, ``# repro: noqa[P5xx] -- justification``
+suppressions and exit-code discipline as ``repro lint``.
+"""
+
+from __future__ import annotations
+
+import argparse
+from pathlib import Path
+from typing import Sequence
+
+from repro.check.analysis import DETECTORS, analyze_protocols
+from repro.check.extract import extract_protocols
+from repro.lint.changed import changed_paths
+from repro.lint.engine import apply_suppressions, discover_files
+from repro.lint.findings import Finding, LintReport
+from repro.lint.noqa import scan_suppressions
+from repro.lint.scoping import DEFAULT_EXCLUDES
+
+__all__ = ["add_commcheck_arguments", "cmd_commcheck", "run_commcheck",
+           "main"]
+
+#: What ``repro commcheck`` verifies when no paths are given.
+DEFAULT_PATHS = ("src",)
+
+
+def add_commcheck_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "paths", nargs="*", default=list(DEFAULT_PATHS),
+        help="files/directories to check (default: src)",
+    )
+    parser.add_argument(
+        "--format", choices=["human", "json"], default="human",
+        help="output format (json is the versioned CI schema)",
+    )
+    parser.add_argument(
+        "--json", dest="format", action="store_const", const="json",
+        help="shorthand for --format json",
+    )
+    parser.add_argument(
+        "--trace", action="store_true",
+        help=(
+            "also run the dynamic sanitizer: traced sim-backend smoke "
+            "runs of all four strategies, replayed through the "
+            "vector-clock checker (P505/P506)"
+        ),
+    )
+    parser.add_argument(
+        "--trace-dir", default=None, metavar="DIR",
+        help=(
+            "replay existing rank-N.jsonl traces from DIR instead of "
+            "running the smoke suite (implies --trace; skeleton "
+            "admission is skipped — the protocol is unknown)"
+        ),
+    )
+    parser.add_argument(
+        "--select", default=None, metavar="IDS",
+        help="comma-separated detector ids to report (default: all)",
+    )
+    parser.add_argument(
+        "--strict", action="store_true",
+        help="warnings are blocking too",
+    )
+    parser.add_argument(
+        "-v", "--verbose", action="store_true",
+        help="also print suppressed findings with their justifications",
+    )
+    parser.add_argument(
+        "--list-detectors", action="store_true",
+        help="print the detector battery (id, severity, invariant)",
+    )
+    parser.add_argument(
+        "--changed-only", action="store_true",
+        help=(
+            "skip the run entirely when no checked file changed vs HEAD "
+            "(protocols span files, so any change triggers a full run)"
+        ),
+    )
+
+
+def run_commcheck(
+    paths: Sequence[str | Path],
+    trace: bool = False,
+    trace_dir: str | None = None,
+    select: Sequence[str] | None = None,
+) -> LintReport:
+    """Run the static battery (and optionally the dynamic one)."""
+    report = LintReport(rules_run=tuple(sorted(DETECTORS)))
+    files = discover_files(paths, excludes=DEFAULT_EXCLUDES)
+    report.files_scanned = len(files)
+
+    protocols, ext = extract_protocols(files)
+    raw: list[Finding] = [
+        Finding(
+            rule="P500", severity=DETECTORS["P500"][0], path=path,
+            line=1, col=1, message=f"protocol extraction failed: {msg}",
+        )
+        for path, msg in ext.errors
+    ]
+    raw.extend(analyze_protocols(protocols, ext.fault_kinds()))
+
+    if trace or trace_dir:
+        from repro.check.replay import check_traces
+
+        if trace_dir:
+            from repro.parallel.trace import load_trace
+
+            raw.extend(check_traces(load_trace(trace_dir), protocol=None))
+        else:
+            from repro.check.driver import traced_smoke_runs
+
+            by_name = {p.name: p for p in protocols}
+            for _run, proto_name, traces in traced_smoke_runs():
+                raw.extend(
+                    check_traces(traces, protocol=by_name.get(proto_name))
+                )
+
+    if select:
+        wanted = set(select)
+        unknown = wanted - set(DETECTORS)
+        if unknown:
+            raise KeyError(f"unknown detector(s): {', '.join(sorted(unknown))}")
+        raw = [f for f in raw if f.rule in wanted]
+        report.rules_run = tuple(sorted(wanted))
+
+    # Suppressions live in the files findings point at (which, for trace
+    # findings, are call sites — possibly outside the scanned set).
+    suppressions: dict[str, dict[int, object]] = {}
+    for fpath in {f.path for f in raw}:
+        p = Path(fpath)
+        if not p.is_file():
+            continue
+        try:
+            source = p.read_text(encoding="utf-8")
+        except (OSError, UnicodeDecodeError):
+            continue
+        per_line, noqa_problems = scan_suppressions(source, fpath)
+        suppressions[fpath] = per_line  # type: ignore[assignment]
+        report.extend(noqa_problems)
+
+    report.findings.extend(apply_suppressions(raw, suppressions))
+    report.sort()
+    return report
+
+
+def cmd_commcheck(args: argparse.Namespace) -> int:
+    if args.list_detectors:
+        for rule_id in sorted(DETECTORS):
+            severity, invariant = DETECTORS[rule_id]
+            print(f"{rule_id}  [{severity}]")
+            print(f"    {invariant}")
+        return 0
+    if getattr(args, "changed_only", False):
+        changed = changed_paths()
+        if changed is not None:
+            files = discover_files(args.paths, excludes=DEFAULT_EXCLUDES)
+            if not any(f.resolve() in changed for f in files):
+                print("commcheck: no checked file changed vs HEAD")
+                return 0
+    select = None
+    if args.select:
+        select = [s.strip() for s in args.select.split(",") if s.strip()]
+    try:
+        report = run_commcheck(
+            args.paths, trace=args.trace, trace_dir=args.trace_dir,
+            select=select,
+        )
+    except KeyError as exc:
+        print(f"error: {exc.args[0]}")
+        return 2
+    if args.format == "json":
+        print(report.to_json(strict=args.strict))
+    else:
+        print(report.render_human(verbose=args.verbose))
+    return report.exit_code(strict=args.strict)
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro commcheck",
+        description=(
+            "comm-protocol model checker (P501-P504: tag matching, "
+            "collective alignment, deadlock exploration, deadline "
+            "coverage) and message-race sanitizer (P505/P506: "
+            "vector-clock replay of recorded traces)"
+        ),
+    )
+    add_commcheck_arguments(parser)
+    return cmd_commcheck(parser.parse_args(argv))

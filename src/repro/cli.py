@@ -29,6 +29,12 @@ Subcommands
     Project-specific AST invariant linter (determinism, comm-protocol,
     cache-identity, typed-island rules); exit 1 on any unsuppressed
     finding — the CI ``lint`` job gate.  Also ``python -m repro.lint``.
+``repro commcheck``
+    Comm-protocol model checker (P501-P504: tag matching, collective
+    alignment, bounded deadlock exploration, deadline coverage) and,
+    with ``--trace``, the vector-clock message-race sanitizer
+    (P505/P506) over traced sim-backend smoke runs — the CI
+    ``commcheck`` job gate.  Also ``python -m repro.check``.
 
 Every stochastic component seeds from the spec, so any command line is
 reproducible bit-for-bit; ``--smoke`` shrinks budgets for CI.  Any
@@ -305,6 +311,14 @@ def build_parser() -> argparse.ArgumentParser:
     add_lint_arguments(p_lint)
     p_lint.set_defaults(func=cmd_lint)
 
+    p_check = sub.add_parser(
+        "commcheck",
+        help="comm-protocol model checker + message-race sanitizer")
+    from repro.check.cli import add_commcheck_arguments
+
+    add_commcheck_arguments(p_check)
+    p_check.set_defaults(func=cmd_commcheck)
+
     return parser
 
 
@@ -312,6 +326,12 @@ def cmd_lint(args: argparse.Namespace) -> int:
     from repro.lint.cli import cmd_lint as _cmd_lint
 
     return _cmd_lint(args)
+
+
+def cmd_commcheck(args: argparse.Namespace) -> int:
+    from repro.check.cli import cmd_commcheck as _cmd_commcheck
+
+    return _cmd_commcheck(args)
 
 
 def _progress(done: int, total: int, record: RunRecord) -> None:

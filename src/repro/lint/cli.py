@@ -5,7 +5,8 @@ from __future__ import annotations
 import argparse
 from typing import Sequence
 
-from repro.lint.engine import lint_paths
+from repro.lint.changed import changed_paths
+from repro.lint.engine import discover_files, lint_paths
 from repro.lint.rules import all_rules
 
 __all__ = ["add_lint_arguments", "cmd_lint", "main"]
@@ -43,6 +44,13 @@ def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
         "--list-rules", action="store_true",
         help="print the rule battery (id, severity, scope, invariant)",
     )
+    parser.add_argument(
+        "--changed-only", action="store_true",
+        help=(
+            "lint only files changed vs HEAD (pre-commit hook mode); "
+            "falls back to a full run when git cannot answer"
+        ),
+    )
 
 
 def cmd_lint(args: argparse.Namespace) -> int:
@@ -55,8 +63,18 @@ def cmd_lint(args: argparse.Namespace) -> int:
     select = None
     if args.select:
         select = [s.strip() for s in args.select.split(",") if s.strip()]
+    paths: list = list(args.paths)
+    if getattr(args, "changed_only", False):
+        changed = changed_paths()
+        if changed is not None:
+            paths = [
+                f for f in discover_files(paths) if f.resolve() in changed
+            ]
+            if not paths:
+                print("lint: no changed Python files under the given paths")
+                return 0
     try:
-        report = lint_paths(args.paths, select=select, no_scope=args.no_scope)
+        report = lint_paths(paths, select=select, no_scope=args.no_scope)
     except KeyError as exc:
         print(f"error: {exc.args[0]}")
         return 2

@@ -30,7 +30,12 @@ from repro.lint.noqa import scan_suppressions
 from repro.lint.rules import ModuleRule, ProjectRule, Rule, rules_by_id
 from repro.lint.scoping import DEFAULT_EXCLUDES
 
-__all__ = ["discover_files", "lint_paths", "LintReport"]
+__all__ = [
+    "apply_suppressions",
+    "discover_files",
+    "lint_paths",
+    "LintReport",
+]
 
 
 def discover_files(
@@ -125,7 +130,23 @@ def lint_paths(
                 model = build_project_model(contexts)
             raw.extend(rule.check_project(contexts, model))
 
-    for f in raw:
+    report.findings.extend(apply_suppressions(raw, suppressions))
+    report.sort()
+    return report
+
+
+def apply_suppressions(
+    findings: Iterable[Finding],
+    suppressions: dict[str, dict[int, object]],
+) -> list[Finding]:
+    """Mark findings suppressed where a matching ``# repro: noqa`` sits.
+
+    ``suppressions`` maps path → line → :class:`repro.lint.noqa.Suppression`
+    (as produced by :func:`repro.lint.noqa.scan_suppressions`); shared by
+    the lint engine and ``repro commcheck``.
+    """
+    out: list[Finding] = []
+    for f in findings:
         per_line = suppressions.get(f.path, {})
         sup = per_line.get(f.line)
         if sup is not None and f.rule in sup.rules:  # type: ignore[attr-defined]
@@ -134,10 +155,8 @@ def lint_paths(
                 col=f.col, message=f.message, suppressed=True,
                 justification=sup.justification,  # type: ignore[attr-defined]
             )
-        report.findings.append(f)
-
-    report.sort()
-    return report
+        out.append(f)
+    return out
 
 
 def check_rule(rule: Rule, path: str | Path) -> list[Finding]:

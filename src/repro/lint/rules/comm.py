@@ -22,6 +22,7 @@ __all__ = [
     "UnboundedBlockingWait",
     "NonDaemonThread",
     "LiteralDeadline",
+    "UntaggedWildcardRecv",
 ]
 
 
@@ -185,3 +186,64 @@ class LiteralDeadline(ModuleRule):
                         "it as a module constant or thread it from the "
                         "caller",
                     )
+
+
+def _is_any_source(node: ast.AST | None, ctx: ModuleContext) -> bool:
+    """True when a recv source expression means "match any sender"."""
+    if node is None:
+        return True
+    if isinstance(node, ast.Constant) and node.value == -1:
+        return True
+    if isinstance(node, ast.UnaryOp) and isinstance(node.op, ast.USub) \
+            and isinstance(node.operand, ast.Constant) \
+            and node.operand.value == 1:
+        return True
+    if isinstance(node, (ast.Name, ast.Attribute)):
+        dotted = ctx.dotted_name(node)
+        name = dotted or (node.id if isinstance(node, ast.Name) else "")
+        return name.split(".")[-1] == "ANY_SOURCE"
+    return False
+
+
+@register
+class UntaggedWildcardRecv(ModuleRule):
+    """C205 — an ANY_SOURCE receive must constrain the tag.
+
+    A wildcard receive with no tag is a universal funnel: *any* message
+    from *any* protocol phase matches it, so a stray or late message
+    (a retried send, a collective chunk, a done marker from a previous
+    phase) is silently consumed as whatever the caller expected.  The
+    certified funnels (Type III's store loop) pin a tag so the wildcard
+    ranges only over senders, never over message kinds — ``repro
+    commcheck``'s P505 then reasons about exactly that sender race.
+    """
+
+    id = "C205"
+    invariant = (
+        "ANY_SOURCE receives carry an explicit tag: the wildcard may "
+        "range over senders, never over message kinds"
+    )
+    scope = RuleScope(include=COMM_LAYER, exclude=COMM_IMPL)
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            fn = node.func
+            if not isinstance(fn, ast.Attribute) or fn.attr != "recv" \
+                    or not _comm_like(fn.value):
+                continue
+            kwargs = {k.arg for k in node.keywords}
+            has_tag = len(node.args) > 1 or "tag" in kwargs
+            if has_tag:
+                continue
+            src = node.args[0] if node.args else next(
+                (k.value for k in node.keywords if k.arg == "source"), None
+            )
+            if _is_any_source(src, ctx):
+                yield self.finding(
+                    ctx.path, node,
+                    "ANY_SOURCE recv with no tag matches every message "
+                    "kind in flight; pin a tag so the wildcard ranges "
+                    "only over senders",
+                )

@@ -15,8 +15,9 @@ from pathlib import Path, PurePosixPath
 
 __all__ = ["RuleScope", "DEFAULT_EXCLUDES", "in_scope"]
 
-#: Paths never linted by default: deliberately-violating golden fixtures.
-DEFAULT_EXCLUDES = ("tests/lint/fixtures/",)
+#: Paths never linted by default: deliberately-violating golden fixtures
+#: (both the lint battery's and commcheck's protocol fixtures).
+DEFAULT_EXCLUDES = ("tests/lint/fixtures/", "tests/check/fixtures/")
 
 
 class RuleScope:

@@ -108,6 +108,7 @@ def make_cluster(
     timeout: float | None = None,
     faults: "FaultPlan | None" = None,
     on_rank_failure: str = "abort",
+    trace_dir: str | None = None,
 ) -> ClusterBackend:
     """Build a ``p``-rank cluster backend by name.
 
@@ -124,6 +125,13 @@ def make_cluster(
     raise :class:`CommError`) or ``"degrade"`` (continue with the
     survivors and report the losses on the run result) — the simulated
     backend has no partial-death mode and ignores it.
+
+    ``trace_dir`` arms a :class:`~repro.parallel.trace.CommTraceRecorder`
+    on every rank (all three backends) and writes one canonical
+    event-trace file per rank into the directory; recording is purely
+    local (no payload, ordering or RNG effect), so traced runs are
+    bit-identical to untraced ones.  ``repro commcheck --trace`` replays
+    these traces against the static protocol skeletons.
     """
     validate_cluster(kind)
     if kind == "sim":
@@ -132,11 +140,13 @@ def make_cluster(
             network=network or calibrated_network_model(),
             work_model=work_model or calibrated_work_model(),
             faults=faults,
+            trace_dir=trace_dir,
         )
     real_kwargs: dict[str, Any] = {
         "work_model": work_model or calibrated_work_model(),
         "faults": faults,
         "on_rank_failure": on_rank_failure,
+        "trace_dir": trace_dir,
     }
     if timeout is not None:
         real_kwargs["timeout"] = timeout

@@ -297,6 +297,10 @@ class MpCluster:
         pre-fault-tolerance behavior.  ``"degrade"``: the loss is
         recorded on ``MpRunResult.lost`` and the run continues with the
         survivors (strategies decide what a partial result means).
+    trace_dir:
+        Optional directory for per-rank comm-event traces
+        (:class:`~repro.parallel.trace.CommTraceRecorder`); recording is
+        local-only, so traced runs stay bit-identical.
     """
 
     #: Clock domain reported by ``elapsed()``/results (vs ``"model"``).
@@ -312,6 +316,7 @@ class MpCluster:
         heartbeat_timeout: float | None = None,
         faults: "FaultPlan | None" = None,
         on_rank_failure: str = "abort",
+        trace_dir: str | None = None,
     ):
         if size < 1:
             raise ValueError(f"size must be >= 1, got {size}")
@@ -340,6 +345,7 @@ class MpCluster:
         )
         self.faults = faults
         self.on_rank_failure = on_rank_failure
+        self.trace_dir = trace_dir
 
     def run(
         self,
@@ -363,6 +369,10 @@ class MpCluster:
             from repro.parallel.faults import FaultedFn
 
             fn = FaultedFn(fn, self.faults.resolve(self.size), mode="process")
+        if self.trace_dir is not None:
+            from repro.parallel.trace import TracedFn
+
+            fn = TracedFn(fn, self.trace_dir)
         ctx = mp.get_context(self.start_method)
         # Full mesh of duplex pipes.
         mesh: dict[tuple[int, int], Connection] = {}

@@ -160,6 +160,10 @@ class SimCluster:
         rank in exception mode — ranks are threads of one process, so
         kills/wedges surface as :class:`InjectedFault` on the victim (and
         ``CommError`` on ranks blocked on it), deterministically.
+    trace_dir:
+        Optional directory for per-rank comm-event traces
+        (:class:`~repro.parallel.trace.CommTraceRecorder`); recording is
+        local-only, so traced runs stay bit-identical.
     """
 
     #: Clock domain of ``elapsed()``/results: deterministic model-seconds.
@@ -171,6 +175,7 @@ class SimCluster:
         network: NetworkModel | None = None,
         work_model: WorkModel | None = None,
         faults: "FaultPlan | None" = None,
+        trace_dir: str | None = None,
     ):
         if size < 1:
             raise ValueError(f"size must be >= 1, got {size}")
@@ -178,6 +183,7 @@ class SimCluster:
         self.network = network or NetworkModel()
         self.work_model = work_model or WorkModel()
         self.faults = faults
+        self.trace_dir = trace_dir
         self._cond = threading.Condition()
         self._ranks = [_Rank(i, WorkMeter(self.work_model)) for i in range(size)]
         self._seq = 0
@@ -209,6 +215,10 @@ class SimCluster:
             from repro.parallel.faults import FaultedFn
 
             fn = FaultedFn(fn, self.faults.resolve(self.size), mode="exception")
+        if self.trace_dir is not None:
+            from repro.parallel.trace import TracedFn
+
+            fn = TracedFn(fn, self.trace_dir)
         results: list[Any] = [None] * self.size
         errors: list[BaseException | None] = [None] * self.size
 

@@ -395,6 +395,10 @@ class SocketCluster:
         pre-fault-tolerance behavior.  ``"degrade"``: the loss is
         broadcast as PEERDOWN, recorded on ``MpRunResult.lost``, and the
         run continues with the survivors.
+    trace_dir:
+        Optional directory for per-rank comm-event traces
+        (:class:`~repro.parallel.trace.CommTraceRecorder`); recording is
+        local-only, so traced runs stay bit-identical.
     """
 
     #: Clock domain reported by ``elapsed()``/results (vs ``"model"``).
@@ -411,6 +415,7 @@ class SocketCluster:
         heartbeat_timeout: float | None = None,
         faults: "FaultPlan | None" = None,
         on_rank_failure: str = "abort",
+        trace_dir: str | None = None,
     ):
         if size < 1:
             raise ValueError(f"size must be >= 1, got {size}")
@@ -438,6 +443,7 @@ class SocketCluster:
         )
         self.faults = faults
         self.on_rank_failure = on_rank_failure
+        self.trace_dir = trace_dir
 
     def run(
         self,
@@ -460,6 +466,10 @@ class SocketCluster:
             from repro.parallel.faults import FaultedFn
 
             fn = FaultedFn(fn, self.faults.resolve(self.size), mode="process")
+        if self.trace_dir is not None:
+            from repro.parallel.trace import TracedFn
+
+            fn = TracedFn(fn, self.trace_dir)
         ctx = mp.get_context(self.start_method)
         # Per-run session token: a reconnecting rank must present it with
         # its re-HELLO, so a stray client (or a rank from a previous run

@@ -201,6 +201,7 @@ def run_type1(
     cluster: str = "sim",
     deadline: float | None = None,
     faults: str | FaultPlan | None = None,
+    trace_dir: str | None = None,
 ) -> ParallelOutcome:
     """Run Type I parallel SimE on a ``p``-rank cluster backend.
 
@@ -218,7 +219,7 @@ def run_type1(
     plan = as_plan(faults, spec.seed)
     cl = make_cluster(
         cluster, p, network=network, work_model=work_model, timeout=deadline,
-        faults=plan,
+        faults=plan, trace_dir=trace_dir,
     )
     res = cl.run(_spmd, kwargs={"spec": spec, "iterations": iters})
     master = res.results[0]

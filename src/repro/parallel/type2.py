@@ -183,6 +183,7 @@ def run_type2(
     cluster: str = "sim",
     deadline: float | None = None,
     faults: str | FaultPlan | None = None,
+    trace_dir: str | None = None,
 ) -> ParallelOutcome:
     """Run Type II parallel SimE on a ``p``-rank cluster backend.
 
@@ -209,7 +210,7 @@ def run_type2(
     plan = as_plan(faults, spec.seed)
     cl = make_cluster(
         cluster, p, network=network, work_model=work_model, timeout=deadline,
-        faults=plan,
+        faults=plan, trace_dir=trace_dir,
     )
     res = cl.run(
         _spmd,

@@ -46,6 +46,13 @@ _REPORT = "report"
 _REQUEST = "request"
 _DONE = "done"
 
+#: The single tag of the store<->searcher channel.  The value is the
+#: protocol default (so the wire behavior is unchanged), but every call
+#: names it explicitly: the store's ANY_SOURCE funnel is then a
+#: single-tag channel the protocol checker (`repro commcheck`) can
+#: certify, and lint rule C205 holds by construction.
+_TAG_STORE = 0
+
 
 def _master(comm: Communicator, on_rank_failure: str = "abort") -> dict:
     """Central best-solution store (rank 0).
@@ -72,7 +79,7 @@ def _master(comm: Communicator, on_rank_failure: str = "abort") -> dict:
 
     def reply(dest: int, obj) -> None:
         try:
-            comm.send(obj, dest)
+            comm.send(obj, dest, tag=_TAG_STORE)
         except CommError:
             if not degrade:
                 raise
@@ -80,7 +87,12 @@ def _master(comm: Communicator, on_rank_failure: str = "abort") -> dict:
 
     while len(done_ranks) < comm.size - 1:
         try:
-            src, msg = comm.recv(source=ANY_SOURCE)
+            # The store funnel is inherently arrival-order dependent: the
+            # asynchronous cooperative search is the paper's Type III
+            # semantics, so the ANY_SOURCE race flagged by the dynamic
+            # sanitizer is accepted here (and determinized by virtual
+            # time on the simulated backend).
+            src, msg = comm.recv(source=ANY_SOURCE, tag=_TAG_STORE)  # repro: noqa[P505] -- Type III is an asynchronous cooperative search: store arrival order is the algorithm; sim delivery determinizes it
         except CommError:
             if not degrade:
                 raise
@@ -145,14 +157,16 @@ def _slave(
         comm.progress()
         history.append((it, rec.mu, comm.elapsed()))
         if sime.best_mu > last_best:
-            comm.send((_REPORT, sime.best_mu, sime.best_rows), 0)
+            comm.send((_REPORT, sime.best_mu, sime.best_rows), 0,
+                      tag=_TAG_STORE)
             last_best = sime.best_mu
             count = 0
         else:
             count += 1
         if count > retry_threshold:
-            comm.send((_REQUEST, sime.best_mu, sime.best_rows), 0)
-            _src, reply = comm.recv(source=0)
+            comm.send((_REQUEST, sime.best_mu, sime.best_rows), 0,
+                      tag=_TAG_STORE)
+            _src, reply = comm.recv(source=0, tag=_TAG_STORE)
             if reply is not None:
                 mu, rows = reply
                 if mu > sime.best_mu:
@@ -163,7 +177,7 @@ def _slave(
                     sime.best_costs = engine.costs()
                     last_best = sime.best_mu
             count = 0
-    comm.send((_DONE,), 0)
+    comm.send((_DONE,), 0, tag=_TAG_STORE)
     result = sime.result()
     return {
         "best_mu": result.best_mu,
@@ -196,6 +210,7 @@ def run_type3(
     deadline: float | None = None,
     faults: str | FaultPlan | None = None,
     on_rank_failure: str = "abort",
+    trace_dir: str | None = None,
 ) -> ParallelOutcome:
     """Run Type III parallel SimE on a ``p``-rank cluster backend.
 
@@ -223,7 +238,7 @@ def run_type3(
     plan = as_plan(faults, spec.seed)
     cl = make_cluster(
         cluster, p, network=network, work_model=work_model, timeout=deadline,
-        faults=plan, on_rank_failure=on_rank_failure,
+        faults=plan, on_rank_failure=on_rank_failure, trace_dir=trace_dir,
     )
     res = cl.run(
         _spmd,

@@ -38,7 +38,10 @@ from repro.parallel.runners import (
     rank_stream_id,
     stream_for,
 )
-from repro.parallel.type3 import _master  # shared central-store protocol
+from repro.parallel.type3 import (  # shared central-store protocol
+    _TAG_STORE,
+    _master,
+)
 from repro.sime.config import SimEConfig
 from repro.sime.engine import SimulatedEvolution
 from repro.utils.rng import RngStream
@@ -142,14 +145,16 @@ def _slave(
         sime.step()
         comm.progress()
         if sime.best_mu > last_best:
-            comm.send((_REPORT, sime.best_mu, sime.best_rows), 0)
+            comm.send((_REPORT, sime.best_mu, sime.best_rows), 0,
+                      tag=_TAG_STORE)
             last_best = sime.best_mu
             count = 0
         else:
             count += 1
         if count > retry_threshold:
-            comm.send((_REQUEST, sime.best_mu, sime.best_rows), 0)
-            _src, reply = comm.recv(source=0)
+            comm.send((_REQUEST, sime.best_mu, sime.best_rows), 0,
+                      tag=_TAG_STORE)
+            _src, reply = comm.recv(source=0, tag=_TAG_STORE)
             if reply is not None:
                 their_mu, their_rows = reply
                 if crossover:
@@ -168,7 +173,7 @@ def _slave(
                     sime.best_costs = engine.costs()
                 last_best = sime.best_mu
             count = 0
-    comm.send((_DONE,), 0)
+    comm.send((_DONE,), 0, tag=_TAG_STORE)
     result = sime.result()
     return {
         "best_mu": result.best_mu,
@@ -198,6 +203,7 @@ def run_type3_diversified(
     deadline: float | None = None,
     faults: str | FaultPlan | None = None,
     on_rank_failure: str = "abort",
+    trace_dir: str | None = None,
 ) -> ParallelOutcome:
     """Run the diversified Type III variant (Section 7 future work).
 
@@ -213,7 +219,7 @@ def run_type3_diversified(
     plan = as_plan(faults, spec.seed)
     cl = make_cluster(
         cluster, p, network=network, work_model=work_model, timeout=deadline,
-        faults=plan, on_rank_failure=on_rank_failure,
+        faults=plan, on_rank_failure=on_rank_failure, trace_dir=trace_dir,
     )
     res = cl.run(
         _spmd,

@@ -1,0 +1,17 @@
+"""P502 violation: master gathers before broadcasting, workers mirror
+the opposite order — the collectives interlock crosswise."""
+
+
+def _spmd(comm, rows):
+    if comm.rank == 0:
+        results = comm.gather(None, root=0)
+        comm.bcast(rows, root=0)
+        return results
+    rows = comm.bcast(None, root=0)
+    comm.gather(rows, root=0)
+    return rows
+
+
+def run(p, deadline=None):
+    cl = make_cluster("sim", p, timeout=deadline)
+    return cl.run(_spmd)

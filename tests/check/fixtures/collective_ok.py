@@ -1,0 +1,16 @@
+"""Clean counterpart of collective_bad: both roles bcast then gather."""
+
+
+def _spmd(comm, rows):
+    if comm.rank == 0:
+        comm.bcast(rows, root=0)
+        results = comm.gather(None, root=0)
+        return results
+    rows = comm.bcast(None, root=0)
+    comm.gather(rows, root=0)
+    return rows
+
+
+def run(p, deadline=None):
+    cl = make_cluster("sim", p, timeout=deadline)
+    return cl.run(_spmd)

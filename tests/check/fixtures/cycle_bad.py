@@ -1,0 +1,17 @@
+"""P503 violation: mutual blocking receives — every role waits for a
+message only the other role's *later* send would produce."""
+
+
+def _spmd(comm):
+    if comm.rank == 0:
+        _src, req = comm.recv(1, tag=0)
+        comm.send(("ack",), 1, tag=0)
+        return req
+    _src, ack = comm.recv(0, tag=0)
+    comm.send(("req",), 0, tag=0)
+    return ack
+
+
+def run(p, deadline=None):
+    cl = make_cluster("sim", p, timeout=deadline)
+    return cl.run(_spmd)

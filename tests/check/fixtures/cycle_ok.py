@@ -1,0 +1,31 @@
+"""Clean counterpart of cycle_bad: the serve-loop funnel idiom.
+
+The master serves wildcard requests until every worker reports done and
+the channels drain; each reply goes back to the requester.  The request
+→ reply → done ordering is acyclic, so the explorer finds no blocked
+state.
+"""
+
+_TAG = 0
+
+
+def _spmd(comm):
+    if comm.rank == 0:
+        done = set()
+        while len(done) < comm.size - 1:
+            src, msg = comm.recv(source=-1, tag=_TAG)
+            kind = msg[0]
+            if kind == "request":
+                comm.send(("reply",), src, tag=_TAG)
+            elif kind == "done":
+                done.add(src)
+        return len(done)
+    comm.send(("request",), 0, tag=_TAG)
+    _src, reply = comm.recv(0, tag=_TAG)
+    comm.send(("done",), 0, tag=_TAG)
+    return reply
+
+
+def run(p, deadline=None):
+    cl = make_cluster("sim", p, timeout=deadline)
+    return cl.run(_spmd)

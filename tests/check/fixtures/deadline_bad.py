@@ -1,0 +1,22 @@
+"""P504 violation: unguarded blocking receives in a strategy whose
+runner never threads a deadline into make_cluster — a killed peer
+becomes an unbounded hang instead of a CommError."""
+
+
+def _spmd(comm):
+    if comm.rank == 0:
+        for r in range(1, comm.size):
+            comm.send(("work",), r, tag=3)
+        results = []
+        for r in range(1, comm.size):
+            _src, res = comm.recv(r, tag=3)
+            results.append(res)
+        return results
+    _src, work = comm.recv(0, tag=3)
+    comm.send(("result",), 0, tag=3)
+    return work
+
+
+def run(p):
+    cl = make_cluster("sim", p)
+    return cl.run(_spmd)

@@ -1,0 +1,21 @@
+"""Clean counterpart of deadline_bad: the runner threads a deadline, so
+every blocking receive is bounded on the real backends."""
+
+
+def _spmd(comm):
+    if comm.rank == 0:
+        for r in range(1, comm.size):
+            comm.send(("work",), r, tag=3)
+        results = []
+        for r in range(1, comm.size):
+            _src, res = comm.recv(r, tag=3)
+            results.append(res)
+        return results
+    _src, work = comm.recv(0, tag=3)
+    comm.send(("result",), 0, tag=3)
+    return work
+
+
+def run(p, deadline):
+    cl = make_cluster("sim", p, timeout=deadline)
+    return cl.run(_spmd)

@@ -1,0 +1,22 @@
+"""Clean counterpart of tag_bad: both sides agree on tag 1."""
+
+
+def _master(comm):
+    for r in range(1, comm.size):
+        comm.send(("work", r), r, tag=1)
+
+
+def _worker(comm):
+    _src, msg = comm.recv(0, tag=1)
+    return msg
+
+
+def _spmd(comm):
+    if comm.rank == 0:
+        return _master(comm)
+    return _worker(comm)
+
+
+def run(p, deadline=None):
+    cl = make_cluster("sim", p, timeout=deadline)
+    return cl.run(_spmd)

@@ -1,0 +1,103 @@
+"""The ``repro commcheck`` front end: exit codes, formats, suppression."""
+
+import json
+from pathlib import Path
+
+from repro.check.cli import main, run_commcheck
+from repro.lint.findings import JSON_SCHEMA_VERSION
+
+FIXTURES = Path(__file__).parent / "fixtures"
+
+
+def test_bad_fixture_exits_nonzero(capsys):
+    rc = main([str(FIXTURES / "tag_bad.py")])
+    out = capsys.readouterr().out
+    assert rc == 1
+    assert "P501" in out
+
+
+def test_clean_fixtures_exit_zero(capsys):
+    rc = main([str(FIXTURES / "tag_ok.py"), str(FIXTURES / "cycle_ok.py")])
+    assert rc == 0
+
+
+def test_json_format_is_the_versioned_schema(capsys):
+    rc = main(["--json", str(FIXTURES / "deadline_bad.py")])
+    payload = json.loads(capsys.readouterr().out)
+    assert rc == 1
+    assert payload["version"] == JSON_SCHEMA_VERSION
+    rules = {f["rule"] for f in payload["findings"]}
+    assert "P504" in rules
+
+
+def test_list_detectors(capsys):
+    rc = main(["--list-detectors"])
+    out = capsys.readouterr().out
+    assert rc == 0
+    for rule in ("P500", "P501", "P502", "P503", "P504", "P505", "P506"):
+        assert rule in out
+
+
+def test_unknown_detector_select_is_an_error(capsys):
+    rc = main(["--select", "P999", str(FIXTURES / "tag_ok.py")])
+    assert rc == 2
+
+
+def test_select_narrows_the_battery(capsys):
+    rc = main(["--select", "P501", str(FIXTURES / "cycle_bad.py")])
+    assert rc == 0  # cycle_bad violates P503, which was not selected
+
+
+def test_trace_dir_replays_recorded_traces(capsys):
+    rc = main(["--trace-dir", str(FIXTURES / "trace_race"),
+               str(FIXTURES / "tag_ok.py")])
+    out = capsys.readouterr().out
+    assert rc == 1
+    assert "P505" in out
+
+
+def test_suppression_with_justification_is_honored(tmp_path, capsys):
+    src = (FIXTURES / "deadline_bad.py").read_text()
+    patched = src.replace(
+        "_src, res = comm.recv(r, tag=3)",
+        "_src, res = comm.recv(r, tag=3)  # repro: noqa[P504] -- "
+        "fixture copy proving commcheck honors lint suppressions",
+    ).replace(
+        "_src, work = comm.recv(0, tag=3)",
+        "_src, work = comm.recv(0, tag=3)  # repro: noqa[P504] -- "
+        "fixture copy proving commcheck honors lint suppressions",
+    )
+    f = tmp_path / "suppressed.py"
+    f.write_text(patched)
+    rc = main([str(f)])
+    assert rc == 0
+    rc = main(["-v", str(f)])
+    assert "suppressed" in capsys.readouterr().out
+
+
+def test_parse_error_is_a_p500_finding(tmp_path):
+    bad = tmp_path / "broken.py"
+    bad.write_text("def _spmd(comm:\n")
+    report = run_commcheck([bad])
+    assert [f.rule for f in report.active] == ["P500"]
+    assert report.exit_code() == 1
+
+
+def test_repro_cli_wires_the_commcheck_verb(capsys):
+    from repro.cli import build_parser
+
+    args = build_parser().parse_args(
+        ["commcheck", "--list-detectors"]
+    )
+    rc = args.func(args)
+    assert rc == 0
+    assert "P503" in capsys.readouterr().out
+
+
+def test_changed_only_smoke(tmp_path, capsys, monkeypatch):
+    """Outside a git repo, --changed-only falls back to a full run."""
+    f = tmp_path / "mod.py"
+    f.write_text((FIXTURES / "tag_ok.py").read_text())
+    monkeypatch.chdir(tmp_path)
+    rc = main(["--changed-only", str(f)])
+    assert rc == 0

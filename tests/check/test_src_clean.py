@@ -1,0 +1,41 @@
+"""Regression: the shipped tree passes its own protocol checker.
+
+``repro commcheck src/`` exits 0 — every P5xx finding in ``src/`` is
+either fixed or carries a written justification of at least
+MIN_JUSTIFICATION characters.  Mirrors the lint battery's src-clean
+gate: a checker that cannot hold on our own protocols is either wrong
+or the protocols are.
+"""
+
+from pathlib import Path
+
+from repro.check.cli import run_commcheck
+from repro.lint.noqa import MIN_JUSTIFICATION
+
+ROOT = Path(__file__).resolve().parents[2]
+
+
+def test_src_static_battery_is_clean():
+    report = run_commcheck([ROOT / "src"])
+    assert report.files_scanned > 50
+    assert report.exit_code() == 0, "\n" + "\n".join(
+        f.render() for f in report.errors()
+    )
+
+
+def test_every_commcheck_suppression_is_justified():
+    report = run_commcheck([ROOT / "src"], trace=True)
+    for f in report.suppressed:
+        assert len(f.justification) >= MIN_JUSTIFICATION, f.render()
+
+
+def test_traced_src_run_is_clean_modulo_certified_funnel():
+    """The dynamic battery's only finding on our tree is the Type III
+    store race — certified in-source with a justified suppression."""
+    report = run_commcheck([ROOT / "src"], trace=True)
+    assert report.exit_code() == 0, "\n" + "\n".join(
+        f.render() for f in report.errors()
+    )
+    assert report.suppressed, "the funnel race must be detected"
+    assert {f.rule for f in report.suppressed} == {"P505"}
+    assert all(f.path.endswith("type3.py") for f in report.suppressed)

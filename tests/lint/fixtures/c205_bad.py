@@ -1,0 +1,10 @@
+"""Violates C205: ANY_SOURCE receives with no tag constraint."""
+
+from repro.parallel.mpi.comm import ANY_SOURCE
+
+
+def funnel(comm):
+    src, msg = comm.recv()
+    src2, msg2 = comm.recv(source=ANY_SOURCE)
+    src3, msg3 = comm.recv(-1)
+    return src, msg, src2, msg2, src3, msg3

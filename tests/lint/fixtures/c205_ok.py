@@ -1,0 +1,12 @@
+"""Clean for C205: wildcards carry a tag; pinned sources may omit it."""
+
+from repro.parallel.mpi.comm import ANY_SOURCE
+
+_TAG_STORE = 7
+
+
+def funnel(comm):
+    src, msg = comm.recv(source=ANY_SOURCE, tag=_TAG_STORE)
+    src2, msg2 = comm.recv(-1, _TAG_STORE)
+    src3, msg3 = comm.recv(source=0)
+    return src, msg, src2, msg2, src3, msg3

@@ -221,3 +221,65 @@ def test_per_rank_kwargs_reach_each_rank(backend):
         per_rank_kwargs=[{"bonus": 10 * r} for r in range(3)],
     )
     assert res.results == [100, 111, 122]
+
+
+# ------------------------------------------- traced ANY_SOURCE fairness
+
+
+_FAN_IN_MSGS = 3
+
+
+def _w_traced_fan_in(comm):
+    """p-1 senders race into one wildcard funnel; the trace records who won."""
+    if comm.rank == 0:
+        got = [
+            comm.recv(ANY_SOURCE, tag=7)
+            for _ in range((comm.size - 1) * _FAN_IN_MSGS)
+        ]
+        return got
+    for seq in range(_FAN_IN_MSGS):
+        comm.send(("msg", comm.rank, seq), 0, tag=7)
+    return None
+
+
+def test_traced_any_source_fan_in_is_fifo_per_sender(backend, tmp_path):
+    """At p=5, wildcard arrival order is arbitrary across senders but
+    must stay FIFO per sender — on every backend — and the trace must
+    agree with what the strategy observed."""
+    from repro.parallel.trace import load_trace
+
+    p = 5
+    td = tmp_path / backend
+    res = make_cluster(backend, p, trace_dir=str(td)).run(_w_traced_fan_in)
+    got = res.results[0]
+    assert len(got) == (p - 1) * _FAN_IN_MSGS
+    per_sender: dict = {}
+    for src, (_kind, rank, seq) in got:
+        assert src == rank
+        per_sender.setdefault(src, []).append(seq)
+    assert sorted(per_sender) == list(range(1, p))
+    for src, seqs in per_sender.items():
+        assert seqs == sorted(seqs), f"non-FIFO delivery from rank {src}"
+
+    traces = load_trace(td)
+    assert sorted(traces) == list(range(p))
+    recvs = [ev for ev in traces[0] if ev["op"] == "recv"]
+    assert [(ev["src"]) for ev in recvs] == [src for src, _ in got]
+    assert all(ev["req"] == ANY_SOURCE and ev["tag"] == 7 for ev in recvs)
+    for r in range(1, p):
+        sends = [ev for ev in traces[r] if ev["op"] == "send"]
+        assert [ev["dst"] for ev in sends] == [0] * _FAN_IN_MSGS
+
+
+def test_traced_fan_in_replay_flags_the_funnel_race(backend, tmp_path):
+    """The vector-clock sanitizer must call the p=5 funnel what it is:
+    an ANY_SOURCE race (senders are mutually concurrent), with every
+    recv still pairable to a send (no P506)."""
+    from repro.check.replay import check_traces
+    from repro.parallel.trace import load_trace
+
+    td = tmp_path / backend
+    make_cluster(backend, 5, trace_dir=str(td)).run(_w_traced_fan_in)
+    findings = check_traces(load_trace(td))
+    assert {f.rule for f in findings} == {"P505"}
+    assert all("ANY_SOURCE message race" in f.message for f in findings)
